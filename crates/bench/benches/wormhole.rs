@@ -1,0 +1,45 @@
+//! Criterion benches of the wormhole (flit-level) mode: adaptive vs
+//! escape-only, and message-length scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fadr_core::HypercubeFullyAdaptive;
+use fadr_wormhole::{WormConfig, WormholeSim};
+use fadr_workloads::{static_backlog, Pattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 7;
+
+fn run(cfg: WormConfig) -> f64 {
+    let size = 1usize << N;
+    let mut rng = StdRng::seed_from_u64(0xbee);
+    let backlog = static_backlog(&Pattern::Random, size, 2, &mut rng);
+    let mut sim = WormholeSim::new(HypercubeFullyAdaptive::new(N), cfg);
+    let res = sim.run_static(&backlog);
+    assert!(res.drained);
+    res.stats.mean()
+}
+
+fn bench_wormhole(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wormhole");
+    g.sample_size(10);
+    for (name, dynamic) in [("adaptive", true), ("escape_only", false)] {
+        let cfg = WormConfig {
+            message_length: 8,
+            use_dynamic_vcs: dynamic,
+            ..WormConfig::default()
+        };
+        eprintln!("# wormhole {name}: L_avg = {:.2}", run(cfg));
+        g.bench_function(name, |b| b.iter(|| black_box(run(cfg))));
+    }
+    for len in [2usize, 16] {
+        let cfg = WormConfig { message_length: len, ..WormConfig::default() };
+        g.bench_function(format!("len{len:02}"), |b| b.iter(|| black_box(run(cfg))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wormhole);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Parameter sweeps emitting CSV series (extension experiments beyond
+//! the paper's fixed operating points).
+//!
+//! ```text
+//! sweep lambda [--n N] [--cycles C]      # offered load vs throughput/latency/I_r
+//! sweep capacity [--n N] [--table K]     # central-queue capacity vs latency
+//! ```
+//!
+//! Each sweep runs the fully-adaptive algorithm, the static hang, and
+//! e-cube + SBP side by side.
+
+use std::process::ExitCode;
+
+use fadr_bench::runner::{run_row, spec, Algo, RunOptions};
+use fadr_core::{EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang};
+use fadr_qdg::RoutingFunction;
+use fadr_sim::{SimConfig, Simulator};
+use fadr_workloads::Pattern;
+
+const ALGOS: [(&str, Algo); 3] = [
+    ("fully-adaptive", Algo::FullyAdaptive),
+    ("static-hang", Algo::StaticHang),
+    ("ecube-sbp", Algo::EcubeSbp),
+];
+
+fn lambda_sweep(n: usize, cycles: u64) {
+    println!("lambda,algo,throughput,l_avg,l_max,injection_rate");
+    let size = 1usize << n;
+    for lambda in [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
+        for (name, algo) in ALGOS {
+            let cfg = SimConfig::default();
+            let run = |res: fadr_sim::DynamicResult| {
+                let thr = res.delivered as f64 / (size as f64 * cycles as f64);
+                println!(
+                    "{lambda},{name},{thr:.4},{:.2},{},{:.3}",
+                    res.stats.mean(),
+                    res.stats.max(),
+                    res.injection_rate()
+                );
+            };
+            match algo {
+                Algo::FullyAdaptive => run(dynamic(Simulator::new(HypercubeFullyAdaptive::new(n), cfg), lambda, size, cycles)),
+                Algo::StaticHang => run(dynamic(Simulator::new(HypercubeStaticHang::new(n), cfg), lambda, size, cycles)),
+                Algo::EcubeSbp => run(dynamic(Simulator::new(EcubeSbp::new(n), cfg), lambda, size, cycles)),
+            }
+        }
+    }
+}
+
+fn dynamic<R: RoutingFunction>(
+    mut sim: Simulator<R>,
+    lambda: f64,
+    size: usize,
+    cycles: u64,
+) -> fadr_sim::DynamicResult {
+    sim.run_dynamic(lambda, move |s, rng| Pattern::Random.draw(s, size, rng), cycles)
+}
+
+fn capacity_sweep(n: usize, table: usize) {
+    println!("capacity,algo,l_avg,l_max");
+    for cap in [1usize, 2, 3, 5, 8, 10, 12, 16] {
+        for (name, algo) in ALGOS {
+            let opts = RunOptions { queue_capacity: cap, algo, ..RunOptions::default() };
+            let row = run_row(spec(table), n, opts);
+            println!("{cap},{name},{:.2},{}", row.l_avg, row.l_max);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mode = args.next().unwrap_or_default();
+    let mut n = 8usize;
+    let mut cycles = 300u64;
+    let mut table = 6usize;
+    let rest: Vec<String> = args.collect();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--n" => n = it.next().and_then(|v| v.parse().ok()).unwrap_or(n),
+            "--cycles" => cycles = it.next().and_then(|v| v.parse().ok()).unwrap_or(cycles),
+            "--table" => table = it.next().and_then(|v| v.parse().ok()).unwrap_or(table),
+            other => {
+                eprintln!("unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match mode.as_str() {
+        "lambda" => lambda_sweep(n, cycles),
+        "capacity" => capacity_sweep(n, table),
+        _ => {
+            eprintln!("usage: sweep <lambda|capacity> [--n N] [--cycles C] [--table K]");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

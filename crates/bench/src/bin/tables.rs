@@ -1,0 +1,114 @@
+//! Regenerate the paper's Tables 1–12.
+//!
+//! ```text
+//! tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--csv]
+//! ```
+//!
+//! * `--table K` — regenerate only table K (repeatable); default: all 12.
+//! * `--full` — the paper's complete sweep (n = 10..14; slow at n = 14).
+//! * `--cap N` — central queue capacity (default 5, the paper's value).
+//! * `--cycles N` — dynamic-run horizon in routing cycles (default 500).
+//! * `--seed S` — base RNG seed.
+//! * `--csv` — emit CSV instead of aligned text.
+
+use std::process::ExitCode;
+
+use fadr_bench::runner::{run_table, Algo, RunOptions};
+
+struct Args {
+    tables: Vec<usize>,
+    full: bool,
+    csv: bool,
+    opts: RunOptions,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        tables: Vec::new(),
+        full: false,
+        csv: false,
+        opts: RunOptions::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--table" => {
+                let t: usize = next("--table")?
+                    .parse()
+                    .map_err(|e| format!("--table: {e}"))?;
+                if !(1..=12).contains(&t) {
+                    return Err("--table must be 1..=12".into());
+                }
+                args.tables.push(t);
+            }
+            "--full" => args.full = true,
+            "--csv" => args.csv = true,
+            "--cap" => {
+                args.opts.queue_capacity =
+                    next("--cap")?.parse().map_err(|e| format!("--cap: {e}"))?;
+                if args.opts.queue_capacity == 0 {
+                    return Err("--cap must be at least 1".into());
+                }
+            }
+            "--cycles" => {
+                args.opts.dynamic_cycles = next("--cycles")?
+                    .parse()
+                    .map_err(|e| format!("--cycles: {e}"))?;
+            }
+            "--seed" => {
+                args.opts.seed = next("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--reps" => {
+                args.opts.reps = next("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+            }
+            "--algo" => {
+                let v = next("--algo")?;
+                args.opts.algo = Algo::parse(&v)
+                    .ok_or("--algo must be fully-adaptive | static-hang | ecube-sbp")?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--reps R] [--algo A] [--csv]"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.tables.is_empty() {
+        args.tables = (1..=12).collect();
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "# fully-adaptive hypercube routing (SPAA'91), queue capacity {}, dynamic horizon {} cycles{}",
+        args.opts.queue_capacity,
+        args.opts.dynamic_cycles,
+        if args.full { ", full n=10..14 sweep" } else { "" }
+    );
+    for &t in &args.tables {
+        let start = std::time::Instant::now();
+        let table = run_table(t, args.full, args.opts);
+        if args.csv {
+            print!("{}", table.to_csv());
+        } else {
+            println!("{}", table.to_text());
+        }
+        eprintln!("# table {t} regenerated in {:.1?}", start.elapsed());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,18 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! * [`paper`] — the reference values of Tables 1–12 as printed in the
+//!   paper, for side-by-side comparison.
+//! * [`runner`] — table specifications and the code that re-runs each
+//!   experiment on the `fadr-sim` simulator.
+//! * `bin/tables` — regenerates Tables 1–12 (`--table K`, `--all`,
+//!   `--full` for the paper's complete n = 10..14 sweep).
+//! * `bin/figures` — regenerates Figures 1–6 (QDGs as Graphviz DOT, node
+//!   designs as text).
+//! * `benches/` — one Criterion bench per table plus ablation benches
+//!   for the design choices called out in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod runner;

@@ -1,0 +1,199 @@
+//! Reference values of the paper's Tables 1–12, transcribed verbatim.
+//!
+//! Static tables (1–8) report `(n, N, L_avg, L_max)`; dynamic tables
+//! (9–12) additionally report the effective injection rate `I_r` in
+//! percent. `N` is always `2^n`.
+
+/// One row of a static table: `(n, L_avg, L_max)`.
+pub type StaticRow = (usize, f64, u64);
+
+/// One row of a dynamic table: `(n, L_avg, L_max, I_r%)`.
+pub type DynamicRow = (usize, f64, u64, u64);
+
+/// Table 1: Random Routing, 1 packet.
+pub const TABLE1: &[StaticRow] = &[
+    (10, 10.96, 19),
+    (11, 12.09, 21),
+    (12, 13.08, 25),
+    (13, 14.03, 27),
+    (14, 15.04, 29),
+];
+
+/// Table 2: Complement, 1 packet.
+pub const TABLE2: &[StaticRow] = &[
+    (10, 21.0, 21),
+    (11, 23.0, 23),
+    (12, 25.0, 25),
+    (13, 27.0, 27),
+    (14, 29.0, 29),
+];
+
+/// Table 3: Transpose, 1 packet.
+pub const TABLE3: &[StaticRow] = &[
+    (10, 11.09, 21),
+    (11, 11.09, 21),
+    (12, 13.13, 25),
+    (13, 13.13, 25),
+    (14, 15.23, 29),
+];
+
+/// Table 4: Leveled Permutation, 1 packet.
+pub const TABLE4: &[StaticRow] = &[
+    (10, 10.10, 21),
+    (11, 10.98, 21),
+    (12, 12.06, 25),
+    (13, 13.07, 25),
+    (14, 14.03, 29),
+];
+
+/// Table 5: Random Routing, n packets.
+pub const TABLE5: &[StaticRow] = &[
+    (10, 11.33, 22),
+    (11, 12.52, 25),
+    (12, 13.76, 27),
+    (13, 15.02, 30),
+    (14, 16.54, 32),
+];
+
+/// Table 6: Complement, n packets.
+pub const TABLE6: &[StaticRow] = &[
+    (10, 21.0, 21),
+    (11, 24.99, 30),
+    (12, 28.61, 35),
+    (13, 32.74, 39),
+    (14, 36.23, 44),
+];
+
+/// Table 7: Transpose, n packets.
+pub const TABLE7: &[StaticRow] = &[
+    (10, 12.27, 26),
+    (11, 12.40, 32),
+    (12, 16.01, 37),
+    (13, 16.22, 36),
+    (14, 20.49, 43),
+];
+
+/// Table 8: Leveled Permutation, n packets.
+pub const TABLE8: &[StaticRow] = &[
+    (10, 10.78, 23),
+    (11, 11.77, 25),
+    (12, 13.17, 28),
+    (13, 14.60, 32),
+    (14, 16.03, 37),
+];
+
+/// Table 9: Random Routing, λ = 1.
+pub const TABLE9: &[DynamicRow] = &[
+    (10, 12.10, 30, 93),
+    (11, 13.47, 35, 89),
+    (12, 15.01, 37, 85),
+    (13, 16.58, 44, 81),
+    (14, 18.30, 49, 76),
+];
+
+/// Table 10: Complement, λ = 1.
+pub const TABLE10: &[DynamicRow] = &[
+    (10, 33.32, 52, 55),
+    (11, 39.29, 58, 49),
+    (12, 45.60, 68, 45),
+    (13, 52.87, 79, 41),
+    (14, 60.70, 90, 38),
+];
+
+/// Table 11: Transpose, λ = 1.
+pub const TABLE11: &[DynamicRow] = &[
+    (10, 14.67, 36, 83),
+    (11, 14.67, 36, 83),
+    (12, 15.78, 49, 73),
+    (13, 20.31, 54, 71),
+    (14, 27.33, 66, 61),
+];
+
+/// Table 12: Leveled Permutation, λ = 1 (the paper also reports n = 9).
+pub const TABLE12: &[DynamicRow] = &[
+    (9, 11.28, 37, 94),
+    (10, 12.47, 43, 91),
+    (11, 13.50, 48, 89),
+    (12, 15.17, 56, 84),
+    (13, 16.91, 53, 80),
+    (14, 18.46, 57, 75),
+];
+
+/// Paper values for a static table by number (1–8).
+pub fn static_table(table: usize) -> &'static [StaticRow] {
+    match table {
+        1 => TABLE1,
+        2 => TABLE2,
+        3 => TABLE3,
+        4 => TABLE4,
+        5 => TABLE5,
+        6 => TABLE6,
+        7 => TABLE7,
+        8 => TABLE8,
+        _ => panic!("static tables are 1-8"),
+    }
+}
+
+/// Paper values for a dynamic table by number (9–12).
+pub fn dynamic_table(table: usize) -> &'static [DynamicRow] {
+    match table {
+        9 => TABLE9,
+        10 => TABLE10,
+        11 => TABLE11,
+        12 => TABLE12,
+        _ => panic!("dynamic tables are 9-12"),
+    }
+}
+
+/// Paper `(L_avg, L_max)` for a static table at dimension `n`, if listed.
+pub fn static_ref(table: usize, n: usize) -> Option<(f64, u64)> {
+    static_table(table)
+        .iter()
+        .find(|r| r.0 == n)
+        .map(|r| (r.1, r.2))
+}
+
+/// Paper `(L_avg, L_max, I_r%)` for a dynamic table at dimension `n`.
+pub fn dynamic_ref(table: usize, n: usize) -> Option<(f64, u64, u64)> {
+    dynamic_table(table)
+        .iter()
+        .find(|r| r.0 == n)
+        .map(|r| (r.1, r.2, r.3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_lookup() {
+        assert_eq!(static_ref(1, 10), Some((10.96, 19)));
+        assert_eq!(static_ref(6, 14), Some((36.23, 44)));
+        assert_eq!(static_ref(1, 9), None);
+        assert_eq!(dynamic_ref(12, 9), Some((11.28, 37, 94)));
+        assert_eq!(dynamic_ref(9, 14), Some((18.30, 49, 76)));
+    }
+
+    #[test]
+    fn complement_single_packet_is_exactly_2n_plus_1() {
+        for &(n, avg, max) in TABLE2 {
+            assert_eq!(avg, (2 * n + 1) as f64);
+            assert_eq!(max, (2 * n + 1) as u64);
+        }
+    }
+
+    #[test]
+    fn all_tables_cover_10_to_14() {
+        for t in 1..=8 {
+            let rows = static_table(t);
+            assert!(rows.iter().map(|r| r.0).eq(10..=14), "table {t}");
+        }
+        for t in 9..=11 {
+            assert!(
+                dynamic_table(t).iter().map(|r| r.0).eq(10..=14),
+                "table {t}"
+            );
+        }
+        assert!(dynamic_table(12).iter().map(|r| r.0).eq(9..=14));
+    }
+}

@@ -1,0 +1,403 @@
+//! Table specifications and experiment execution.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fadr_core::{EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang};
+use fadr_metrics::{table::fmt2, Table};
+use fadr_qdg::RoutingFunction;
+use fadr_sim::{SimConfig, Simulator};
+use fadr_workloads::{static_backlog, Pattern};
+
+use crate::paper;
+
+/// The four § 7 communication patterns, in table order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternKind {
+    /// Uniform random destinations.
+    Random,
+    /// Bitwise complement permutation.
+    Complement,
+    /// Half-address transpose permutation.
+    Transpose,
+    /// Random level-preserving permutation.
+    Leveled,
+}
+
+impl PatternKind {
+    /// Compile for an n-cube (leveled permutations are seeded).
+    pub fn compile(self, dims: usize, seed: u64) -> Pattern {
+        match self {
+            PatternKind::Random => Pattern::Random,
+            PatternKind::Complement => Pattern::complement(dims),
+            PatternKind::Transpose => Pattern::transpose(dims),
+            PatternKind::Leveled => {
+                Pattern::leveled_permutation(dims, &mut StdRng::seed_from_u64(seed))
+            }
+        }
+    }
+
+    /// Pattern name as printed in the paper's table captions.
+    pub fn label(self) -> &'static str {
+        match self {
+            PatternKind::Random => "Random Routing",
+            PatternKind::Complement => "Complement",
+            PatternKind::Transpose => "Transpose",
+            PatternKind::Leveled => "Leveled Permutation",
+        }
+    }
+}
+
+/// What a paper table runs: the pattern plus the injection model.
+#[derive(Debug, Clone, Copy)]
+pub struct TableSpec {
+    /// Table number (1–12).
+    pub number: usize,
+    /// Communication pattern.
+    pub pattern: PatternKind,
+    /// `None` = dynamic λ = 1; `Some(k)` = static with `k(n)` packets.
+    pub packets: Option<PacketsPerNode>,
+}
+
+/// Static-injection backlog depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketsPerNode {
+    /// One packet per node (Tables 1–4).
+    One,
+    /// `n = log N` packets per node (Tables 5–8).
+    LogN,
+}
+
+/// Specifications of the paper's twelve tables.
+pub const TABLES: [TableSpec; 12] = [
+    TableSpec {
+        number: 1,
+        pattern: PatternKind::Random,
+        packets: Some(PacketsPerNode::One),
+    },
+    TableSpec {
+        number: 2,
+        pattern: PatternKind::Complement,
+        packets: Some(PacketsPerNode::One),
+    },
+    TableSpec {
+        number: 3,
+        pattern: PatternKind::Transpose,
+        packets: Some(PacketsPerNode::One),
+    },
+    TableSpec {
+        number: 4,
+        pattern: PatternKind::Leveled,
+        packets: Some(PacketsPerNode::One),
+    },
+    TableSpec {
+        number: 5,
+        pattern: PatternKind::Random,
+        packets: Some(PacketsPerNode::LogN),
+    },
+    TableSpec {
+        number: 6,
+        pattern: PatternKind::Complement,
+        packets: Some(PacketsPerNode::LogN),
+    },
+    TableSpec {
+        number: 7,
+        pattern: PatternKind::Transpose,
+        packets: Some(PacketsPerNode::LogN),
+    },
+    TableSpec {
+        number: 8,
+        pattern: PatternKind::Leveled,
+        packets: Some(PacketsPerNode::LogN),
+    },
+    TableSpec {
+        number: 9,
+        pattern: PatternKind::Random,
+        packets: None,
+    },
+    TableSpec {
+        number: 10,
+        pattern: PatternKind::Complement,
+        packets: None,
+    },
+    TableSpec {
+        number: 11,
+        pattern: PatternKind::Transpose,
+        packets: None,
+    },
+    TableSpec {
+        number: 12,
+        pattern: PatternKind::Leveled,
+        packets: None,
+    },
+];
+
+/// Look up a table spec by number.
+pub fn spec(number: usize) -> TableSpec {
+    TABLES[number - 1]
+}
+
+/// Which hypercube router the harness runs (the paper's tables use the
+/// fully-adaptive § 3 algorithm; the others enable baseline tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// § 3 fully-adaptive (the paper's evaluated algorithm).
+    FullyAdaptive,
+    /// The underlying hang without dynamic links (≈ \[BGSS89\]/\[Kon90\]).
+    StaticHang,
+    /// Oblivious e-cube + structured buffer pool (\[Gun81\]/\[MS80\]).
+    EcubeSbp,
+}
+
+impl Algo {
+    /// Parse a `--algo` argument.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fully-adaptive" | "adaptive" => Some(Self::FullyAdaptive),
+            "static-hang" | "hang" => Some(Self::StaticHang),
+            "ecube-sbp" | "ecube" => Some(Self::EcubeSbp),
+            _ => None,
+        }
+    }
+}
+
+/// Harness options.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Central queue capacity (the paper states 5; see EXPERIMENTS.md for
+    /// the capacity discussion).
+    pub queue_capacity: usize,
+    /// Horizon (routing cycles) for dynamic runs.
+    pub dynamic_cycles: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Independent replications per row (averaged; L_max is the max over
+    /// replications). The paper reports single runs; default 1.
+    pub reps: u32,
+    /// Routing algorithm under test.
+    pub algo: Algo,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 5,
+            dynamic_cycles: 500,
+            seed: 0xFAD2,
+            reps: 1,
+            algo: Algo::FullyAdaptive,
+        }
+    }
+}
+
+/// Measured row of a regenerated table.
+#[derive(Debug, Clone, Copy)]
+pub struct RowResult {
+    /// Hypercube dimension.
+    pub n: usize,
+    /// Mean latency in time cycles.
+    pub l_avg: f64,
+    /// Maximum latency.
+    pub l_max: u64,
+    /// Effective injection rate (dynamic tables only).
+    pub injection_rate: Option<f64>,
+}
+
+/// Run one row (one hypercube dimension) of one table on the § 3
+/// fully-adaptive algorithm, averaging over `opts.reps` replications.
+pub fn run_row(spec: TableSpec, n: usize, opts: RunOptions) -> RowResult {
+    let reps = opts.reps.max(1);
+    let mut avg = 0.0;
+    let mut max = 0u64;
+    let mut ir_sum = 0.0;
+    let mut ir_any = false;
+    for rep in 0..reps {
+        let r = run_row_once(spec, n, opts, u64::from(rep));
+        avg += r.l_avg;
+        max = max.max(r.l_max);
+        if let Some(ir) = r.injection_rate {
+            ir_sum += ir;
+            ir_any = true;
+        }
+    }
+    RowResult {
+        n,
+        l_avg: avg / f64::from(reps),
+        l_max: max,
+        injection_rate: ir_any.then(|| ir_sum / f64::from(reps)),
+    }
+}
+
+fn run_row_once(spec: TableSpec, n: usize, opts: RunOptions, rep: u64) -> RowResult {
+    let cfg = SimConfig {
+        queue_capacity: opts.queue_capacity,
+        seed: opts.seed ^ ((spec.number as u64) << 32) ^ (rep << 16) ^ n as u64,
+        ..SimConfig::default()
+    };
+    match opts.algo {
+        Algo::FullyAdaptive => drive(Simulator::new(HypercubeFullyAdaptive::new(n), cfg), spec, n, opts, cfg.seed),
+        Algo::StaticHang => drive(Simulator::new(HypercubeStaticHang::new(n), cfg), spec, n, opts, cfg.seed),
+        Algo::EcubeSbp => drive(Simulator::new(EcubeSbp::new(n), cfg), spec, n, opts, cfg.seed),
+    }
+}
+
+fn drive<R: RoutingFunction>(
+    mut sim: Simulator<R>,
+    spec: TableSpec,
+    n: usize,
+    opts: RunOptions,
+    seed: u64,
+) -> RowResult {
+    let size = 1usize << n;
+    let pattern = spec.pattern.compile(n, seed ^ 0x1e7e1);
+    match spec.packets {
+        Some(per_node) => {
+            let k = match per_node {
+                PacketsPerNode::One => 1,
+                PacketsPerNode::LogN => n,
+            };
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xbac1);
+            let backlog = static_backlog(&pattern, size, k, &mut rng);
+            let res = sim.run_static(&backlog);
+            assert!(res.drained, "table {} n={n} failed to drain", spec.number);
+            RowResult {
+                n,
+                l_avg: res.stats.mean(),
+                l_max: res.stats.max(),
+                injection_rate: None,
+            }
+        }
+        None => {
+            let res = sim.run_dynamic(
+                1.0,
+                move |s, rng| pattern.draw(s, size, rng),
+                opts.dynamic_cycles,
+            );
+            RowResult {
+                n,
+                l_avg: res.stats.mean(),
+                l_max: res.stats.max(),
+                injection_rate: Some(res.injection_rate()),
+            }
+        }
+    }
+}
+
+/// Dimensions a table covers: the paper's full sweep or a reduced default.
+pub fn dims_for(spec: TableSpec, full: bool) -> Vec<usize> {
+    let base: Vec<usize> = if spec.number == 12 {
+        if full {
+            (9..=14).collect()
+        } else {
+            (9..=12).collect()
+        }
+    } else if full {
+        (10..=14).collect()
+    } else {
+        (10..=12).collect()
+    };
+    base
+}
+
+/// Regenerate one table, returning a rendered [`Table`] with measured and
+/// paper reference columns side by side.
+pub fn run_table(number: usize, full: bool, opts: RunOptions) -> Table {
+    let s = spec(number);
+    let injection = match s.packets {
+        Some(PacketsPerNode::One) => "1 packet".to_string(),
+        Some(PacketsPerNode::LogN) => "n packets".to_string(),
+        None => "lambda = 1".to_string(),
+    };
+    let dynamic = s.packets.is_none();
+    let headers: Vec<&str> = if dynamic {
+        vec![
+            "n",
+            "N",
+            "L_avg",
+            "L_max",
+            "I_r (%)",
+            "paper L_avg",
+            "paper L_max",
+            "paper I_r",
+        ]
+    } else {
+        vec!["n", "N", "L_avg", "L_max", "paper L_avg", "paper L_max"]
+    };
+    let mut table = Table::new(
+        format!("Table {number}: {}, {injection}", s.pattern.label()),
+        &headers,
+    );
+    for n in dims_for(s, full) {
+        let row = run_row(s, n, opts);
+        let mut cells = vec![
+            n.to_string(),
+            (1usize << n).to_string(),
+            fmt2(row.l_avg),
+            row.l_max.to_string(),
+        ];
+        if dynamic {
+            cells.push(format!("{:.0}", 100.0 * row.injection_rate.unwrap_or(0.0)));
+            if let Some((a, m, ir)) = paper::dynamic_ref(number, n) {
+                cells.extend([fmt2(a), m.to_string(), ir.to_string()]);
+            } else {
+                cells.extend(["-".into(), "-".into(), "-".into()]);
+            }
+        } else if let Some((a, m)) = paper::static_ref(number, n) {
+            cells.extend([fmt2(a), m.to_string()]);
+        } else {
+            cells.extend(["-".into(), "-".into()]);
+        }
+        table.push_row(cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_cover_all_tables() {
+        for (i, s) in TABLES.iter().enumerate() {
+            assert_eq!(s.number, i + 1);
+        }
+        assert_eq!(spec(6).pattern, PatternKind::Complement);
+        assert!(spec(9).packets.is_none());
+    }
+
+    #[test]
+    fn dims_defaults() {
+        assert_eq!(dims_for(spec(1), false), vec![10, 11, 12]);
+        assert_eq!(dims_for(spec(1), true), vec![10, 11, 12, 13, 14]);
+        assert_eq!(dims_for(spec(12), false), vec![9, 10, 11, 12]);
+    }
+
+    #[test]
+    fn run_row_static_small() {
+        // Exercise the runner on a small complement row: exact 2n+1.
+        let s = TableSpec {
+            number: 2,
+            pattern: PatternKind::Complement,
+            packets: Some(PacketsPerNode::One),
+        };
+        let r = run_row(s, 6, RunOptions::default());
+        assert_eq!(r.l_max, 13);
+        assert!((r.l_avg - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_row_dynamic_small() {
+        let s = TableSpec {
+            number: 9,
+            pattern: PatternKind::Random,
+            packets: None,
+        };
+        let opts = RunOptions {
+            dynamic_cycles: 100,
+            ..RunOptions::default()
+        };
+        let r = run_row(s, 6, opts);
+        assert!(r.injection_rate.unwrap() > 0.5);
+        assert!(r.l_avg > 0.0);
+    }
+}

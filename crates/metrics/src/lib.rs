@@ -1,0 +1,17 @@
+//! Statistics and table formatting for routing experiments.
+//!
+//! Provides the measurements the paper's § 7 reports — average latency
+//! `L_avg`, maximum latency `L_max`, and effective injection rate `I_r` —
+//! plus latency histograms/percentiles and plain-text/CSV table rendering
+//! in the style of the paper's Tables 1–12.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stats;
+pub mod table;
+pub mod timeseries;
+
+pub use stats::{Histogram, LatencyStats};
+pub use table::Table;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,218 @@
+//! Online latency statistics and histograms.
+
+/// Online accumulator for packet latencies (or any non-negative integer
+/// metric): count, mean, min/max, and an exact histogram for percentiles.
+///
+/// The histogram is indexed by value, which is appropriate here: latencies
+/// in the paper's experiments are small integers (tens to hundreds of
+/// time cycles).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    count: u64,
+    sum: u128,
+    min: Option<u64>,
+    max: Option<u64>,
+    hist: Histogram,
+}
+
+impl LatencyStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+        self.hist.record(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean (`L_avg`); 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum (`L_max`); 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max.unwrap_or(0)
+    }
+
+    /// Minimum; 0 if empty.
+    pub fn min(&self) -> u64 {
+        self.min.unwrap_or(0)
+    }
+
+    /// Smallest value `v` such that at least `p` (in `0.0..=1.0`) of the
+    /// observations are `<= v`; 0 if empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.hist.percentile(p)
+    }
+
+    /// The underlying histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.hist.merge(&other.hist);
+    }
+}
+
+/// Exact integer histogram (bucket per value).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        let i = usize::try_from(value).expect("histogram value fits usize");
+        if i >= self.buckets.len() {
+            self.buckets.resize(i + 1, 0);
+        }
+        self.buckets[i] += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations of exactly `value`.
+    pub fn count_at(&self, value: u64) -> u64 {
+        self.buckets.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest value covering fraction `p` of the mass (`p` clamped to
+    /// `0.0..=1.0`); 0 if empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = (p * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (v, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return v as u64;
+            }
+        }
+        (self.buckets.len().saturating_sub(1)) as u64
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &c) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += c;
+        }
+        self.total += other.total;
+    }
+
+    /// Non-empty `(value, count)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u64, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn basic_accumulation() {
+        let mut s = LatencyStats::new();
+        for v in [3, 5, 7, 5] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(s.min(), 3);
+        assert_eq!(s.max(), 7);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut s = LatencyStats::new();
+        for v in 1..=100 {
+            s.record(v);
+        }
+        assert_eq!(s.percentile(0.5), 50);
+        assert_eq!(s.percentile(0.99), 99);
+        assert_eq!(s.percentile(1.0), 100);
+        assert_eq!(s.percentile(0.0), 1);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyStats::new();
+        a.record(1);
+        a.record(10);
+        let mut b = LatencyStats::new();
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 10);
+        assert!((a.mean() - 16.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_iter_skips_empty_buckets() {
+        let mut h = Histogram::new();
+        h.record(2);
+        h.record(2);
+        h.record(9);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(2, 2), (9, 1)]);
+        assert_eq!(h.count_at(3), 0);
+        assert_eq!(h.total(), 3);
+    }
+}

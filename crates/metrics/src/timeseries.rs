@@ -1,0 +1,94 @@
+//! Fixed-interval time series (e.g. delivered packets per cycle window).
+
+/// Accumulates a per-window sum over a fixed window length, e.g. packets
+/// delivered per 100-cycle window, for saturation and warm-up analysis.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    window: u64,
+    sums: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// New series with the given window length (> 0).
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self { window, sums: Vec::new() }
+    }
+
+    /// Add `value` at time `t` (times may arrive in any order).
+    pub fn record(&mut self, t: u64, value: f64) {
+        let idx = usize::try_from(t / self.window).expect("time fits usize");
+        if idx >= self.sums.len() {
+            self.sums.resize(idx + 1, 0.0);
+        }
+        self.sums[idx] += value;
+    }
+
+    /// Window length.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Per-window sums, indexed by window number.
+    pub fn windows(&self) -> &[f64] {
+        &self.sums
+    }
+
+    /// Per-window averages (sum divided by window length) — e.g. a
+    /// throughput series in events per cycle.
+    pub fn rates(&self) -> Vec<f64> {
+        self.sums.iter().map(|s| s / self.window as f64).collect()
+    }
+
+    /// Mean of the last `k` window rates (steady-state estimate), or of
+    /// all windows if fewer exist.
+    pub fn steady_state_rate(&self, k: usize) -> f64 {
+        let rates = self.rates();
+        let tail = &rates[rates.len().saturating_sub(k)..];
+        if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().sum::<f64>() / tail.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_accumulate() {
+        let mut ts = TimeSeries::new(10);
+        ts.record(0, 1.0);
+        ts.record(9, 2.0);
+        ts.record(10, 5.0);
+        ts.record(35, 1.0);
+        assert_eq!(ts.windows(), &[3.0, 5.0, 0.0, 1.0]);
+        assert_eq!(ts.rates(), vec![0.3, 0.5, 0.0, 0.1]);
+    }
+
+    #[test]
+    fn steady_state_uses_tail() {
+        let mut ts = TimeSeries::new(1);
+        for t in 0..10 {
+            ts.record(t, if t < 5 { 0.0 } else { 2.0 });
+        }
+        assert_eq!(ts.steady_state_rate(5), 2.0);
+        assert_eq!(ts.steady_state_rate(100), 1.0); // all windows
+    }
+
+    #[test]
+    fn out_of_order_times() {
+        let mut ts = TimeSeries::new(4);
+        ts.record(9, 1.0);
+        ts.record(1, 1.0);
+        assert_eq!(ts.windows(), &[1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = TimeSeries::new(0);
+    }
+}

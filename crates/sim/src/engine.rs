@@ -1,0 +1,624 @@
+//! The simulation engine: packet slab, queue state, and the three-step
+//! routing cycle (fill, link, read).
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fadr_metrics::{LatencyStats, TimeSeries};
+use fadr_qdg::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction};
+use fadr_topology::NodeId;
+
+use crate::layout::{Layout, NONE};
+use crate::{FillOrder, SimConfig};
+
+/// One possible move of a queued packet: an output buffer (or `NONE` for
+/// an internal stutter), the central-queue class on arrival, and the
+/// routing state after the hop.
+struct MoveOpt<M> {
+    buf: u32,
+    to_class: u8,
+    next: M,
+}
+
+struct Packet<M> {
+    src: u32,
+    dst: u32,
+    /// Link hops taken so far (for the minimality check).
+    hops: u16,
+    inject_cycle: u64,
+    /// Cycle the packet entered its current central queue; FIFO priority
+    /// *across* a node's queues is by this timestamp (§ 7.1's "taking
+    /// messages from the queues in FIFO order" — without it, phase-A
+    /// traffic starves phase-B traffic on shared buffers under
+    /// saturation).
+    enqueued_at: u64,
+    /// Cycle of the packet's last move (enforces one move per cycle).
+    moved_at: u64,
+    /// Set while the packet sits in an output/input buffer, pending
+    /// removal from its queue after the fill pass.
+    staged: bool,
+    /// Routing state; updated to the post-hop state when staged.
+    msg: M,
+    /// Central-queue class on arrival (valid while staged).
+    next_class: u8,
+    /// Cached moves for the current queue residence.
+    options: Vec<MoveOpt<M>>,
+}
+
+/// Result of a static-injection run (§ 7, Tables 1–8).
+#[derive(Debug, Clone)]
+pub struct StaticResult {
+    /// Latency statistics over all delivered packets (in time cycles,
+    /// `2 · routing cycles + 1`).
+    pub stats: LatencyStats,
+    /// Routing cycles executed.
+    pub cycles: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets that were to be injected.
+    pub total: u64,
+    /// Whether the network fully drained (always true for a deadlock-free
+    /// algorithm within the cycle cap).
+    pub drained: bool,
+}
+
+/// Result of a dynamic-injection run (§ 7, Tables 9–12).
+#[derive(Debug, Clone)]
+pub struct DynamicResult {
+    /// Latency statistics over packets delivered during the run.
+    pub stats: LatencyStats,
+    /// Injection attempts (each node, each cycle, with probability λ).
+    pub attempts: u64,
+    /// Successful injections (attempts finding the injection buffer free).
+    pub injected: u64,
+    /// Packets delivered within the horizon.
+    pub delivered: u64,
+    /// Routing cycles executed.
+    pub cycles: u64,
+}
+
+/// Per-central-queue occupancy statistics, sampled once per routing
+/// cycle when [`crate::SimConfig::track_occupancy`] is set. Queues are
+/// indexed `node * num_classes + class`.
+#[derive(Debug, Clone, Default)]
+pub struct OccupancyProbe {
+    /// Peak occupancy per queue.
+    pub max: Vec<u16>,
+    /// Sum of sampled occupancies per queue (mean = sum / samples).
+    pub sum: Vec<u64>,
+    /// Number of samples taken.
+    pub samples: u64,
+}
+
+impl OccupancyProbe {
+    /// Mean occupancy of queue `(node, class)` over the run.
+    pub fn mean(&self, node: usize, num_classes: usize, class: usize) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.sum[node * num_classes + class] as f64 / self.samples as f64
+    }
+
+    /// Peak occupancy of queue `(node, class)`.
+    pub fn peak(&self, node: usize, num_classes: usize, class: usize) -> u16 {
+        self.max[node * num_classes + class]
+    }
+}
+
+impl DynamicResult {
+    /// The paper's effective injection rate `I_r` (successes / attempts).
+    pub fn injection_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.injected as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// The packet-routing simulator; see the crate docs for the model.
+pub struct Simulator<R: RoutingFunction> {
+    rf: R,
+    cfg: SimConfig,
+    layout: Layout,
+    num_classes: usize,
+    /// Central queues, indexed `node * num_classes + class`.
+    queues: Vec<VecDeque<u32>>,
+    /// Queued packets per node (fill-phase skip list).
+    queued_count: Vec<u32>,
+    outbuf: Vec<u32>,
+    inbuf: Vec<u32>,
+    /// Occupied input buffers per node (read-phase skip list).
+    in_occupied: Vec<u32>,
+    /// Round-robin pointer per channel (link-phase fairness).
+    chan_rr: Vec<u8>,
+    /// Injection buffer per node (`NONE` = empty).
+    inj_buf: Vec<u32>,
+    packets: Vec<Packet<R::Msg>>,
+    free: Vec<u32>,
+    rng: StdRng,
+    cycle: u64,
+    stats: LatencyStats,
+    delivered: u64,
+    occupancy: OccupancyProbe,
+    minimality_violations: u64,
+    throughput: Option<TimeSeries>,
+    // Scratch (reused across nodes/cycles).
+    wanting: Vec<Vec<u32>>,
+    stutters: Vec<u32>,
+    fifo: Vec<u32>,
+}
+
+impl<R: RoutingFunction> Simulator<R> {
+    /// Build a simulator for `rf` with the given configuration.
+    pub fn new(rf: R, cfg: SimConfig) -> Self {
+        assert!(cfg.queue_capacity >= 1, "central queues need capacity >= 1");
+        let layout = Layout::new(&rf);
+        let n = layout.num_nodes;
+        let num_classes = rf.num_classes();
+        let max_out = layout.node_out_bufs.iter().map(Vec::len).max().unwrap_or(0);
+        Self {
+            cfg,
+            num_classes,
+            queues: vec![VecDeque::new(); n * num_classes],
+            queued_count: vec![0; n],
+            outbuf: vec![NONE; layout.num_buffers()],
+            inbuf: vec![NONE; layout.num_buffers()],
+            in_occupied: vec![0; n],
+            chan_rr: vec![0; layout.num_channels()],
+            inj_buf: vec![NONE; n],
+            packets: Vec::new(),
+            free: Vec::new(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cycle: 0,
+            stats: LatencyStats::new(),
+            delivered: 0,
+            occupancy: OccupancyProbe::default(),
+            minimality_violations: 0,
+            throughput: (cfg.throughput_window > 0).then(|| TimeSeries::new(cfg.throughput_window)),
+            wanting: vec![Vec::new(); max_out],
+            stutters: Vec::new(),
+            fifo: Vec::new(),
+            layout,
+            rf,
+        }
+    }
+
+    /// Occupancy statistics of the last run (empty unless
+    /// [`crate::SimConfig::track_occupancy`] was set).
+    pub fn occupancy(&self) -> &OccupancyProbe {
+        &self.occupancy
+    }
+
+    /// Packets delivered with a hop count different from the topology
+    /// distance (0 for a correct minimal algorithm; only counted when
+    /// [`crate::SimConfig::check_minimality`] is set).
+    pub fn minimality_violations(&self) -> u64 {
+        self.minimality_violations
+    }
+
+    /// Delivered-packets time series of the last run, if
+    /// [`crate::SimConfig::throughput_window`] was non-zero.
+    pub fn throughput(&self) -> Option<&TimeSeries> {
+        self.throughput.as_ref()
+    }
+
+    /// The routing function under simulation.
+    pub fn routing(&self) -> &R {
+        &self.rf
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.layout.num_nodes
+    }
+
+    fn reset(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.queued_count.fill(0);
+        self.outbuf.fill(NONE);
+        self.inbuf.fill(NONE);
+        self.in_occupied.fill(0);
+        self.chan_rr.fill(0);
+        self.inj_buf.fill(NONE);
+        self.packets.clear();
+        self.free.clear();
+        self.rng = StdRng::seed_from_u64(self.cfg.seed);
+        self.cycle = 0;
+        self.stats = LatencyStats::new();
+        self.delivered = 0;
+        self.occupancy = OccupancyProbe::default();
+        self.minimality_violations = 0;
+        self.throughput =
+            (self.cfg.throughput_window > 0).then(|| TimeSeries::new(self.cfg.throughput_window));
+        if self.cfg.track_occupancy {
+            self.occupancy.max = vec![0; self.queues.len()];
+            self.occupancy.sum = vec![0; self.queues.len()];
+        }
+    }
+
+    /// Run a static-injection experiment: node `v` injects the packets of
+    /// `backlog[v]` (in order) as fast as its injection buffer frees up,
+    /// and the run ends when the network drains.
+    pub fn run_static(&mut self, backlog: &[Vec<NodeId>]) -> StaticResult {
+        assert_eq!(backlog.len(), self.num_nodes());
+        self.reset();
+        let mut next_idx = vec![0usize; backlog.len()];
+        let total: u64 = backlog.iter().map(|b| b.len() as u64).sum();
+        while self.delivered < total && self.cycle < self.cfg.max_cycles {
+            for v in 0..backlog.len() {
+                if self.inj_buf[v] == NONE && next_idx[v] < backlog[v].len() {
+                    let dst = backlog[v][next_idx[v]];
+                    next_idx[v] += 1;
+                    self.inj_buf[v] = self.alloc_packet(v, dst);
+                }
+            }
+            self.step();
+        }
+        StaticResult {
+            stats: self.stats.clone(),
+            cycles: self.cycle,
+            delivered: self.delivered,
+            total,
+            drained: self.delivered == total,
+        }
+    }
+
+    /// Run a dynamic-injection experiment for `cycles` routing cycles:
+    /// each node attempts an injection each cycle with probability
+    /// `lambda`, drawing destinations from `dest`.
+    pub fn run_dynamic(
+        &mut self,
+        lambda: f64,
+        mut dest: impl FnMut(NodeId, &mut StdRng) -> NodeId,
+        cycles: u64,
+    ) -> DynamicResult {
+        assert!((0.0..=1.0).contains(&lambda));
+        self.reset();
+        let mut attempts = 0u64;
+        let mut injected = 0u64;
+        for _ in 0..cycles {
+            for v in 0..self.num_nodes() {
+                if lambda < 1.0 && !self.rng.gen_bool(lambda) {
+                    continue;
+                }
+                attempts += 1;
+                if self.inj_buf[v] == NONE {
+                    let dst = dest(v, &mut self.rng);
+                    self.inj_buf[v] = self.alloc_packet(v, dst);
+                    injected += 1;
+                }
+            }
+            self.step();
+        }
+        DynamicResult {
+            stats: self.stats.clone(),
+            attempts,
+            injected,
+            delivered: self.delivered,
+            cycles: self.cycle,
+        }
+    }
+
+    fn alloc_packet(&mut self, src: NodeId, dst: NodeId) -> u32 {
+        let msg = self.rf.initial_msg(src, dst);
+        let pkt = Packet {
+            src: src as u32,
+            dst: dst as u32,
+            hops: 0,
+            inject_cycle: self.cycle,
+            enqueued_at: self.cycle,
+            moved_at: u64::MAX,
+            staged: false,
+            msg,
+            next_class: 0,
+            options: Vec::new(),
+        };
+        if let Some(i) = self.free.pop() {
+            self.packets[i as usize] = pkt;
+            i
+        } else {
+            self.packets.push(pkt);
+            (self.packets.len() - 1) as u32
+        }
+    }
+
+    /// One routing cycle: node fill, link, node read.
+    fn step(&mut self) {
+        self.fill_phase();
+        self.link_phase();
+        self.read_phase();
+        if self.cfg.track_occupancy {
+            for (i, q) in self.queues.iter().enumerate() {
+                let len = q.len() as u16;
+                self.occupancy.max[i] = self.occupancy.max[i].max(len);
+                self.occupancy.sum[i] += u64::from(len);
+            }
+            self.occupancy.samples += 1;
+        }
+        self.cycle += 1;
+    }
+
+    /// Node cycle, part 1 (§ 7.1): "each node fills its output buffers
+    /// from low to high dimensions, taking messages from the queues in
+    /// FIFO order."
+    fn fill_phase(&mut self) {
+        for node in 0..self.layout.num_nodes {
+            if self.queued_count[node] == 0 {
+                continue;
+            }
+            let n_out = self.layout.node_out_bufs[node].len();
+            // Build per-buffer "wanting" lists in FIFO-across-queues order
+            // (arrival timestamp, ties broken by class then queue position).
+            for w in self.wanting.iter_mut().take(n_out) {
+                w.clear();
+            }
+            self.stutters.clear();
+            self.fifo.clear();
+            for class in 0..self.num_classes {
+                self.fifo
+                    .extend(self.queues[node * self.num_classes + class].iter().copied());
+            }
+            // Stable, allocation-free insertion sort: the scratch is small
+            // (<= classes x capacity) and already nearly sorted, since
+            // older packets sit at the front of each queue.
+            let packets = &self.packets;
+            for i in 1..self.fifo.len() {
+                let mut j = i;
+                while j > 0
+                    && packets[self.fifo[j - 1] as usize].enqueued_at
+                        > packets[self.fifo[j] as usize].enqueued_at
+                {
+                    self.fifo.swap(j - 1, j);
+                    j -= 1;
+                }
+            }
+            for &p in &self.fifo {
+                let pkt = &self.packets[p as usize];
+                for opt in &pkt.options {
+                    if opt.buf == NONE {
+                        self.stutters.push(p);
+                    } else {
+                        let pos = self.layout.buf_out_pos[opt.buf as usize] as usize;
+                        self.wanting[pos].push(p);
+                    }
+                }
+            }
+            // Buffer-major assignment in the configured fill order.
+            let start = match self.cfg.fill_order {
+                FillOrder::LowToHigh | FillOrder::HighToLow => 0,
+                FillOrder::Rotating => (self.cycle as usize) % n_out.max(1),
+            };
+            for i in 0..n_out {
+                let pos = match self.cfg.fill_order {
+                    FillOrder::LowToHigh => i,
+                    FillOrder::HighToLow => n_out - 1 - i,
+                    FillOrder::Rotating => (start + i) % n_out,
+                };
+                let buf = self.layout.node_out_bufs[node][pos] as usize;
+                if self.outbuf[buf] != NONE {
+                    continue;
+                }
+                let Some(&p) = self.wanting[pos]
+                    .iter()
+                    .find(|&&p| self.packets[p as usize].moved_at != self.cycle)
+                else {
+                    continue;
+                };
+                let pkt = &mut self.packets[p as usize];
+                let opt = pkt
+                    .options
+                    .iter()
+                    .find(|o| o.buf as usize == buf)
+                    .expect("wanting list entry has the option");
+                pkt.msg = opt.next.clone();
+                pkt.next_class = opt.to_class;
+                pkt.moved_at = self.cycle;
+                pkt.staged = true;
+                self.outbuf[buf] = p;
+            }
+            // Remove staged packets from their queues (order preserved).
+            let mut removed = 0u32;
+            for class in 0..self.num_classes {
+                let q = &mut self.queues[node * self.num_classes + class];
+                if q.is_empty() {
+                    continue;
+                }
+                let packets = &mut self.packets;
+                q.retain(|&p| {
+                    let pkt = &mut packets[p as usize];
+                    if pkt.staged {
+                        pkt.staged = false;
+                        removed += 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            self.queued_count[node] -= removed;
+            // Internal stutters (e.g. the shuffle-exchange's degenerate
+            // one-node cycles): advance state in place, costing one cycle.
+            for i in 0..self.stutters.len() {
+                let p = self.stutters[i];
+                let pkt = &mut self.packets[p as usize];
+                if pkt.moved_at == self.cycle {
+                    continue;
+                }
+                let opt = pkt
+                    .options
+                    .iter()
+                    .find(|o| o.buf == NONE)
+                    .expect("stutter option");
+                let (next, class) = (opt.next.clone(), opt.to_class);
+                pkt.msg = next;
+                pkt.moved_at = self.cycle;
+                pkt.enqueued_at = self.cycle;
+                self.compute_options(p, node, class);
+            }
+        }
+    }
+
+    /// Link cycle (§ 7.1): each directed channel forwards at most one
+    /// packet per cycle, round-robin over its traffic-class buffers, and
+    /// only into an empty input buffer on the far side.
+    fn link_phase(&mut self) {
+        for chan in 0..self.layout.num_channels() {
+            let start = self.layout.chan_buf_start[chan] as usize;
+            let len = self.layout.chan_buf_len[chan] as usize;
+            let rr = self.chan_rr[chan] as usize;
+            for i in 0..len {
+                let b = start + (rr + i) % len;
+                if self.outbuf[b] != NONE && self.inbuf[b] == NONE {
+                    self.inbuf[b] = self.outbuf[b];
+                    self.packets[self.outbuf[b] as usize].hops += 1;
+                    self.outbuf[b] = NONE;
+                    self.in_occupied[self.layout.chan_to[chan] as usize] += 1;
+                    self.chan_rr[chan] = ((rr + i + 1) % len) as u8;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Node cycle, part 2 (§ 7.1): "the node reads its input buffers and
+    /// its injection buffer and moves their messages to the required
+    /// queues, if there is place to do so … in a fair way."
+    fn read_phase(&mut self) {
+        for node in 0..self.layout.num_nodes {
+            if self.in_occupied[node] == 0 && self.inj_buf[node] == NONE {
+                continue;
+            }
+            let n_in = self.layout.node_in_bufs[node].len();
+            let slots = n_in + 1; // input buffers plus the injection buffer
+            let start = (self.cycle as usize) % slots;
+            for i in 0..slots {
+                let slot = (start + i) % slots;
+                if slot < n_in {
+                    let b = self.layout.node_in_bufs[node][slot] as usize;
+                    let p = self.inbuf[b];
+                    if p == NONE {
+                        continue;
+                    }
+                    if self.accept_arrival(node, p) {
+                        self.inbuf[b] = NONE;
+                        self.in_occupied[node] -= 1;
+                    }
+                } else if self.inj_buf[node] != NONE {
+                    let p = self.inj_buf[node];
+                    if self.accept_injection(node, p) {
+                        self.inj_buf[node] = NONE;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Move an arriving packet into its target queue (or deliver it);
+    /// returns false if the queue is full and the packet must wait.
+    fn accept_arrival(&mut self, node: usize, p: u32) -> bool {
+        let pkt = &self.packets[p as usize];
+        if self.rf.deliverable(node, &pkt.msg) {
+            debug_assert_eq!(pkt.dst as usize, node);
+            self.deliver(p);
+            return true;
+        }
+        let class = usize::from(pkt.next_class);
+        let q = node * self.num_classes + class;
+        if self.queues[q].len() >= self.cfg.queue_capacity {
+            return false;
+        }
+        self.packets[p as usize].enqueued_at = self.cycle;
+        self.queues[q].push_back(p);
+        self.queued_count[node] += 1;
+        self.compute_options(p, node, class as u8);
+        true
+    }
+
+    /// Move a freshly injected packet into its entry queue (or deliver a
+    /// self-addressed packet locally).
+    fn accept_injection(&mut self, node: usize, p: u32) -> bool {
+        if self.packets[p as usize].dst as usize == node {
+            self.deliver(p);
+            return true;
+        }
+        // The injection queue's single (internal, static) transition.
+        let msg = self.packets[p as usize].msg.clone();
+        let mut entry: Option<u8> = None;
+        self.rf
+            .for_each_transition(QueueId::inject(node), &msg, &mut |t| {
+                debug_assert_eq!(t.hop, HopKind::Internal);
+                if let QueueKind::Central(c) = t.to.kind {
+                    entry = Some(c);
+                }
+            });
+        let class = usize::from(entry.expect("injection transition exists"));
+        let q = node * self.num_classes + class;
+        if self.queues[q].len() >= self.cfg.queue_capacity {
+            return false;
+        }
+        self.packets[p as usize].enqueued_at = self.cycle;
+        self.queues[q].push_back(p);
+        self.queued_count[node] += 1;
+        self.compute_options(p, node, class as u8);
+        true
+    }
+
+    fn deliver(&mut self, p: u32) {
+        let pkt = &self.packets[p as usize];
+        let latency = 2 * (self.cycle - pkt.inject_cycle) + 1;
+        if self.cfg.check_minimality {
+            let d = self.rf.topology().distance(pkt.src as usize, pkt.dst as usize);
+            if usize::from(pkt.hops) != d {
+                self.minimality_violations += 1;
+            }
+        }
+        self.stats.record(latency);
+        if let Some(ts) = &mut self.throughput {
+            ts.record(self.cycle, 1.0);
+        }
+        self.delivered += 1;
+        self.free.push(p);
+    }
+
+    /// Cache the moves available to packet `p` for its residence in
+    /// central queue `class` of `node`.
+    fn compute_options(&mut self, p: u32, node: usize, class: u8) {
+        let mut opts = std::mem::take(&mut self.packets[p as usize].options);
+        opts.clear();
+        let msg = self.packets[p as usize].msg.clone();
+        let layout = &self.layout;
+        self.rf
+            .for_each_transition(QueueId::central(node, class), &msg, &mut |t| match t.hop {
+                HopKind::Link(port) => {
+                    let (bc, to_class) = match (t.kind, t.to.kind) {
+                        (LinkKind::Static, QueueKind::Central(c)) => (BufferClass::Static(c), c),
+                        (LinkKind::Dynamic, QueueKind::Central(c)) => (BufferClass::Dynamic, c),
+                        _ => unreachable!("link hops target central queues"),
+                    };
+                    opts.push(MoveOpt {
+                        buf: layout.buffer(node, port, bc),
+                        to_class,
+                        next: t.msg,
+                    });
+                }
+                HopKind::Internal => match t.to.kind {
+                    QueueKind::Central(c) => {
+                        debug_assert_eq!(t.to.node, node, "internal stutter stays at the node");
+                        opts.push(MoveOpt {
+                            buf: NONE,
+                            to_class: c,
+                            next: t.msg,
+                        });
+                    }
+                    _ => unreachable!("queued packets are never at their destination"),
+                },
+            });
+        debug_assert!(!opts.is_empty(), "queued packet with no moves (dead end)");
+        self.packets[p as usize].options = opts;
+    }
+}

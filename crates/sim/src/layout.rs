@@ -1,0 +1,180 @@
+//! Flat channel/buffer layout derived from a routing function's topology
+//! and per-channel buffer-class declarations (§ 6).
+
+use fadr_qdg::{BufferClass, RoutingFunction};
+
+/// Sentinel for "no channel" / "empty buffer slot".
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// Dense indexing of directed channels and their traffic-class buffers.
+///
+/// A *channel* is a directed `(node, port)` edge with at least one buffer
+/// class; each of its classes owns one output-buffer slot (at the source
+/// node) and one input-buffer slot (at the target node), which the engine
+/// stores in two flat arrays indexed by the same *buffer id*.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// `max_ports` of the topology.
+    pub max_ports: usize,
+    /// `(node * max_ports + port) -> channel id` (or `NONE`).
+    pub chan_of: Vec<u32>,
+    /// Channel id → target node.
+    pub chan_to: Vec<u32>,
+    /// Channel id → first buffer id.
+    pub chan_buf_start: Vec<u32>,
+    /// Channel id → number of buffer classes.
+    pub chan_buf_len: Vec<u8>,
+    /// Buffer id → traffic class.
+    pub buf_class: Vec<BufferClass>,
+    /// Per node: its output-buffer ids in fill order
+    /// (port ascending, classes in declared order).
+    pub node_out_bufs: Vec<Vec<u32>>,
+    /// Per node: incoming buffer ids (input buffers located at this node).
+    pub node_in_bufs: Vec<Vec<u32>>,
+    /// Buffer id → position within its source node's `node_out_bufs`.
+    pub buf_out_pos: Vec<u32>,
+}
+
+impl Layout {
+    /// Build the layout for a routing function.
+    pub fn new<R: RoutingFunction + ?Sized>(rf: &R) -> Self {
+        let topo = rf.topology();
+        let n = topo.num_nodes();
+        let mp = topo.max_ports();
+        let mut layout = Layout {
+            num_nodes: n,
+            max_ports: mp,
+            chan_of: vec![NONE; n * mp],
+            chan_to: Vec::new(),
+            chan_buf_start: Vec::new(),
+            chan_buf_len: Vec::new(),
+            buf_class: Vec::new(),
+            node_out_bufs: vec![Vec::new(); n],
+            node_in_bufs: vec![Vec::new(); n],
+            buf_out_pos: Vec::new(),
+        };
+        for node in 0..n {
+            for port in 0..mp {
+                let Some(to) = topo.neighbor(node, port) else {
+                    continue;
+                };
+                let classes = rf.buffer_classes(node, port);
+                if classes.is_empty() {
+                    continue;
+                }
+                let chan = layout.chan_to.len() as u32;
+                layout.chan_of[node * mp + port] = chan;
+                layout.chan_to.push(to as u32);
+                layout.chan_buf_start.push(layout.buf_class.len() as u32);
+                layout
+                    .chan_buf_len
+                    .push(u8::try_from(classes.len()).expect("few classes"));
+                for class in classes {
+                    let buf = layout.buf_class.len() as u32;
+                    layout.buf_class.push(class);
+                    layout
+                        .buf_out_pos
+                        .push(layout.node_out_bufs[node].len() as u32);
+                    layout.node_out_bufs[node].push(buf);
+                    layout.node_in_bufs[to].push(buf);
+                }
+            }
+        }
+        layout
+    }
+
+    /// Total buffer count.
+    pub fn num_buffers(&self) -> usize {
+        self.buf_class.len()
+    }
+
+    /// Total channel count.
+    pub fn num_channels(&self) -> usize {
+        self.chan_to.len()
+    }
+
+    /// Channel id of `(node, port)`, if it exists.
+    #[inline]
+    pub fn chan(&self, node: usize, port: usize) -> Option<u32> {
+        let c = self.chan_of[node * self.max_ports + port];
+        (c != NONE).then_some(c)
+    }
+
+    /// Buffer id for `(node, port)` and traffic class `class`.
+    ///
+    /// Panics if the channel or class is not declared — the model checker
+    /// (`fadr_qdg::verify::verify_structure`) guarantees declared classes
+    /// cover every transition.
+    #[inline]
+    pub fn buffer(&self, node: usize, port: usize, class: BufferClass) -> u32 {
+        let chan = self.chan_of[node * self.max_ports + port];
+        debug_assert_ne!(chan, NONE, "no channel at ({node}, {port})");
+        let start = self.chan_buf_start[chan as usize] as usize;
+        let len = self.chan_buf_len[chan as usize] as usize;
+        for (i, &c) in self.buf_class[start..start + len].iter().enumerate() {
+            if c == class {
+                return (start + i) as u32;
+            }
+        }
+        panic!("buffer class {class:?} not declared on ({node}, {port})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fadr_core::HypercubeFullyAdaptive;
+
+    #[test]
+    fn hypercube_layout_counts() {
+        let rf = HypercubeFullyAdaptive::new(3);
+        let l = Layout::new(&rf);
+        assert_eq!(l.num_nodes, 8);
+        // Every directed edge is a channel: 3 * 8 = 24.
+        assert_eq!(l.num_channels(), 24);
+        // Two buffer classes per channel (up: A+B static; down: B + dyn).
+        assert_eq!(l.num_buffers(), 48);
+        // Each node: 3 out-channels x 2 classes, and same incoming.
+        for v in 0..8 {
+            assert_eq!(l.node_out_bufs[v].len(), 6);
+            assert_eq!(l.node_in_bufs[v].len(), 6);
+        }
+    }
+
+    #[test]
+    fn buffer_resolution_matches_declared_classes() {
+        use fadr_qdg::BufferClass::{Dynamic, Static};
+        let rf = HypercubeFullyAdaptive::new(3);
+        let l = Layout::new(&rf);
+        // Node 0, port 1 is an upward channel: Static(0) and Static(1).
+        let b0 = l.buffer(0, 1, Static(0));
+        let b1 = l.buffer(0, 1, Static(1));
+        assert_ne!(b0, b1);
+        // Node 7, port 0 is downward: Static(1) and Dynamic.
+        let _ = l.buffer(7, 0, Static(1));
+        let _ = l.buffer(7, 0, Dynamic);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn undeclared_class_panics() {
+        use fadr_qdg::BufferClass::Static;
+        let rf = HypercubeFullyAdaptive::new(3);
+        let l = Layout::new(&rf);
+        // Downward channel has no Static(0).
+        let _ = l.buffer(7, 0, Static(0));
+    }
+
+    #[test]
+    fn out_positions_invert_out_lists() {
+        let rf = HypercubeFullyAdaptive::new(4);
+        let l = Layout::new(&rf);
+        for v in 0..l.num_nodes {
+            for (pos, &b) in l.node_out_bufs[v].iter().enumerate() {
+                assert_eq!(l.buf_out_pos[b as usize] as usize, pos);
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Textual rendering of the § 6 node designs (the paper's Figures 4–6).
+//!
+//! For a routing function and a node, lists the node's queues and, per
+//! physical channel, the input/output buffers of each traffic class —
+//! the same information Figures 4 ("Node 0101 of the 4-Hypercube"),
+//! 5 ("The node for the Mesh"), and 6 ("The node for the
+//! Shuffle-Exchange") convey graphically.
+
+use std::fmt::Write as _;
+
+use fadr_qdg::{BufferClass, RoutingFunction};
+use fadr_topology::NodeId;
+
+/// Render the § 6 design of `node` under `rf` as text.
+pub fn describe_node<R: RoutingFunction + ?Sized>(
+    rf: &R,
+    node: NodeId,
+    queue_capacity: usize,
+) -> String {
+    let topo = rf.topology();
+    let mut out = String::new();
+    let _ = writeln!(out, "Node {} of {}", node, rf.name());
+    let _ = writeln!(
+        out,
+        "  injection queue (size 1), delivery queue (unbounded)"
+    );
+    for c in 0..rf.num_classes() {
+        let _ = writeln!(out, "  central queue q{c} (size {queue_capacity})");
+    }
+    for port in 0..topo.max_ports() {
+        if let Some(to) = topo.neighbor(node, port) {
+            let classes = rf.buffer_classes(node, port);
+            if !classes.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  out port {port} -> node {to}: output buffers {}",
+                    fmt_classes(&classes)
+                );
+            }
+        }
+    }
+    // Input buffers: every channel of a neighbor pointing back here.
+    for from in 0..topo.num_nodes() {
+        for port in 0..topo.max_ports() {
+            if topo.neighbor(from, port) == Some(node) && from != node {
+                let classes = rf.buffer_classes(from, port);
+                if !classes.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "  in  port {port} <- node {from}: input buffers {}",
+                        fmt_classes(&classes)
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+fn fmt_classes(classes: &[BufferClass]) -> String {
+    let parts: Vec<String> = classes
+        .iter()
+        .map(|c| match c {
+            BufferClass::Static(q) => format!("static->q{q}"),
+            BufferClass::Dynamic => "dynamic".to_string(),
+        })
+        .collect();
+    format!("[{}]", parts.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fadr_core::HypercubeFullyAdaptive;
+
+    #[test]
+    fn figure4_node_0101_of_the_4_cube() {
+        let rf = HypercubeFullyAdaptive::new(4);
+        let s = describe_node(&rf, 0b0101, 5);
+        assert!(s.contains("Node 5 of hypercube-fully-adaptive(n=4)"));
+        assert!(s.contains("central queue q0 (size 5)"));
+        assert!(s.contains("central queue q1 (size 5)"));
+        // Port 0 of 0101 is a downward channel (bit 0 set): B-static + dynamic.
+        assert!(s.contains("out port 0 -> node 4: output buffers [static->q1, dynamic]"));
+        // Port 1 is upward: A- and B-static.
+        assert!(s.contains("out port 1 -> node 7: output buffers [static->q0, static->q1]"));
+        // Symmetric incoming buffers exist.
+        assert!(s.contains("in  port 1 <- node 7"));
+    }
+}

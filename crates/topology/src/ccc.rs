@@ -1,0 +1,140 @@
+//! The cube-connected-cycles network.
+
+use crate::{NodeId, Port, Topology};
+
+/// Port index of the "previous in cycle" link (`pos - 1 mod n`).
+pub const PORT_PREV: Port = 0;
+/// Port index of the "next in cycle" link (`pos + 1 mod n`).
+pub const PORT_NEXT: Port = 1;
+/// Port index of the hypercube (lateral) link across dimension `pos`.
+pub const PORT_CUBE: Port = 2;
+
+/// The cube-connected cycles CCC(n): each node of the n-cube is replaced
+/// by a cycle of n nodes, and the cycle node at position `p` of cube
+/// vertex `x` carries `x`'s dimension-`p` hypercube link.
+///
+/// Nodes are addressed `(x, p)` with `x < 2^n`, `p < n`, and id
+/// `x * n + p`. Ports: [`PORT_PREV`], [`PORT_NEXT`] along the cycle, and
+/// [`PORT_CUBE`] to `(x ^ 2^p, p)`. All links are bidirectional; every
+/// node has degree 3 (for `n >= 3`).
+///
+/// The paper's § 1 lists cube-connected cycles among the networks its
+/// DAG methodology covers (via \[PFGS91\]); here the CCC backs the
+/// generic structured-buffer-pool router and the graph utilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CubeConnectedCycles {
+    dims: usize,
+}
+
+impl CubeConnectedCycles {
+    /// CCC over the n-cube (`n * 2^n` nodes). Panics unless `3 <= n <= 20`.
+    pub fn new(dims: usize) -> Self {
+        assert!((3..=20).contains(&dims), "CCC dims must be 3..=20");
+        Self { dims }
+    }
+
+    /// Cube dimension n.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// `(cube_vertex, cycle_position)` of a node id.
+    #[inline]
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        (node / self.dims, node % self.dims)
+    }
+
+    /// Node id of `(cube_vertex, cycle_position)`.
+    #[inline]
+    pub fn node_at(&self, x: usize, p: usize) -> NodeId {
+        debug_assert!(x < (1 << self.dims) && p < self.dims);
+        x * self.dims + p
+    }
+}
+
+impl Topology for CubeConnectedCycles {
+    fn num_nodes(&self) -> usize {
+        self.dims * (1 << self.dims)
+    }
+
+    fn max_ports(&self) -> usize {
+        3
+    }
+
+    fn neighbor(&self, node: NodeId, port: Port) -> Option<NodeId> {
+        let (x, p) = self.coords(node);
+        match port {
+            PORT_PREV => Some(self.node_at(x, (p + self.dims - 1) % self.dims)),
+            PORT_NEXT => Some(self.node_at(x, (p + 1) % self.dims)),
+            PORT_CUBE => Some(self.node_at(x ^ (1 << p), p)),
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("ccc(n={})", self.dims)
+    }
+
+    fn degree(&self, _node: NodeId) -> usize {
+        3
+    }
+
+    fn reverse_port(&self, _node: NodeId, port: Port) -> Option<Port> {
+        match port {
+            PORT_PREV => Some(PORT_NEXT),
+            PORT_NEXT => Some(PORT_PREV),
+            PORT_CUBE => Some(PORT_CUBE),
+            _ => None,
+        }
+    }
+
+    fn as_dyn(&self) -> &dyn Topology {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph;
+
+    #[test]
+    fn shape() {
+        let c = CubeConnectedCycles::new(3);
+        assert_eq!(c.num_nodes(), 24);
+        assert_eq!(c.degree(0), 3);
+        let v = c.node_at(0b101, 1);
+        assert_eq!(c.coords(v), (0b101, 1));
+        assert_eq!(c.neighbor(v, PORT_CUBE), Some(c.node_at(0b111, 1)));
+        assert_eq!(c.neighbor(v, PORT_NEXT), Some(c.node_at(0b101, 2)));
+        assert_eq!(c.neighbor(v, PORT_PREV), Some(c.node_at(0b101, 0)));
+    }
+
+    #[test]
+    fn links_are_symmetric() {
+        let c = CubeConnectedCycles::new(3);
+        for v in 0..c.num_nodes() {
+            for p in 0..3 {
+                let u = c.neighbor(v, p).unwrap();
+                let rp = c.reverse_port(v, p).unwrap();
+                assert_eq!(c.neighbor(u, rp), Some(v), "v={v} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn strongly_connected_and_bounded_diameter() {
+        let c = CubeConnectedCycles::new(3);
+        assert!(graph::is_strongly_connected(&c));
+        // Known CCC(3) diameter is 6.
+        assert_eq!(graph::diameter(&c), 6);
+    }
+
+    #[test]
+    fn edge_count() {
+        // 3-regular: 3 * n * 2^n directed edges.
+        let c = CubeConnectedCycles::new(4);
+        assert_eq!(graph::num_directed_edges(&c), 3 * 4 * 16);
+    }
+}

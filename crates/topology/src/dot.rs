@@ -1,0 +1,80 @@
+//! Graphviz DOT export of topologies.
+//!
+//! Used by the experiment harness to regenerate the paper's structural
+//! figures (e.g. Figure 1's 3-hypercube hung from node 000).
+
+use std::fmt::Write as _;
+
+use crate::{NodeId, Topology};
+
+/// Render the topology as a Graphviz `digraph`.
+///
+/// `label` names each node (e.g. binary address); bidirectional links
+/// (those with a [`Topology::reverse_port`]) are emitted once with
+/// `dir=none`, directed links (shuffle) as arrows.
+pub fn to_dot(topo: &dyn Topology, label: &dyn Fn(NodeId) -> String) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", topo.name());
+    let _ = writeln!(out, "  node [shape=circle fontsize=10];");
+    for v in 0..topo.num_nodes() {
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", v, label(v));
+    }
+    for v in 0..topo.num_nodes() {
+        for p in 0..topo.max_ports() {
+            if let Some(u) = topo.neighbor(v, p) {
+                if topo.reverse_port(v, p).is_some() {
+                    // Bidirectional: emit once, from the lower id.
+                    if v < u {
+                        let _ = writeln!(out, "  n{v} -> n{u} [dir=none];");
+                    }
+                } else {
+                    let _ = writeln!(out, "  n{v} -> n{u};");
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Binary-address label of width `bits`, e.g. `fmt_binary(5, 4) == "0101"`.
+pub fn fmt_binary(v: NodeId, bits: usize) -> String {
+    format!("{v:0bits$b}")
+}
+
+/// Coordinate label `(x,y)`.
+pub fn fmt_coords(x: usize, y: usize) -> String {
+    format!("({x},{y})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Hypercube, ShuffleExchange};
+
+    #[test]
+    fn hypercube_dot_has_undirected_edges() {
+        let h = Hypercube::new(2);
+        let dot = to_dot(&h, &|v| fmt_binary(v, 2));
+        assert!(dot.contains("digraph \"hypercube(n=2)\""));
+        assert!(dot.contains("n0 -> n1 [dir=none];"));
+        assert!(dot.contains("n0 -> n2 [dir=none];"));
+        // Each undirected edge emitted exactly once.
+        assert_eq!(dot.matches("dir=none").count(), 4);
+    }
+
+    #[test]
+    fn shuffle_exchange_dot_mixes_directions() {
+        let se = ShuffleExchange::new(3);
+        let dot = to_dot(&se, &|v| fmt_binary(v, 3));
+        // Shuffle links are directed (no dir=none), exchange undirected.
+        assert!(dot.contains("n1 -> n2;")); // 001 -> 010 shuffle
+        assert!(dot.contains("n0 -> n1 [dir=none];")); // exchange 000-001
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(fmt_binary(5, 4), "0101");
+        assert_eq!(fmt_coords(2, 3), "(2,3)");
+    }
+}

@@ -1,0 +1,218 @@
+//! Generic graph utilities over [`Topology`] instances.
+//!
+//! These are used both as default implementations (BFS distance) and as
+//! independent oracles in tests: every closed-form `distance` override is
+//! cross-validated against [`bfs_distance`].
+
+use std::collections::VecDeque;
+
+use crate::{NodeId, Topology};
+
+/// Breadth-first shortest-path distance following directed links, or
+/// `None` if `to` is unreachable from `from`.
+pub fn bfs_distance(topo: &dyn Topology, from: NodeId, to: NodeId) -> Option<usize> {
+    if from == to {
+        return Some(0);
+    }
+    let n = topo.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    dist[from] = 0;
+    let mut queue = VecDeque::with_capacity(64);
+    queue.push_back(from);
+    while let Some(v) = queue.pop_front() {
+        for p in 0..topo.max_ports() {
+            if let Some(u) = topo.neighbor(v, p) {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    if u == to {
+                        return Some(dist[u]);
+                    }
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// All-targets BFS distances from `from` (`usize::MAX` = unreachable).
+pub fn bfs_distances(topo: &dyn Topology, from: NodeId) -> Vec<usize> {
+    let n = topo.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    dist[from] = 0;
+    let mut queue = VecDeque::with_capacity(64);
+    queue.push_back(from);
+    while let Some(v) = queue.pop_front() {
+        for p in 0..topo.max_ports() {
+            if let Some(u) = topo.neighbor(v, p) {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Whether every node can reach every other node over directed links.
+///
+/// Checked by one forward BFS and one BFS on the transposed graph from
+/// node 0 (standard strong-connectivity test).
+pub fn is_strongly_connected(topo: &dyn Topology) -> bool {
+    let n = topo.num_nodes();
+    if n == 0 {
+        return true;
+    }
+    if bfs_distances(topo, 0).contains(&usize::MAX) {
+        return false;
+    }
+    // Transposed reachability: build reverse adjacency once.
+    let mut rev = vec![Vec::new(); n];
+    for v in 0..n {
+        for p in 0..topo.max_ports() {
+            if let Some(u) = topo.neighbor(v, p) {
+                rev[u].push(v);
+            }
+        }
+    }
+    let mut seen = vec![false; n];
+    seen[0] = true;
+    let mut queue = VecDeque::from([0usize]);
+    let mut count = 1;
+    while let Some(v) = queue.pop_front() {
+        for &u in &rev[v] {
+            if !seen[u] {
+                seen[u] = true;
+                count += 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    count == n
+}
+
+/// The diameter: maximum over all ordered pairs of the BFS distance.
+/// O(N · E); intended for small instances and tests.
+pub fn diameter(topo: &dyn Topology) -> usize {
+    (0..topo.num_nodes())
+        .map(|v| {
+            bfs_distances(topo, v)
+                .into_iter()
+                .filter(|&d| d != usize::MAX)
+                .max()
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Number of directed edges (existing ports summed over nodes).
+pub fn num_directed_edges(topo: &dyn Topology) -> usize {
+    (0..topo.num_nodes()).map(|v| topo.degree(v)).sum()
+}
+
+/// Enumerate *all* shortest paths from `from` to `to` as port sequences.
+///
+/// Exponential in path count; intended for verifying full adaptivity on
+/// small instances (e.g. all `n!`-ish minimal paths of a small hypercube).
+pub fn all_shortest_paths(topo: &dyn Topology, from: NodeId, to: NodeId) -> Vec<Vec<NodeId>> {
+    let d = match bfs_distance(topo, from, to) {
+        Some(d) => d,
+        None => return Vec::new(),
+    };
+    let mut out = Vec::new();
+    let mut stack = vec![from];
+    fn recur(
+        topo: &dyn Topology,
+        to: NodeId,
+        remaining: usize,
+        stack: &mut Vec<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        let v = *stack.last().expect("non-empty stack");
+        if remaining == 0 {
+            if v == to {
+                out.push(stack.clone());
+            }
+            return;
+        }
+        for (_, u) in crate::out_edges(topo, v) {
+            if bfs_distance(topo, u, to) == Some(remaining - 1) {
+                stack.push(u);
+                recur(topo, to, remaining - 1, stack, out);
+                stack.pop();
+            }
+        }
+    }
+    recur(topo, to, d, &mut stack, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Hypercube, Mesh2D, ShuffleExchange, Torus2D};
+
+    #[test]
+    fn hypercube_diameter_is_n() {
+        assert_eq!(diameter(&Hypercube::new(4)), 4);
+    }
+
+    #[test]
+    fn mesh_diameter_is_perimeter_walk() {
+        assert_eq!(diameter(&Mesh2D::new(4, 3)), 5);
+    }
+
+    #[test]
+    fn torus_diameter_is_half_sum() {
+        assert_eq!(diameter(&Torus2D::new(5, 4)), 2 + 2);
+    }
+
+    #[test]
+    fn edge_counts() {
+        // n * 2^n directed edges in the n-cube.
+        assert_eq!(num_directed_edges(&Hypercube::new(3)), 24);
+        // Shuffle-exchange: 2 out-ports everywhere.
+        assert_eq!(num_directed_edges(&ShuffleExchange::new(3)), 16);
+        // 4x4 torus: every node degree 4.
+        assert_eq!(num_directed_edges(&Torus2D::square(4)), 64);
+    }
+
+    #[test]
+    fn all_shortest_paths_hypercube_counts() {
+        let h = Hypercube::new(4);
+        // Distance-k pairs have k! shortest paths in the hypercube.
+        let paths = all_shortest_paths(&h, 0b0000, 0b0111);
+        assert_eq!(paths.len(), 6);
+        for p in &paths {
+            assert_eq!(p.len(), 4);
+            assert_eq!(p[0], 0b0000);
+            assert_eq!(p[3], 0b0111);
+            for w in p.windows(2) {
+                assert_eq!(h.distance(w[0], w[1]), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn all_shortest_paths_mesh_counts() {
+        let m = Mesh2D::square(4);
+        // (0,0) -> (2,2): C(4,2) = 6 monotone lattice paths.
+        let paths = all_shortest_paths(&m, m.node_at(0, 0), m.node_at(2, 2));
+        assert_eq!(paths.len(), 6);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        // A topology with an isolated pair: use a 1-dim hypercube's two
+        // nodes but query a fake unreachable id is not possible through the
+        // trait, so instead check bfs on directed SE returns Some for all.
+        let se = ShuffleExchange::new(3);
+        for a in 0..8 {
+            for b in 0..8 {
+                assert!(bfs_distance(&se, a, b).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Interconnection-network topologies for packet-routing studies.
+//!
+//! This crate provides the network substrates used by the SPAA'91 paper
+//! *"Fully-Adaptive Minimal Deadlock-Free Packet Routing in Hypercubes,
+//! Meshes, and Other Networks"* (Pifarré, Gravano, Felperin, Sanz):
+//!
+//! * [`Hypercube`] — the binary n-cube, 2^n nodes, one link per dimension;
+//! * [`Mesh2D`] / [`MeshKD`] — 2-dimensional and k-dimensional meshes;
+//! * [`Torus2D`] — the 2-dimensional torus (k-ary 2-cube);
+//! * [`ShuffleExchange`] — the 2^n-node shuffle-exchange network, with
+//!   directed shuffle links and bidirectional exchange links.
+//!
+//! All topologies implement the [`Topology`] trait, which exposes nodes
+//! as dense indices `0..num_nodes()` and links as per-node *ports*, so a
+//! simulator can store per-channel state in flat arrays. Directed networks
+//! (the shuffle-exchange) are supported: a port is an *outgoing* channel,
+//! and a physical bidirectional link is a pair of opposed ports.
+//!
+//! Graph utilities (BFS distances, diameter, connectivity, minimal-next-hop
+//! sets) live in [`graph`], and Graphviz export in [`dot`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ccc;
+pub mod dot;
+pub mod graph;
+mod hypercube;
+mod mesh;
+pub mod shuffle_exchange;
+mod torus;
+
+pub use ccc::CubeConnectedCycles;
+pub use hypercube::Hypercube;
+pub use mesh::{Mesh2D, MeshKD};
+pub use shuffle_exchange::ShuffleExchange;
+pub use torus::Torus2D;
+
+/// Dense node index, `0..Topology::num_nodes()`.
+pub type NodeId = usize;
+
+/// Per-node outgoing-channel index, `0..Topology::max_ports()`.
+///
+/// Port numbering is topology-specific but stable; see each topology's
+/// documentation. Ports that do not exist at a given node (e.g. mesh
+/// boundaries) yield `None` from [`Topology::neighbor`].
+pub type Port = usize;
+
+/// A network topology with dense node ids and per-node outgoing ports.
+///
+/// Implementations must guarantee:
+/// * node ids are exactly `0..num_nodes()`;
+/// * `neighbor(v, p)` is `Some` for a fixed set of ports per node and the
+///   returned node id is `< num_nodes()`;
+/// * the network is strongly connected (every delivery queue is reachable
+///   from every injection queue, as the paper's § 2 requires).
+pub trait Topology {
+    /// Number of nodes in the network.
+    fn num_nodes(&self) -> usize;
+
+    /// Upper bound on the per-node port count; valid ports are `0..max_ports()`.
+    fn max_ports(&self) -> usize;
+
+    /// The node reached over outgoing port `port` of `node`, if that port
+    /// exists at `node`.
+    fn neighbor(&self, node: NodeId, port: Port) -> Option<NodeId>;
+
+    /// Human-readable topology name, e.g. `"hypercube(n=10)"`.
+    fn name(&self) -> String;
+
+    /// Shortest-path distance (in hops, following directed links).
+    ///
+    /// The default is breadth-first search; regular topologies override it
+    /// with a closed form. Panics if `to` is unreachable from `from`.
+    fn distance(&self, from: NodeId, to: NodeId) -> usize {
+        graph::bfs_distance(self.as_dyn(), from, to)
+            .unwrap_or_else(|| panic!("{} unreachable from {}", to, from))
+    }
+
+    /// Number of outgoing ports that exist at `node`.
+    fn degree(&self, node: NodeId) -> usize {
+        (0..self.max_ports())
+            .filter(|&p| self.neighbor(node, p).is_some())
+            .count()
+    }
+
+    /// Outgoing `(port, neighbor)` pairs of `node` that lie on *some*
+    /// shortest path from `node` to `to` (the "minimal next hops").
+    fn minimal_ports(&self, node: NodeId, to: NodeId) -> Vec<(Port, NodeId)> {
+        if node == to {
+            return Vec::new();
+        }
+        let d = self.distance(node, to);
+        (0..self.max_ports())
+            .filter_map(|p| self.neighbor(node, p).map(|v| (p, v)))
+            .filter(|&(_, v)| (v == to && d == 1) || (v != to && self.distance(v, to) + 1 == d))
+            .collect()
+    }
+
+    /// Port on the *neighbor* that leads straight back to `node`, if the
+    /// link is bidirectional. Directed links (shuffle) return `None`.
+    fn reverse_port(&self, node: NodeId, port: Port) -> Option<Port>;
+
+    /// Type-erased view, used by the default [`Topology::distance`].
+    fn as_dyn(&self) -> &dyn Topology;
+}
+
+/// Convenience: all `(port, neighbor)` pairs that exist at `node`.
+pub fn out_edges(topo: &dyn Topology, node: NodeId) -> Vec<(Port, NodeId)> {
+    (0..topo.max_ports())
+        .filter_map(|p| topo.neighbor(node, p).map(|v| (p, v)))
+        .collect()
+}
+
+/// Hamming weight of a node address (the paper's *level* of a hypercube or
+/// shuffle-exchange node).
+#[inline]
+pub fn hamming_weight(x: usize) -> usize {
+    x.count_ones() as usize
+}
+
+/// Hamming distance between two addresses.
+#[inline]
+pub fn hamming_distance(a: usize, b: usize) -> usize {
+    (a ^ b).count_ones() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_helpers() {
+        assert_eq!(hamming_weight(0), 0);
+        assert_eq!(hamming_weight(0b1011), 3);
+        assert_eq!(hamming_distance(0b1011, 0b0011), 1);
+        assert_eq!(hamming_distance(0, 0b1111), 4);
+        assert_eq!(hamming_distance(5, 5), 0);
+    }
+
+    #[test]
+    fn out_edges_hypercube() {
+        let h = Hypercube::new(3);
+        let e = out_edges(&h, 0);
+        assert_eq!(e, vec![(0, 1), (1, 2), (2, 4)]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Hypercube address permutations used by the paper's § 7.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use fadr_topology::{hamming_weight, NodeId};
+
+/// Complement: destination is the bitwise complement of the source
+/// (§ 7, "Complement"). Distance is always `n`.
+pub fn complement(dims: usize, v: NodeId) -> NodeId {
+    !v & ((1usize << dims) - 1)
+}
+
+/// Transpose: swap the two halves of the address; for odd `n` the middle
+/// bit stays put (§ 7, "Transpose").
+pub fn transpose(dims: usize, v: NodeId) -> NodeId {
+    let half = dims / 2;
+    let lo_mask = (1usize << half) - 1;
+    let lo = v & lo_mask;
+    let hi = (v >> (dims - half)) & lo_mask;
+    let mid = if dims % 2 == 1 {
+        v & (1usize << half)
+    } else {
+        0
+    };
+    (lo << (dims - half)) | mid | hi
+}
+
+/// Bit reversal: address bits reversed (a standard adversarial pattern
+/// complementing the paper's set).
+pub fn bit_reversal(dims: usize, v: NodeId) -> NodeId {
+    let mut out = 0usize;
+    for i in 0..dims {
+        if v & (1 << i) != 0 {
+            out |= 1 << (dims - 1 - i);
+        }
+    }
+    out
+}
+
+/// Perfect-shuffle permutation: one-bit left rotation of the address.
+pub fn perfect_shuffle(dims: usize, v: NodeId) -> NodeId {
+    ((v << 1) | (v >> (dims - 1))) & ((1usize << dims) - 1)
+}
+
+/// A *leveled permutation* (§ 7): a random permutation mapping every node
+/// to a node of the same Hamming weight ("level"). \[FCS90\] reports that
+/// such permutations congest oblivious random-minimal-path routing.
+pub fn leveled_permutation<R: Rng>(dims: usize, rng: &mut R) -> Vec<NodeId> {
+    let n = 1usize << dims;
+    let mut by_level: Vec<Vec<NodeId>> = vec![Vec::new(); dims + 1];
+    for v in 0..n {
+        by_level[hamming_weight(v)].push(v);
+    }
+    let mut perm = vec![0usize; n];
+    for group in &by_level {
+        let mut shuffled = group.clone();
+        shuffled.shuffle(rng);
+        for (&src, &dst) in group.iter().zip(&shuffled) {
+            perm[src] = dst;
+        }
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complement_is_involution_at_full_distance() {
+        for v in 0..16 {
+            assert_eq!(complement(4, complement(4, v)), v);
+            assert_eq!(fadr_topology::hamming_distance(v, complement(4, v)), 4);
+        }
+    }
+
+    #[test]
+    fn transpose_even() {
+        // n = 4: b3 b2 b1 b0 -> b1 b0 b3 b2.
+        assert_eq!(transpose(4, 0b1100), 0b0011);
+        assert_eq!(transpose(4, 0b1010), 0b1010);
+        for v in 0..16 {
+            assert_eq!(transpose(4, transpose(4, v)), v);
+        }
+    }
+
+    #[test]
+    fn transpose_odd_keeps_middle_bit() {
+        // n = 5: b4 b3 | b2 | b1 b0 -> b1 b0 | b2 | b4 b3.
+        assert_eq!(transpose(5, 0b11000), 0b00011);
+        assert_eq!(transpose(5, 0b00100), 0b00100);
+        for v in 0..32 {
+            assert_eq!(transpose(5, transpose(5, v)), v);
+        }
+    }
+
+    #[test]
+    fn bit_reversal_is_involution() {
+        assert_eq!(bit_reversal(4, 0b0001), 0b1000);
+        assert_eq!(bit_reversal(5, 0b10110), 0b01101);
+        for v in 0..32 {
+            assert_eq!(bit_reversal(5, bit_reversal(5, v)), v);
+        }
+    }
+
+    #[test]
+    fn perfect_shuffle_rotates() {
+        assert_eq!(perfect_shuffle(3, 0b100), 0b001);
+        assert_eq!(perfect_shuffle(3, 0b110), 0b101);
+    }
+
+    #[test]
+    fn leveled_permutation_is_a_level_preserving_bijection() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let perm = leveled_permutation(6, &mut rng);
+        let mut seen = vec![false; perm.len()];
+        for (src, &dst) in perm.iter().enumerate() {
+            assert_eq!(hamming_weight(src), hamming_weight(dst));
+            assert!(!seen[dst], "not a bijection");
+            seen[dst] = true;
+        }
+    }
+
+    #[test]
+    fn leveled_permutation_is_seed_deterministic() {
+        let a = leveled_permutation(5, &mut StdRng::seed_from_u64(42));
+        let b = leveled_permutation(5, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

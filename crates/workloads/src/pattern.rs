@@ -1,0 +1,270 @@
+//! Compiled traffic patterns: per-source destination generators.
+
+use rand::Rng;
+
+use fadr_topology::NodeId;
+
+use crate::hypercube as hc;
+
+/// A traffic pattern compiled for a concrete network size.
+///
+/// `Random` draws a fresh uniform destination (excluding the source) per
+/// packet; the others are fixed maps. Fixed maps may contain fixed points
+/// (e.g. palindromic addresses under `Transpose`); the simulator delivers
+/// such self-addressed packets locally with latency 1.
+#[derive(Debug, Clone)]
+pub enum Pattern {
+    /// Uniform over all nodes except the source (§ 7, "Random Routing").
+    Random,
+    /// A fixed destination map `src -> map[src]`.
+    Map(Vec<NodeId>),
+    /// Every node sends to one hotspot node (the hotspot itself sends
+    /// uniformly at random).
+    Hotspot(NodeId),
+}
+
+impl Pattern {
+    /// § 7 "Complement" on the n-cube.
+    pub fn complement(dims: usize) -> Self {
+        Self::Map(
+            (0..1usize << dims)
+                .map(|v| hc::complement(dims, v))
+                .collect(),
+        )
+    }
+
+    /// § 7 "Transpose" on the n-cube.
+    pub fn transpose(dims: usize) -> Self {
+        Self::Map(
+            (0..1usize << dims)
+                .map(|v| hc::transpose(dims, v))
+                .collect(),
+        )
+    }
+
+    /// § 7 "Leveled Permutation" on the n-cube (seeded).
+    pub fn leveled_permutation<R: Rng>(dims: usize, rng: &mut R) -> Self {
+        Self::Map(hc::leveled_permutation(dims, rng))
+    }
+
+    /// Bit-reversal permutation on the n-cube.
+    pub fn bit_reversal(dims: usize) -> Self {
+        Self::Map(
+            (0..1usize << dims)
+                .map(|v| hc::bit_reversal(dims, v))
+                .collect(),
+        )
+    }
+
+    /// Perfect-shuffle permutation on the n-cube.
+    pub fn perfect_shuffle(dims: usize) -> Self {
+        Self::Map(
+            (0..1usize << dims)
+                .map(|v| hc::perfect_shuffle(dims, v))
+                .collect(),
+        )
+    }
+
+    /// Uniform random permutation over `num_nodes` nodes (seeded).
+    pub fn random_permutation<R: Rng>(num_nodes: usize, rng: &mut R) -> Self {
+        use rand::seq::SliceRandom;
+        let mut perm: Vec<NodeId> = (0..num_nodes).collect();
+        perm.shuffle(rng);
+        Self::Map(perm)
+    }
+
+    /// Mesh/torus transpose `(x, y) -> (y, x)` on a `side × side` grid.
+    pub fn grid_transpose(side: usize) -> Self {
+        Self::Map(
+            (0..side * side)
+                .map(|v| {
+                    let (x, y) = (v % side, v / side);
+                    x * side + y
+                })
+                .collect(),
+        )
+    }
+
+    /// Draw the destination for a packet injected at `src`.
+    pub fn draw<R: Rng>(&self, src: NodeId, num_nodes: usize, rng: &mut R) -> NodeId {
+        match self {
+            Pattern::Random => {
+                // Uniform over V \ {src} (§ 7, footnote 2).
+                let d = rng.gen_range(0..num_nodes - 1);
+                if d >= src {
+                    d + 1
+                } else {
+                    d
+                }
+            }
+            Pattern::Map(map) => map[src],
+            Pattern::Hotspot(target) => {
+                if src == *target {
+                    let d = rng.gen_range(0..num_nodes - 1);
+                    if d >= src {
+                        d + 1
+                    } else {
+                        d
+                    }
+                } else {
+                    *target
+                }
+            }
+        }
+    }
+
+    /// Short name for table headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pattern::Random => "random",
+            Pattern::Map(_) => "map",
+            Pattern::Hotspot(_) => "hotspot",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_never_draws_self() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Pattern::Random;
+        for src in 0..8 {
+            for _ in 0..200 {
+                assert_ne!(p.draw(src, 8, &mut rng), src);
+            }
+        }
+    }
+
+    #[test]
+    fn random_covers_all_other_nodes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = Pattern::Random;
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[p.draw(3, 8, &mut rng)] = true;
+        }
+        for (v, &s) in seen.iter().enumerate() {
+            assert_eq!(s, v != 3, "node {v}");
+        }
+    }
+
+    #[test]
+    fn complement_map() {
+        let p = Pattern::complement(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.draw(0b101, 8, &mut rng), 0b010);
+    }
+
+    #[test]
+    fn grid_transpose_swaps_coordinates() {
+        let p = Pattern::grid_transpose(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        // (1, 2) = id 9 -> (2, 1) = id 6.
+        assert_eq!(p.draw(9, 16, &mut rng), 6);
+        // Diagonal nodes are fixed points.
+        assert_eq!(p.draw(5, 16, &mut rng), 5);
+    }
+
+    #[test]
+    fn hotspot_targets_one_node() {
+        let p = Pattern::Hotspot(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.draw(0, 8, &mut rng), 2);
+        assert_ne!(p.draw(2, 8, &mut rng), 2);
+    }
+
+    #[test]
+    fn random_permutation_is_bijection() {
+        let mut rng = StdRng::seed_from_u64(3);
+        if let Pattern::Map(m) = Pattern::random_permutation(32, &mut rng) {
+            let mut seen = [false; 32];
+            for &d in &m {
+                assert!(!seen[d]);
+                seen[d] = true;
+            }
+        } else {
+            panic!("expected map");
+        }
+    }
+}
+
+/// Torus/grid-specific pattern constructors.
+impl Pattern {
+    /// Tornado on a `side × side` torus: every node sends `⌊side/2⌋ - ...`
+    /// half-way around its x-ring — the classic adversarial torus pattern
+    /// that concentrates load in one rotational direction.
+    pub fn tornado(side: usize) -> Self {
+        let shift = side.div_ceil(2) - 1; // just under half way
+        Self::Map(
+            (0..side * side)
+                .map(|v| {
+                    let (x, y) = (v % side, v / side);
+                    y * side + (x + shift) % side
+                })
+                .collect(),
+        )
+    }
+
+    /// Nearest-neighbor ring on any topology sized `num_nodes`: node `v`
+    /// sends to `v + 1 mod N` (light, local traffic).
+    pub fn ring_neighbor(num_nodes: usize) -> Self {
+        Self::Map((0..num_nodes).map(|v| (v + 1) % num_nodes).collect())
+    }
+
+    /// Grid bit-complement: `(x, y) -> (side-1-x, side-1-y)`, the mesh
+    /// analogue of the hypercube Complement (all traffic crosses the
+    /// center).
+    pub fn grid_complement(side: usize) -> Self {
+        Self::Map(
+            (0..side * side)
+                .map(|v| {
+                    let (x, y) = (v % side, v / side);
+                    (side - 1 - y) * side + (side - 1 - x)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod grid_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tornado_shifts_along_x() {
+        let p = Pattern::tornado(6);
+        let mut rng = StdRng::seed_from_u64(0);
+        // (0,0) -> (2,0) with shift = ceil(6/2)-1 = 2.
+        assert_eq!(p.draw(0, 36, &mut rng), 2);
+        // Wraps: (5,1) -> (1,1).
+        assert_eq!(p.draw(11, 36, &mut rng), 7);
+    }
+
+    #[test]
+    fn ring_neighbor_wraps() {
+        let p = Pattern::ring_neighbor(8);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.draw(7, 8, &mut rng), 0);
+        assert_eq!(p.draw(3, 8, &mut rng), 4);
+    }
+
+    #[test]
+    fn grid_complement_is_involution() {
+        let p = Pattern::grid_complement(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        if let Pattern::Map(m) = &p {
+            for v in 0..25 {
+                assert_eq!(m[m[v]], v);
+            }
+        }
+        // Center is the fixed point.
+        assert_eq!(p.draw(12, 25, &mut rng), 12);
+    }
+}

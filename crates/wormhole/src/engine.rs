@@ -1,0 +1,501 @@
+//! The wormhole engine: virtual channels, header routing, flit pipeline.
+
+use std::collections::VecDeque;
+
+use fadr_metrics::LatencyStats;
+use fadr_qdg::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction};
+use fadr_topology::NodeId;
+
+use crate::WormConfig;
+
+const NONE: u32 = u32::MAX;
+/// `route_next` marker: the worm drains into the delivery queue here.
+const DELIVER: u32 = u32::MAX - 1;
+/// `prev` marker: this VC is fed by the worm's source node.
+const SOURCE: u32 = u32::MAX - 2;
+
+/// A flit in a virtual-channel FIFO.
+#[derive(Debug, Clone, Copy)]
+struct Flit {
+    worm: u32,
+    is_header: bool,
+    is_tail: bool,
+}
+
+/// A virtual channel: the flit buffer at the receiving end of one
+/// (directed channel, traffic class) pair.
+struct Vc {
+    /// Worm currently holding this VC (`NONE` = free).
+    owner: u32,
+    /// Downstream VC id, `DELIVER`, or `NONE` (not yet routed).
+    route_next: u32,
+    /// Upstream feeder: a VC id, `SOURCE`, or `NONE` (no more flits will
+    /// arrive — the worm's tail has already passed).
+    prev: u32,
+    fifo: VecDeque<Flit>,
+}
+
+/// Where a worm's header currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HeaderAt {
+    /// Still at the source, waiting to acquire its first VC.
+    Source,
+    /// In the given VC.
+    Vc(u32),
+    /// Delivered (body may still be draining).
+    Done,
+}
+
+struct Worm<M> {
+    dst: u32,
+    /// Routing state *at the header's next routing point*.
+    msg: M,
+    /// Queue class the header is being routed as.
+    class: u8,
+    inject_cycle: u64,
+    /// Flits not yet pushed out of the source (includes the header until
+    /// it leaves).
+    flits_at_source: u32,
+    total_flits: u32,
+    delivered_flits: u32,
+    header: HeaderAt,
+    /// First VC of the chain (flits at the source feed into it).
+    first_vc: u32,
+}
+
+/// Result of a wormhole run.
+#[derive(Debug, Clone)]
+pub struct WormholeResult {
+    /// Per-message latency (header injection → tail delivery, cycles).
+    pub stats: LatencyStats,
+    /// Messages fully delivered.
+    pub delivered: u64,
+    /// Messages that were to be sent.
+    pub total: u64,
+    /// Cycles executed.
+    pub cycles: u64,
+    /// Whether every message drained within the horizon.
+    pub drained: bool,
+}
+
+/// Flit-level wormhole simulator over a [`RoutingFunction`]; see the
+/// crate docs for the model.
+pub struct WormholeSim<R: RoutingFunction> {
+    rf: R,
+    cfg: WormConfig,
+    num_nodes: usize,
+    max_ports: usize,
+    /// Per channel: first VC id, VC count, target node.
+    chans: Vec<(u32, u8, u32)>,
+    chan_of: Vec<u32>,
+    chan_rr: Vec<u8>,
+    vc_class: Vec<BufferClass>,
+    vcs: Vec<Vc>,
+    worms: Vec<Worm<R::Msg>>,
+    worm_sources: Vec<usize>,
+    /// Worms that still have undelivered flits (scanned each cycle).
+    live: Vec<u32>,
+    debug: bool,
+    cycle: u64,
+    stats: LatencyStats,
+    delivered: u64,
+}
+
+impl<R: RoutingFunction> WormholeSim<R> {
+    /// Build a wormhole simulator for `rf`.
+    pub fn new(rf: R, cfg: WormConfig) -> Self {
+        assert!(cfg.message_length >= 1);
+        assert!(cfg.flit_buffer_depth >= 1);
+        let topo = rf.topology();
+        let (n, mp) = (topo.num_nodes(), topo.max_ports());
+        let mut chan_of = vec![NONE; n * mp];
+        let mut chans = Vec::new();
+        let mut vc_class = Vec::new();
+        for node in 0..n {
+            for port in 0..mp {
+                let Some(to) = topo.neighbor(node, port) else {
+                    continue;
+                };
+                let classes = rf.buffer_classes(node, port);
+                if classes.is_empty() {
+                    continue;
+                }
+                chan_of[node * mp + port] = chans.len() as u32;
+                chans.push((vc_class.len() as u32, classes.len() as u8, to as u32));
+                vc_class.extend(classes);
+            }
+        }
+        let vcs = (0..vc_class.len())
+            .map(|_| Vc {
+                owner: NONE,
+                route_next: NONE,
+                prev: NONE,
+                fifo: VecDeque::new(),
+            })
+            .collect();
+        Self {
+            cfg,
+            num_nodes: n,
+            max_ports: mp,
+            chan_rr: vec![0; chans.len()],
+            chans,
+            chan_of,
+            vc_class,
+            vcs,
+            worms: Vec::new(),
+            worm_sources: Vec::new(),
+            live: Vec::new(),
+            debug: std::env::var("WORM_DEBUG").is_ok(),
+            cycle: 0,
+            stats: LatencyStats::new(),
+            delivered: 0,
+            rf,
+        }
+    }
+
+    /// The routing function under simulation.
+    pub fn routing(&self) -> &R {
+        &self.rf
+    }
+
+    /// Resolve the VC of `(node, port, class)`.
+    fn vc_of(&self, node: usize, port: usize, class: BufferClass) -> u32 {
+        let chan = self.chan_of[node * self.max_ports + port];
+        debug_assert_ne!(chan, NONE);
+        let (start, len, _) = self.chans[chan as usize];
+        for i in 0..len as u32 {
+            if self.vc_class[(start + i) as usize] == class {
+                return start + i;
+            }
+        }
+        panic!("VC class {class:?} not declared on ({node}, {port})");
+    }
+
+    /// Node at which VC `vc`'s buffer sits (the channel's target).
+    fn vc_node(&self, vc: u32) -> usize {
+        // Channels are built in order; binary search by vc range.
+        let i = self
+            .chans
+            .partition_point(|&(start, _, _)| start <= vc)
+            .saturating_sub(1);
+        debug_assert!(vc < self.chans[i].0 + self.chans[i].1 as u32);
+        self.chans[i].2 as usize
+    }
+
+    /// Send every message of `backlog` (one worm per entry, injected as
+    /// soon as the previous worm from the same source has fully left),
+    /// and run until all tails are delivered.
+    pub fn run_static(&mut self, backlog: &[Vec<NodeId>]) -> WormholeResult {
+        assert_eq!(backlog.len(), self.num_nodes);
+        let total: u64 = backlog.iter().map(|b| b.len() as u64).sum();
+        let mut next_idx = vec![0usize; backlog.len()];
+        // Active worm per source (a source injects one worm at a time).
+        let mut active: Vec<u32> = vec![NONE; backlog.len()];
+        while self.delivered < total && self.cycle < self.cfg.max_cycles {
+            for src in 0..backlog.len() {
+                let done =
+                    active[src] == NONE || self.worms[active[src] as usize].flits_at_source == 0;
+                if done && next_idx[src] < backlog[src].len() {
+                    let dst = backlog[src][next_idx[src]];
+                    next_idx[src] += 1;
+                    active[src] = self.spawn(src, dst);
+                }
+            }
+            self.step();
+        }
+        WormholeResult {
+            stats: self.stats.clone(),
+            delivered: self.delivered,
+            total,
+            cycles: self.cycle,
+            drained: self.delivered == total,
+        }
+    }
+
+    /// Dynamic injection: each cycle, every idle source starts a new worm
+    /// with probability `lambda` (a source is idle while it has no flits
+    /// left to push). Runs for `cycles` cycles and reports messages whose
+    /// tails were delivered within the horizon.
+    pub fn run_dynamic(
+        &mut self,
+        lambda: f64,
+        mut dest: impl FnMut(NodeId, &mut rand::rngs::StdRng) -> NodeId,
+        cycles: u64,
+        rng: &mut rand::rngs::StdRng,
+    ) -> WormholeResult {
+        use rand::Rng as _;
+        assert!((0.0..=1.0).contains(&lambda));
+        let mut active: Vec<u32> = vec![NONE; self.num_nodes];
+        let mut spawned = 0u64;
+        for _ in 0..cycles {
+            #[allow(clippy::needless_range_loop)] // src indexes `active` and names the node
+            for src in 0..self.num_nodes {
+                if lambda < 1.0 && !rng.gen_bool(lambda) {
+                    continue;
+                }
+                let idle = active[src] == NONE
+                    || self.worms[active[src] as usize].flits_at_source == 0;
+                if idle {
+                    let dst = dest(src, rng);
+                    active[src] = self.spawn(src, dst);
+                    spawned += 1;
+                }
+            }
+            self.step();
+        }
+        WormholeResult {
+            stats: self.stats.clone(),
+            delivered: self.delivered,
+            total: spawned,
+            cycles: self.cycle,
+            drained: false,
+        }
+    }
+
+    fn spawn(&mut self, src: NodeId, dst: NodeId) -> u32 {
+        let msg = self.rf.initial_msg(src, dst);
+        // Entry class via the injection queue's internal transition.
+        let mut class = 0u8;
+        self.rf
+            .for_each_transition(QueueId::inject(src), &msg, &mut |t| {
+                if let QueueKind::Central(c) = t.to.kind {
+                    class = c;
+                }
+            });
+        self.worms.push(Worm {
+            dst: dst as u32,
+            msg,
+            class,
+            inject_cycle: self.cycle,
+            flits_at_source: self.cfg.message_length as u32,
+            total_flits: self.cfg.message_length as u32,
+            delivered_flits: 0,
+            header: HeaderAt::Source,
+            first_vc: NONE,
+        });
+        self.worm_sources.push(src);
+        self.live.push((self.worms.len() - 1) as u32);
+        (self.worms.len() - 1) as u32
+    }
+
+    fn step(&mut self) {
+        self.route_headers();
+        self.move_flits();
+        let worms = &self.worms;
+        self.live.retain(|&w| {
+            let worm = &worms[w as usize];
+            worm.delivered_flits < worm.total_flits
+        });
+        if self.debug {
+            for (w, worm) in self.worms.iter().enumerate() {
+                eprintln!(
+                    "cycle {} worm {w}: header {:?} first_vc {} at_src {} delivered {}",
+                    self.cycle, worm.header, worm.first_vc, worm.flits_at_source, worm.delivered_flits
+                );
+            }
+            for (i, vc) in self.vcs.iter().enumerate() {
+                if vc.owner != NONE || !vc.fifo.is_empty() {
+                    eprintln!("  vc {i}: owner {} next {} fifo {}", vc.owner, vc.route_next, vc.fifo.len());
+                }
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Phase 1: every header at a routing point tries to reserve its next
+    /// VC (in the routing function's emission order — static and dynamic
+    /// channels as the § 3–5 functions offer them).
+    fn route_headers(&mut self) {
+        for i in 0..self.live.len() {
+            let w = self.live[i] as usize;
+            let (node, at_vc) = match self.worms[w].header {
+                HeaderAt::Source => {
+                    // Header still at the source: route if no first VC yet.
+                    if self.worms[w].first_vc != NONE {
+                        continue;
+                    }
+                    (self.source_of(w), NONE)
+                }
+                HeaderAt::Vc(vc) => {
+                    if self.vcs[vc as usize].route_next != NONE {
+                        continue; // already routed onwards
+                    }
+                    // Route only when the header is at the front.
+                    match self.vcs[vc as usize].fifo.front() {
+                        Some(f) if f.worm == w as u32 && f.is_header => {}
+                        _ => continue,
+                    }
+                    (self.vc_node(vc), vc)
+                }
+                HeaderAt::Done => continue,
+            };
+            let worm = &self.worms[w];
+            if self.rf.deliverable(node, &worm.msg) || worm.dst as usize == node {
+                if at_vc != NONE {
+                    self.vcs[at_vc as usize].route_next = DELIVER;
+                } else {
+                    // Message to self: drain directly (handled in move).
+                    self.worms[w].first_vc = DELIVER;
+                }
+                continue;
+            }
+            // Try transitions in emission order; take the first free VC.
+            let mut chosen: Option<(u32, u8, R::Msg)> = None;
+            let msg = worm.msg.clone();
+            let class = worm.class;
+            let use_dynamic = self.cfg.use_dynamic_vcs;
+            let rf = &self.rf;
+            let vc_lookup = |port: usize, bc: BufferClass| self.vc_of(node, port, bc);
+            let vcs = &self.vcs;
+            rf.for_each_transition(QueueId::central(node, class), &msg, &mut |t| {
+                if chosen.is_some() {
+                    return;
+                }
+                if let (HopKind::Link(port), QueueKind::Central(c)) = (t.hop, t.to.kind) {
+                    let bc = match t.kind {
+                        LinkKind::Static => BufferClass::Static(c),
+                        LinkKind::Dynamic if use_dynamic => BufferClass::Dynamic,
+                        LinkKind::Dynamic => return,
+                    };
+                    let vc = vc_lookup(port, bc);
+                    if vcs[vc as usize].owner == NONE {
+                        chosen = Some((vc, c, t.msg.clone()));
+                    }
+                }
+            });
+            if let Some((vc, c, next_msg)) = chosen {
+                self.vcs[vc as usize].owner = w as u32;
+                self.worms[w].msg = next_msg;
+                self.worms[w].class = c;
+                if at_vc != NONE {
+                    self.vcs[at_vc as usize].route_next = vc;
+                    self.vcs[vc as usize].prev = at_vc;
+                } else {
+                    self.worms[w].first_vc = vc;
+                    self.vcs[vc as usize].prev = SOURCE;
+                }
+            }
+        }
+    }
+
+    fn source_of(&self, w: usize) -> usize {
+        self.worm_sources[w]
+    }
+
+    /// Phase 2: move flits. One flit per physical channel direction per
+    /// cycle (round-robin over the channel's VCs); delivery drains one
+    /// flit per arrived VC per cycle; self-addressed worms drain at the
+    /// source.
+    fn move_flits(&mut self) {
+        // Deliveries first (frees space for upstream moves this cycle).
+        for vc in 0..self.vcs.len() {
+            if self.vcs[vc].route_next == DELIVER {
+                if let Some(&flit) = self.vcs[vc].fifo.front() {
+                    self.vcs[vc].fifo.pop_front();
+                    self.finish_flit(vc as u32, flit);
+                }
+            }
+        }
+        // Self-addressed worms drain straight from the source.
+        for i in 0..self.live.len() {
+            let w = self.live[i] as usize;
+            if self.worms[w].first_vc == DELIVER && self.worms[w].flits_at_source > 0 {
+                self.worms[w].flits_at_source -= 1;
+                self.worms[w].delivered_flits += 1;
+                if self.worms[w].flits_at_source == 0 {
+                    self.worms[w].header = HeaderAt::Done;
+                    self.complete(w);
+                }
+            }
+        }
+        // Physical channels.
+        for chan in 0..self.chans.len() {
+            let (start, len, _) = self.chans[chan];
+            let rr = self.chan_rr[chan] as usize;
+            for i in 0..len as usize {
+                let vc = start as usize + (rr + i) % len as usize;
+                if self.try_feed_vc(vc as u32) {
+                    self.chan_rr[chan] = ((rr + i + 1) % len as usize) as u8;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Move one flit into `vc` from its upstream feeder (the worm's
+    /// previous VC or the source). Returns true if a flit moved.
+    fn try_feed_vc(&mut self, vc: u32) -> bool {
+        let owner = self.vcs[vc as usize].owner;
+        if owner == NONE || self.vcs[vc as usize].fifo.len() >= self.cfg.flit_buffer_depth {
+            return false;
+        }
+        let w = owner as usize;
+        match self.vcs[vc as usize].prev {
+            NONE => false,
+            SOURCE => {
+                if self.worms[w].flits_at_source == 0 {
+                    return false;
+                }
+                let total = self.worms[w].total_flits;
+                let at_source = self.worms[w].flits_at_source;
+                let flit = Flit {
+                    worm: owner,
+                    is_header: at_source == total,
+                    is_tail: at_source == 1,
+                };
+                self.worms[w].flits_at_source -= 1;
+                if flit.is_tail {
+                    // Nothing more will come from the source.
+                    self.vcs[vc as usize].prev = NONE;
+                }
+                self.vcs[vc as usize].fifo.push_back(flit);
+                if flit.is_header {
+                    self.worms[w].header = HeaderAt::Vc(vc);
+                }
+                true
+            }
+            up => {
+                let Some(&front) = self.vcs[up as usize].fifo.front() else {
+                    return false;
+                };
+                debug_assert_eq!(front.worm, owner);
+                self.vcs[up as usize].fifo.pop_front();
+                if front.is_tail {
+                    self.release(up);
+                    self.vcs[vc as usize].prev = NONE;
+                }
+                self.vcs[vc as usize].fifo.push_back(front);
+                if front.is_header {
+                    self.worms[w].header = HeaderAt::Vc(vc);
+                }
+                true
+            }
+        }
+    }
+
+    fn finish_flit(&mut self, vc: u32, flit: Flit) {
+        let w = flit.worm as usize;
+        self.worms[w].delivered_flits += 1;
+        if flit.is_header {
+            self.worms[w].header = HeaderAt::Done;
+        }
+        if flit.is_tail {
+            self.release(vc);
+            self.complete(w);
+        }
+    }
+
+    fn release(&mut self, vc: u32) {
+        debug_assert!(self.vcs[vc as usize].fifo.is_empty());
+        self.vcs[vc as usize].owner = NONE;
+        self.vcs[vc as usize].route_next = NONE;
+        self.vcs[vc as usize].prev = NONE;
+    }
+
+    fn complete(&mut self, w: usize) {
+        debug_assert_eq!(self.worms[w].delivered_flits, self.worms[w].total_flits);
+        let latency = self.cycle - self.worms[w].inject_cycle + 1;
+        self.stats.record(latency);
+        self.delivered += 1;
+    }
+}

@@ -1,0 +1,89 @@
+//! Flit-level **wormhole routing** over the same routing functions as the
+//! packet simulator.
+//!
+//! The paper closes its introduction with: "While the methods presented in
+//! this paper are for packet routing, some generalizations are possible
+//! for worm-hole routing … \[GPS91\]". This crate implements that
+//! generalization: the per-channel traffic-class buffers of § 6 become
+//! **virtual channels** (Dally–Seitz), and a message — now a *worm* of
+//! `len` flits — acquires a chain of virtual channels head-first and
+//! releases each as its tail drains out.
+//!
+//! # Mapping from the packet model
+//!
+//! | packet model (§ 6)                     | wormhole model            |
+//! |----------------------------------------|---------------------------|
+//! | central queue class `c` at node `v`    | being routed *as* class `c` at `v` |
+//! | link buffer pair `(channel, class)`    | virtual channel with a flit FIFO |
+//! | queue dependency graph acyclicity      | VC dependency graph acyclicity |
+//! | dynamic links + § 2 condition 3        | adaptive VCs + escape channels |
+//!
+//! Acyclicity of the static QDG (checked by `fadr-qdg`) implies
+//! acyclicity of the static VC dependency graph, because an edge between
+//! VCs `(x→u, c) → (u→w, c')` exists exactly when the QDG has the edge
+//! `q_c[u] → q_{c'}[w]`. The dynamic VCs are adaptive channels whose
+//! escape paths are the static VCs — the wormhole analogue of § 2's
+//! condition 3 (formally, Duato-style escape-channel reasoning; \[GPS91\]
+//! carries the proofs for tori and hypercubes).
+//!
+//! # Simulation model
+//!
+//! * A virtual channel is a flit FIFO of depth `flit_buffer_depth` at the
+//!   *receiving* end of a directed physical channel, one per traffic
+//!   class ([`fadr_qdg::RoutingFunction::buffer_classes`]).
+//! * Routing happens at the **header** flit only: when a header reaches
+//!   the front of a VC (or the injection queue) it requests, in the
+//!   routing function's emission order, a *free* VC among its
+//!   transitions' `(port, class)` pairs, and acquires it until the tail
+//!   passes.
+//! * Each physical channel direction moves at most one flit per cycle
+//!   (round-robin over its VCs); a flit advances only if the downstream
+//!   VC has buffer space. Arrived worms drain one flit per cycle into the
+//!   destination's delivery queue.
+//!
+//! Message latency is `arrival(tail) − injection(header)` in cycles (no
+//! ×2 scaling here: the wormhole model has no two-step node traversal).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+
+pub use engine::{WormholeResult, WormholeSim};
+
+/// Wormhole simulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WormConfig {
+    /// Flits per message (header + body; `>= 1`).
+    pub message_length: usize,
+    /// Flit-buffer depth of each virtual channel.
+    pub flit_buffer_depth: usize,
+    /// RNG seed (workload draws).
+    pub seed: u64,
+    /// Safety horizon: a static run failing to drain by this many cycles
+    /// is reported as not drained.
+    pub max_cycles: u64,
+    /// Allow headers to acquire *dynamic* virtual channels.
+    ///
+    /// With dynamic VCs on, deadlock freedom rests on Duato-style
+    /// escape-channel reasoning over *extended* (indirect) dependencies —
+    /// the analysis the companion \[GPS91\] develops for its wormhole
+    /// algorithms; the § 2 packet argument alone is not sufficient for
+    /// wormhole, because a worm holds its whole channel chain while
+    /// waiting. Set to `false` for the provably safe mode (static VCs
+    /// only: the static VC dependency graph is acyclic, so Dally–Seitz
+    /// applies directly), at the cost of the dynamic links' adaptivity.
+    pub use_dynamic_vcs: bool,
+}
+
+impl Default for WormConfig {
+    fn default() -> Self {
+        Self {
+            message_length: 8,
+            flit_buffer_depth: 2,
+            seed: 0x11f7,
+            max_cycles: 10_000_000,
+            use_dynamic_vcs: true,
+        }
+    }
+}

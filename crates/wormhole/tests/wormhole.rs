@@ -1,0 +1,185 @@
+//! Behavioural tests of the wormhole engine over the paper's routing
+//! functions.
+
+use fadr_core::{HypercubeFullyAdaptive, HypercubeStaticHang, MeshFullyAdaptive, TorusTwoPhase};
+use fadr_topology::{hamming_distance, Topology};
+use fadr_workloads::{static_backlog, Pattern};
+use fadr_wormhole::{WormConfig, WormholeSim};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cfg(len: usize) -> WormConfig {
+    WormConfig {
+        message_length: len,
+        ..WormConfig::default()
+    }
+}
+
+/// A lone worm pipelines: latency = hops + message length (header takes
+/// one cycle per hop, the tail follows `len - 1` cycles behind).
+#[test]
+fn lone_worm_latency_is_hops_plus_length() {
+    let n = 5;
+    for len in [1usize, 4, 8] {
+        for (src, dst) in [(0usize, 0b11111usize), (3, 17), (9, 9 ^ 0b101)] {
+            let mut sim = WormholeSim::new(HypercubeFullyAdaptive::new(n), cfg(len));
+            let mut backlog = vec![Vec::new(); 1 << n];
+            backlog[src].push(dst);
+            let res = sim.run_static(&backlog);
+            assert!(res.drained);
+            let hops = hamming_distance(src, dst) as u64;
+            assert_eq!(
+                res.stats.max(),
+                hops + len as u64,
+                "{src}->{dst}, len {len}"
+            );
+        }
+    }
+}
+
+/// Self-addressed worms drain locally in `len` cycles.
+#[test]
+fn self_worm_drains_locally() {
+    let mut sim = WormholeSim::new(HypercubeFullyAdaptive::new(4), cfg(6));
+    let mut backlog = vec![Vec::new(); 16];
+    backlog[7].push(7);
+    let res = sim.run_static(&backlog);
+    assert!(res.drained);
+    assert_eq!(res.stats.max(), 6);
+}
+
+/// Complement traffic (all 2^n worms at once) drains without deadlock,
+/// with both the fully-adaptive scheme and the static hang.
+#[test]
+fn complement_wormhole_drains() {
+    let n = 6;
+    let size = 1usize << n;
+    let mut rng = StdRng::seed_from_u64(1);
+    let backlog = static_backlog(&Pattern::complement(n), size, 2, &mut rng);
+    let mut sim = WormholeSim::new(HypercubeFullyAdaptive::new(n), cfg(6));
+    let res = sim.run_static(&backlog);
+    assert!(res.drained, "adaptive stalled at {}", res.cycles);
+    assert_eq!(res.delivered, 2 * size as u64);
+
+    let mut sim = WormholeSim::new(HypercubeStaticHang::new(n), cfg(6));
+    let res = sim.run_static(&backlog);
+    assert!(res.drained, "static hang stalled at {}", res.cycles);
+}
+
+/// Random traffic with long worms and minimal flit buffers (depth 1) —
+/// the harshest wormhole setting — still drains.
+#[test]
+fn random_wormhole_with_depth1_buffers_drains() {
+    let n = 6;
+    let size = 1usize << n;
+    let mut rng = StdRng::seed_from_u64(5);
+    let backlog = static_backlog(&Pattern::Random, size, 3, &mut rng);
+    let config = WormConfig {
+        message_length: 12,
+        flit_buffer_depth: 1,
+        ..WormConfig::default()
+    };
+    let mut sim = WormholeSim::new(HypercubeFullyAdaptive::new(n), config);
+    let res = sim.run_static(&backlog);
+    assert!(res.drained, "stalled at {}", res.cycles);
+    assert_eq!(res.delivered, 3 * size as u64);
+}
+
+/// The mesh and torus schemes also run worm-hole (the [GPS91] setting).
+#[test]
+fn mesh_and_torus_wormhole_drain() {
+    let side = 6;
+    let mut rng = StdRng::seed_from_u64(9);
+    let backlog = static_backlog(&Pattern::grid_transpose(side), side * side, 3, &mut rng);
+    let mut sim = WormholeSim::new(MeshFullyAdaptive::new(side, side), cfg(5));
+    let res = sim.run_static(&backlog);
+    assert!(res.drained);
+
+    let backlog = static_backlog(&Pattern::Random, 25, 4, &mut rng);
+    let mut sim = WormholeSim::new(TorusTwoPhase::new(5, 5), cfg(5));
+    let res = sim.run_static(&backlog);
+    assert!(res.drained);
+    assert_eq!(res.delivered, 100);
+}
+
+/// Minimality carries over: a lone worm's hop count equals the distance
+/// on the mesh too.
+#[test]
+fn mesh_lone_worm_latency() {
+    let rf = MeshFullyAdaptive::new(5, 5);
+    let d = rf.mesh().distance(2, 22) as u64;
+    let mut sim = WormholeSim::new(rf, cfg(3));
+    let mut backlog = vec![Vec::new(); 25];
+    backlog[2].push(22);
+    let res = sim.run_static(&backlog);
+    assert!(res.drained);
+    assert_eq!(res.stats.max(), d + 3);
+}
+
+/// Longer worms increase latency by exactly the extra flits when
+/// uncontended, and never break delivery under load.
+#[test]
+fn length_scaling() {
+    let n = 5;
+    let size = 1usize << n;
+    let mut means = Vec::new();
+    for len in [2usize, 8, 16] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let backlog = static_backlog(&Pattern::Random, size, 2, &mut rng);
+        let mut sim = WormholeSim::new(HypercubeFullyAdaptive::new(n), cfg(len));
+        let res = sim.run_static(&backlog);
+        assert!(res.drained);
+        means.push(res.stats.mean());
+    }
+    assert!(means[0] < means[1] && means[1] < means[2], "{means:?}");
+}
+
+/// The provably safe mode (static VCs only — Dally–Seitz over the
+/// acyclic static VC graph) drains too, at equal-or-worse latency than
+/// the adaptive mode.
+#[test]
+fn escape_only_mode_is_safe_and_no_faster() {
+    let n = 6;
+    let size = 1usize << n;
+    let mut rng = StdRng::seed_from_u64(21);
+    let backlog = static_backlog(&Pattern::complement(n), size, 2, &mut rng);
+
+    let adaptive_cfg = WormConfig { message_length: 6, ..WormConfig::default() };
+    let safe_cfg = WormConfig { message_length: 6, use_dynamic_vcs: false, ..WormConfig::default() };
+
+    let mut sim = WormholeSim::new(HypercubeFullyAdaptive::new(n), adaptive_cfg);
+    let res_a = sim.run_static(&backlog);
+    let mut sim = WormholeSim::new(HypercubeFullyAdaptive::new(n), safe_cfg);
+    let res_s = sim.run_static(&backlog);
+    assert!(res_a.drained && res_s.drained);
+    assert!(res_a.stats.mean() <= res_s.stats.mean() + 1e-9);
+}
+
+/// Dynamic wormhole injection keeps delivering under sustained load
+/// (adaptive mode) and stays livelock-free.
+#[test]
+fn dynamic_wormhole_sustains_load() {
+    use rand::Rng as _;
+    let n = 6;
+    let size = 1usize << n;
+    let cfg = WormConfig { message_length: 4, ..WormConfig::default() };
+    let mut sim = WormholeSim::new(HypercubeFullyAdaptive::new(n), cfg);
+    let mut rng = StdRng::seed_from_u64(77);
+    let res = sim.run_dynamic(
+        0.2,
+        |src, rng| {
+            let d = rng.gen_range(0..size - 1);
+            if d >= src { d + 1 } else { d }
+        },
+        600,
+        &mut rng,
+    );
+    assert!(res.delivered > 0);
+    // Most spawned worms complete within the horizon at this load.
+    assert!(
+        res.delivered * 10 >= res.total * 8,
+        "only {}/{} worms completed",
+        res.delivered,
+        res.total
+    );
+}

@@ -1,0 +1,141 @@
+//! Deadlock audit: run the § 2 model checker over every routing
+//! algorithm in the library — plus a deliberately naive single-queue
+//! design, to show the checker catching the classic store-and-forward
+//! deadlock that the paper's queue structure exists to prevent.
+//!
+//! ```text
+//! cargo run --release --example deadlock_audit
+//! ```
+
+use fadroute::prelude::*;
+use fadroute::qdg::verify;
+use fadroute::qdg::{HopKind, Transition};
+
+/// A naive minimal adaptive mesh router with ONE central queue per node:
+/// messages move toward the destination along any minimal direction.
+/// Opposite-direction traffic creates 2-cycles in the queue dependency
+/// graph, so this deadlocks under load — the checker must reject it.
+struct NaiveMesh {
+    mesh: Mesh2D,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct NaiveMsg {
+    dst: NodeId,
+}
+
+impl RoutingFunction for NaiveMesh {
+    type Msg = NaiveMsg;
+
+    fn topology(&self) -> &dyn Topology {
+        &self.mesh
+    }
+
+    fn num_classes(&self) -> usize {
+        1
+    }
+
+    fn initial_msg(&self, _src: NodeId, dst: NodeId) -> NaiveMsg {
+        NaiveMsg { dst }
+    }
+
+    fn destination(&self, msg: &NaiveMsg) -> NodeId {
+        msg.dst
+    }
+
+    fn deliverable(&self, node: NodeId, msg: &NaiveMsg) -> bool {
+        node == msg.dst
+    }
+
+    fn for_each_transition(
+        &self,
+        at: QueueId,
+        msg: &NaiveMsg,
+        f: &mut dyn FnMut(Transition<NaiveMsg>),
+    ) {
+        let internal = |to: QueueId| Transition {
+            kind: LinkKind::Static,
+            hop: HopKind::Internal,
+            to,
+            msg: *msg,
+        };
+        match at.kind {
+            QueueKind::Inject => f(internal(QueueId::central(at.node, 0))),
+            QueueKind::Central(_) => {
+                if at.node == msg.dst {
+                    f(internal(QueueId::deliver(at.node)));
+                    return;
+                }
+                for (port, v) in self.mesh.minimal_ports(at.node, msg.dst) {
+                    f(Transition {
+                        kind: LinkKind::Static,
+                        hop: HopKind::Link(port),
+                        to: QueueId::central(v, 0),
+                        msg: *msg,
+                    });
+                }
+            }
+            QueueKind::Deliver => {}
+        }
+    }
+
+    fn buffer_classes(&self, _node: NodeId, _port: Port) -> Vec<BufferClass> {
+        vec![BufferClass::Static(0)]
+    }
+
+    fn is_minimal(&self) -> bool {
+        true
+    }
+
+    fn max_hops(&self) -> usize {
+        self.mesh.width() + self.mesh.height() - 2
+    }
+
+    fn name(&self) -> String {
+        "naive-1-queue-mesh (expected to FAIL)".into()
+    }
+}
+
+fn audit<RF: RoutingFunction>(rf: RF, full_adaptivity: bool) {
+    match verify::verify_all(&rf, full_adaptivity) {
+        Ok(rep) => println!(
+            "PASS  {:<38} {:>3} queues, {:>4} static / {:>3} dynamic edges{}{}",
+            rep.algorithm,
+            rep.num_queues,
+            rep.static_edges,
+            rep.dynamic_edges,
+            if rep.checked_minimal { ", minimal" } else { "" },
+            if rep.checked_fully_adaptive {
+                ", fully adaptive"
+            } else {
+                ""
+            },
+        ),
+        Err(v) => println!("FAIL  {:<38} {v}", rf.name()),
+    }
+}
+
+fn main() {
+    println!("model-checking the paper's Section 2 conditions on small instances:\n");
+    audit(HypercubeFullyAdaptive::new(3), true);
+    audit(HypercubeFullyAdaptive::new(4), true);
+    audit(HypercubeStaticHang::new(3), false);
+    audit(EcubeSbp::new(3), false);
+    audit(MeshFullyAdaptive::new(4, 4), true);
+    audit(MeshStaticHang::new(4, 4), false);
+    audit(MeshXY::new(4, 4), false);
+    audit(ShuffleExchangeRouting::new(3), false);
+    audit(ShuffleExchangeRouting::new(4), false);
+    audit(ShuffleExchangeRouting::without_dynamic_links(3), false);
+    audit(TorusTwoPhase::new(3, 3), true);
+    audit(TorusTwoPhase::new(4, 4), false);
+    println!();
+    // And the counterexample: minimal adaptivity with a single queue per
+    // node is NOT deadlock-free (cyclic queue dependency graph).
+    audit(
+        NaiveMesh {
+            mesh: Mesh2D::square(3),
+        },
+        false,
+    );
+}

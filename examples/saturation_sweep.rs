@@ -1,0 +1,70 @@
+//! Saturation sweep (extension experiment): offered load λ vs delivered
+//! throughput and latency, for the paper's 2-queue fully-adaptive
+//! algorithm against the (n+1)-queue adaptive structured buffer pool and
+//! the partially-adaptive static hang.
+//!
+//! The paper only reports λ = 1; sweeping λ locates the saturation point
+//! of each scheme and shows that the 2-queue construction gives up
+//! essentially nothing against the resource-hungry SBP.
+//!
+//! ```text
+//! cargo run --release --example saturation_sweep
+//! ```
+
+use fadroute::prelude::*;
+use fadroute::topology::Hypercube;
+
+const N: usize = 8;
+const CYCLES: u64 = 400;
+
+fn sweep<RF: RoutingFunction>(rf: RF) -> (String, Vec<(f64, f64, f64)>) {
+    let name = rf.name();
+    let size = 1usize << N;
+    let mut rows = Vec::new();
+    let mut sim = Simulator::new(rf, SimConfig::default());
+    for lambda in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+        let res = sim.run_dynamic(lambda, |s, rng| Pattern::Random.draw(s, size, rng), CYCLES);
+        // Delivered throughput in packets per node per cycle.
+        let throughput = res.delivered as f64 / (size as f64 * CYCLES as f64);
+        rows.push((lambda, throughput, res.stats.mean()));
+    }
+    (name, rows)
+}
+
+fn main() {
+    println!("random traffic on the {N}-cube, {CYCLES}-cycle horizon:\n");
+    let runs = [
+        sweep(HypercubeFullyAdaptive::new(N)),
+        sweep(HypercubeStaticHang::new(N)),
+        sweep(AdaptiveSbp::new(Hypercube::new(N))),
+    ];
+    println!(
+        "{:>6} | {:>31} | {:>31} | {:>31}",
+        "lambda", runs[0].0, runs[1].0, runs[2].0
+    );
+    println!(
+        "{:>6} |    throughput      L_avg        |    throughput      L_avg        |    throughput      L_avg       ",
+        ""
+    );
+    for i in 0..runs[0].1.len() {
+        let (lambda, _, _) = runs[0].1[i];
+        print!("{lambda:>6.1}");
+        for (_, rows) in &runs {
+            let (_, thr, lat) = rows[i];
+            print!(" | {thr:>13.3} {lat:>12.2}    ");
+        }
+        println!();
+    }
+    // The fully-adaptive scheme should track the SBP closely at every
+    // load despite using 2 instead of n+1 central queues.
+    let last = runs[0].1.len() - 1;
+    let (_, thr_fa, _) = runs[0].1[last];
+    let (_, thr_sbp, _) = runs[2].1[last];
+    println!(
+        "\nat lambda = 1: fully-adaptive throughput = {:.3}, SBP = {:.3} ({} central queues vs {})",
+        thr_fa,
+        thr_sbp,
+        2,
+        N + 1
+    );
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration tests: the paper's theorems, end to end, via
+//! the public `fadroute` facade.
+
+use fadroute::prelude::*;
+use fadroute::qdg::verify;
+
+/// Theorem 1: the hypercube algorithm is fully-adaptive, minimal,
+/// deadlock- and livelock-free with 2 central queues per node.
+#[test]
+fn theorem_1_hypercube() {
+    for n in [2usize, 3, 4] {
+        let rf = HypercubeFullyAdaptive::new(n);
+        assert_eq!(rf.num_classes(), 2);
+        let rep = verify::verify_all(&rf, true).unwrap();
+        assert!(rep.checked_minimal && rep.checked_fully_adaptive);
+        // Dynamic links exist for n >= 2 (a 1-cube has no mixed routes).
+        assert!(rep.dynamic_edges > 0, "n={n}");
+    }
+}
+
+/// Theorem 2: the mesh algorithm is fully-adaptive, minimal, deadlock-
+/// and livelock-free with 2 central queues per node.
+#[test]
+fn theorem_2_mesh() {
+    for (w, h) in [(3usize, 3usize), (4, 4), (5, 3), (2, 6)] {
+        let rf = MeshFullyAdaptive::new(w, h);
+        assert_eq!(rf.num_classes(), 2);
+        verify::verify_all(&rf, true).unwrap();
+    }
+}
+
+/// Theorem 3: the shuffle-exchange algorithm is adaptive, deadlock- and
+/// livelock-free, with routes of at most 3n hops; it uses the paper's 4
+/// queues per node for prime n.
+#[test]
+fn theorem_3_shuffle_exchange() {
+    for n in [2usize, 3, 4, 5] {
+        let rf = ShuffleExchangeRouting::new(n);
+        verify::verify_all(&rf, false).unwrap();
+        assert_eq!(rf.max_hops(), 3 * n);
+    }
+    assert_eq!(ShuffleExchangeRouting::new(3).num_classes(), 4);
+    assert_eq!(ShuffleExchangeRouting::new(5).num_classes(), 4);
+    // The composite-n correction (see DESIGN.md): more classes needed.
+    assert!(ShuffleExchangeRouting::new(4).num_classes() > 4);
+}
+
+/// The torus extension: minimal and deadlock-free with 6 central queues;
+/// fully adaptive on odd-sided tori.
+#[test]
+fn torus_extension() {
+    let rf = TorusTwoPhase::new(3, 5);
+    assert_eq!(rf.num_classes(), 6);
+    verify::verify_all(&rf, true).unwrap();
+    verify::verify_all(&TorusTwoPhase::new(4, 3), false).unwrap();
+}
+
+/// The paper's § 2 argument is *necessary*: the same greedy routing with
+/// the dynamic links mistakenly declared static is rejected (the full
+/// QDG is cyclic), while the proper split passes.
+#[test]
+fn dynamic_links_close_cycles_in_the_full_qdg() {
+    let rf = HypercubeFullyAdaptive::new(3);
+    let qdg = fadroute::qdg::explore::build_qdg(&rf);
+    assert!(qdg.static_is_acyclic());
+    assert!(
+        !qdg.full_graph.is_acyclic(),
+        "dynamic links must close cycles"
+    );
+    assert!(!qdg.dynamic_edges.is_empty());
+}
+
+/// Baselines remain sound: partially-adaptive hang, e-cube + SBP, XY.
+#[test]
+fn baselines_are_deadlock_free() {
+    verify::verify_all(&HypercubeStaticHang::new(4), false).unwrap();
+    verify::verify_all(&EcubeSbp::new(4), false).unwrap();
+    verify::verify_all(&MeshXY::new(4, 4), false).unwrap();
+    verify::verify_all(&MeshStaticHang::new(4, 4), false).unwrap();
+}
+
+/// Full adaptivity separates the paper's scheme from every baseline.
+#[test]
+fn only_the_papers_schemes_are_fully_adaptive() {
+    assert!(verify::verify_fully_adaptive(&HypercubeFullyAdaptive::new(3)).is_ok());
+    assert!(verify::verify_fully_adaptive(&MeshFullyAdaptive::new(3, 3)).is_ok());
+    assert!(verify::verify_fully_adaptive(&HypercubeStaticHang::new(3)).is_err());
+    assert!(verify::verify_fully_adaptive(&EcubeSbp::new(3)).is_err());
+    assert!(verify::verify_fully_adaptive(&MeshXY::new(3, 3)).is_err());
+    assert!(verify::verify_fully_adaptive(&MeshStaticHang::new(3, 3)).is_err());
+}
+
+/// End-to-end: verified algorithm -> simulator -> § 7 metrics, through
+/// the facade's prelude only.
+#[test]
+fn facade_end_to_end() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let n = 6;
+    let size = 1usize << n;
+    let mut sim = Simulator::new(HypercubeFullyAdaptive::new(n), SimConfig::default());
+    let mut rng = StdRng::seed_from_u64(1);
+    let backlog = static_backlog(&Pattern::complement(n), size, 1, &mut rng);
+    let res = sim.run_static(&backlog);
+    assert!(res.drained);
+    assert_eq!(res.stats.max(), 2 * n as u64 + 1);
+
+    let res = sim.run_dynamic(0.5, |s, rng| Pattern::Random.draw(s, size, rng), 200);
+    assert!(res.injection_rate() > 0.9);
+    assert!(res.delivered > 0);
+}
