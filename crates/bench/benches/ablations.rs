@@ -3,13 +3,11 @@
 //! order, shuffle-exchange dynamic links, and the baseline comparison
 //! (fully-adaptive vs e-cube + structured buffer pool).
 //!
-//! Each bench body runs a complete simulation; Criterion reports the
-//! wall-clock cost, and the bench prints the measured mean latency once
+//! Each bench body runs a complete simulation; the harness reports the
+//! wall-clock cost, and each group prints the measured mean latency once
 //! at setup so ablation *quality* (latency) is visible alongside speed.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use fadr_bench::perf::{report_line, time};
 use fadr_core::{EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang, ShuffleExchangeRouting};
 use fadr_qdg::RoutingFunction;
 use fadr_sim::{FillOrder, SimConfig, Simulator};
@@ -19,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const N: usize = 8;
+const SAMPLES: usize = 10;
 
 fn backlog(pattern: &Pattern, packets: usize) -> Vec<Vec<NodeId>> {
     let mut rng = StdRng::seed_from_u64(0xab1a);
@@ -34,48 +33,43 @@ fn run<R: RoutingFunction>(rf: R, cfg: SimConfig, backlog: &[Vec<NodeId>]) -> (f
 
 /// The paper's central claim: dynamic links relieve the congestion near
 /// `1…1` of the static hang.
-fn ablation_dynamic_links(c: &mut Criterion) {
+fn ablation_dynamic_links() {
     let b = backlog(&Pattern::complement(N), N);
     let cfg = SimConfig::default();
     let (avg_a, _) = run(HypercubeFullyAdaptive::new(N), cfg, &b);
     let (avg_s, _) = run(HypercubeStaticHang::new(N), cfg, &b);
-    eprintln!("# dynamic-links ablation (complement, n packets): adaptive L_avg={avg_a:.2}, static-hang L_avg={avg_s:.2}");
-    let mut g = c.benchmark_group("ablation_dynamic_links");
-    g.sample_size(10);
-    g.bench_function("fully_adaptive", |bch| {
-        bch.iter(|| black_box(run(HypercubeFullyAdaptive::new(N), cfg, &b)))
+    println!("# dynamic-links ablation (complement, n packets): adaptive L_avg={avg_a:.2}, static-hang L_avg={avg_s:.2}");
+    let m = time("dynamic_links/fully_adaptive", SAMPLES, || {
+        run(HypercubeFullyAdaptive::new(N), cfg, &b)
     });
-    g.bench_function("static_hang", |bch| {
-        bch.iter(|| black_box(run(HypercubeStaticHang::new(N), cfg, &b)))
+    println!("{}", report_line(&m));
+    let m = time("dynamic_links/static_hang", SAMPLES, || {
+        run(HypercubeStaticHang::new(N), cfg, &b)
     });
-    g.finish();
+    println!("{}", report_line(&m));
 }
 
 /// Central-queue capacity (the paper fixes 5; capacity ≥ n recovers the
 /// perfectly pipelined Complement schedule — see EXPERIMENTS.md).
-fn ablation_queue_size(c: &mut Criterion) {
+fn ablation_queue_size() {
     let b = backlog(&Pattern::complement(N), N);
-    let mut g = c.benchmark_group("ablation_queue_size");
-    g.sample_size(10);
     for cap in [2usize, 5, 8, 16] {
         let cfg = SimConfig {
             queue_capacity: cap,
             ..SimConfig::default()
         };
         let (avg, max) = run(HypercubeFullyAdaptive::new(N), cfg, &b);
-        eprintln!("# queue-size ablation cap={cap}: L_avg={avg:.2} L_max={max}");
-        g.bench_function(format!("cap{cap:02}"), |bch| {
-            bch.iter(|| black_box(run(HypercubeFullyAdaptive::new(N), cfg, &b)))
+        println!("# queue-size ablation cap={cap}: L_avg={avg:.2} L_max={max}");
+        let m = time(&format!("queue_size/cap{cap:02}"), SAMPLES, || {
+            run(HypercubeFullyAdaptive::new(N), cfg, &b)
         });
+        println!("{}", report_line(&m));
     }
-    g.finish();
 }
 
 /// Output-buffer fill order (the paper specifies low-to-high dimensions).
-fn ablation_fill_order(c: &mut Criterion) {
+fn ablation_fill_order() {
     let b = backlog(&Pattern::Random, N);
-    let mut g = c.benchmark_group("ablation_fill_order");
-    g.sample_size(10);
     for (name, order) in [
         ("low_to_high", FillOrder::LowToHigh),
         ("high_to_low", FillOrder::HighToLow),
@@ -86,65 +80,55 @@ fn ablation_fill_order(c: &mut Criterion) {
             ..SimConfig::default()
         };
         let (avg, max) = run(HypercubeFullyAdaptive::new(N), cfg, &b);
-        eprintln!("# fill-order ablation {name}: L_avg={avg:.2} L_max={max}");
-        g.bench_function(name, |bch| {
-            bch.iter(|| black_box(run(HypercubeFullyAdaptive::new(N), cfg, &b)))
+        println!("# fill-order ablation {name}: L_avg={avg:.2} L_max={max}");
+        let m = time(&format!("fill_order/{name}"), SAMPLES, || {
+            run(HypercubeFullyAdaptive::new(N), cfg, &b)
         });
+        println!("{}", report_line(&m));
     }
-    g.finish();
 }
 
 /// Shuffle-exchange with and without the phase-1 dynamic exchanges.
-fn ablation_se_dynamic_links(c: &mut Criterion) {
+fn ablation_se_dynamic_links() {
     let n = 5;
     let mut rng = StdRng::seed_from_u64(0x5e);
     let b = static_backlog(&Pattern::Random, 1 << n, n, &mut rng);
     let cfg = SimConfig::default();
     let (avg_a, _) = run(ShuffleExchangeRouting::new(n), cfg, &b);
     let (avg_s, _) = run(ShuffleExchangeRouting::without_dynamic_links(n), cfg, &b);
-    eprintln!("# SE dynamic-links ablation (random, n packets): adaptive L_avg={avg_a:.2}, static L_avg={avg_s:.2}");
-    let mut g = c.benchmark_group("ablation_se_dynamic_links");
-    g.sample_size(10);
-    g.bench_function("adaptive", |bch| {
-        bch.iter(|| black_box(run(ShuffleExchangeRouting::new(n), cfg, &b)))
+    println!("# SE dynamic-links ablation (random, n packets): adaptive L_avg={avg_a:.2}, static L_avg={avg_s:.2}");
+    let m = time("se_dynamic_links/adaptive", SAMPLES, || {
+        run(ShuffleExchangeRouting::new(n), cfg, &b)
     });
-    g.bench_function("static", |bch| {
-        bch.iter(|| {
-            black_box(run(
-                ShuffleExchangeRouting::without_dynamic_links(n),
-                cfg,
-                &b,
-            ))
-        })
+    println!("{}", report_line(&m));
+    let m = time("se_dynamic_links/static", SAMPLES, || {
+        run(ShuffleExchangeRouting::without_dynamic_links(n), cfg, &b)
     });
-    g.finish();
+    println!("{}", report_line(&m));
 }
 
 /// Baseline comparison: 2-queue fully-adaptive vs the (n+1)-queue
 /// oblivious e-cube + structured buffer pool of \[Gun81, MS80\].
-fn ablation_vs_ecube_sbp(c: &mut Criterion) {
+fn ablation_vs_ecube_sbp() {
     let b = backlog(&Pattern::transpose(N), N);
     let cfg = SimConfig::default();
     let (avg_a, _) = run(HypercubeFullyAdaptive::new(N), cfg, &b);
     let (avg_e, _) = run(EcubeSbp::new(N), cfg, &b);
-    eprintln!("# baseline ablation (transpose, n packets): adaptive L_avg={avg_a:.2}, ecube+SBP L_avg={avg_e:.2}");
-    let mut g = c.benchmark_group("ablation_vs_ecube_sbp");
-    g.sample_size(10);
-    g.bench_function("fully_adaptive", |bch| {
-        bch.iter(|| black_box(run(HypercubeFullyAdaptive::new(N), cfg, &b)))
+    println!("# baseline ablation (transpose, n packets): adaptive L_avg={avg_a:.2}, ecube+SBP L_avg={avg_e:.2}");
+    let m = time("vs_ecube_sbp/fully_adaptive", SAMPLES, || {
+        run(HypercubeFullyAdaptive::new(N), cfg, &b)
     });
-    g.bench_function("ecube_sbp", |bch| {
-        bch.iter(|| black_box(run(EcubeSbp::new(N), cfg, &b)))
+    println!("{}", report_line(&m));
+    let m = time("vs_ecube_sbp/ecube_sbp", SAMPLES, || {
+        run(EcubeSbp::new(N), cfg, &b)
     });
-    g.finish();
+    println!("{}", report_line(&m));
 }
 
-criterion_group!(
-    benches,
-    ablation_dynamic_links,
-    ablation_queue_size,
-    ablation_fill_order,
-    ablation_se_dynamic_links,
-    ablation_vs_ecube_sbp
-);
-criterion_main!(benches);
+fn main() {
+    ablation_dynamic_links();
+    ablation_queue_size();
+    ablation_fill_order();
+    ablation_se_dynamic_links();
+    ablation_vs_ecube_sbp();
+}

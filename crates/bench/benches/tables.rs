@@ -1,13 +1,12 @@
-//! One Criterion bench per paper table (1–12), at reduced scale (n = 8,
+//! One timing bench per paper table (1–12), at reduced scale (n = 8,
 //! short dynamic horizon) so a full `cargo bench` stays tractable; the
 //! `tables` binary regenerates the paper-scale numbers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use fadr_bench::perf::{report_line, time};
 use fadr_bench::runner::{run_row, spec, RunOptions};
 
 const BENCH_DIMS: usize = 8;
+const SAMPLES: usize = 10;
 
 fn opts() -> RunOptions {
     RunOptions {
@@ -16,21 +15,15 @@ fn opts() -> RunOptions {
     }
 }
 
-fn bench_tables(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paper_tables");
-    group.sample_size(10);
+fn main() {
+    println!("paper_tables (dims = {BENCH_DIMS}, {SAMPLES} samples)");
     for t in 1..=12usize {
         let name = match t {
             1..=4 => format!("table{t:02}_static1"),
             5..=8 => format!("table{t:02}_staticN"),
             _ => format!("table{t:02}_dynamic"),
         };
-        group.bench_function(&name, |b| {
-            b.iter(|| black_box(run_row(spec(t), BENCH_DIMS, opts())));
-        });
+        let m = time(&name, SAMPLES, || run_row(spec(t), BENCH_DIMS, opts()));
+        println!("{}", report_line(&m));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

@@ -1,16 +1,15 @@
-//! Criterion benches of the wormhole (flit-level) mode: adaptive vs
+//! Timing benches of the wormhole (flit-level) mode: adaptive vs
 //! escape-only, and message-length scaling.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use fadr_bench::perf::{report_line, time};
 use fadr_core::HypercubeFullyAdaptive;
-use fadr_wormhole::{WormConfig, WormholeSim};
 use fadr_workloads::{static_backlog, Pattern};
+use fadr_wormhole::{WormConfig, WormholeSim};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const N: usize = 7;
+const SAMPLES: usize = 10;
 
 fn run(cfg: WormConfig) -> f64 {
     let size = 1usize << N;
@@ -22,24 +21,23 @@ fn run(cfg: WormConfig) -> f64 {
     res.stats.mean()
 }
 
-fn bench_wormhole(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wormhole");
-    g.sample_size(10);
+fn main() {
     for (name, dynamic) in [("adaptive", true), ("escape_only", false)] {
         let cfg = WormConfig {
             message_length: 8,
             use_dynamic_vcs: dynamic,
             ..WormConfig::default()
         };
-        eprintln!("# wormhole {name}: L_avg = {:.2}", run(cfg));
-        g.bench_function(name, |b| b.iter(|| black_box(run(cfg))));
+        println!("# wormhole {name}: L_avg = {:.2}", run(cfg));
+        let m = time(&format!("wormhole/{name}"), SAMPLES, || run(cfg));
+        println!("{}", report_line(&m));
     }
     for len in [2usize, 16] {
-        let cfg = WormConfig { message_length: len, ..WormConfig::default() };
-        g.bench_function(format!("len{len:02}"), |b| b.iter(|| black_box(run(cfg))));
+        let cfg = WormConfig {
+            message_length: len,
+            ..WormConfig::default()
+        };
+        let m = time(&format!("wormhole/len{len:02}"), SAMPLES, || run(cfg));
+        println!("{}", report_line(&m));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_wormhole);
-criterion_main!(benches);

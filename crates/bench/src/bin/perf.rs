@@ -1,0 +1,115 @@
+//! Wall-clock perf baseline over the canonical workloads.
+//!
+//! ```text
+//! perf [--samples S] [--jobs J] [--out PATH] [--quick]
+//! ```
+//!
+//! Times Table 1 and Table 6 rows at n = 10–12 plus one dynamic row
+//! (Table 9, n = 10), and the Table-6 row fan-out at `--jobs 1` vs
+//! `--jobs J`, then writes a `BENCH_<stamp>.json` report (stamp = Unix
+//! seconds) for before/after comparisons across PRs; see EXPERIMENTS.md
+//! for the recorded history.
+//!
+//! * `--samples S` — timed samples per workload (default 3; plus one
+//!   warm-up each).
+//! * `--jobs J` — worker threads for the parallel fan-out measurement
+//!   (default: available parallelism).
+//! * `--out PATH` — report path (default `BENCH_<stamp>.json` in the
+//!   current directory).
+//! * `--quick` — n = 10 only (fast smoke run).
+
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use fadr_bench::exec;
+use fadr_bench::perf::{report_line, time, to_json};
+use fadr_bench::runner::{run_row, run_table_jobs, spec, RunOptions};
+
+fn main() -> ExitCode {
+    let mut samples = 3usize;
+    let mut jobs = exec::default_jobs();
+    let mut out: Option<String> = None;
+    let mut quick = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--samples" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) if s >= 1 => samples = s,
+                _ => {
+                    eprintln!("--samples needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match it.next().map(|v| exec::parse_jobs(&v)) {
+                Some(Ok(j)) => jobs = j,
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(p),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: perf [--samples S] [--jobs J] [--out PATH] [--quick]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let stamp = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let opts = RunOptions::default();
+    let dims: &[usize] = if quick { &[10] } else { &[10, 11, 12] };
+    let mut measurements = Vec::new();
+
+    // Static rows: Table 1 (random, 1 packet) and Table 6 (complement,
+    // n packets) — the light and heavy ends of the static workloads.
+    for &table in &[1usize, 6] {
+        for &n in dims {
+            let m = time(&format!("table{table}_n{n}"), samples, || {
+                run_row(spec(table), n, opts)
+            });
+            println!("{}", report_line(&m));
+            measurements.push(m);
+        }
+    }
+    // One dynamic row (Table 9: random, λ = 1).
+    let m = time("table9_n10_dynamic", samples, || run_row(spec(9), 10, opts));
+    println!("{}", report_line(&m));
+    measurements.push(m);
+    // The full Table-6 row fan-out, sequential vs parallel, for the
+    // harness speedup trend.
+    let m = time("table6_rows_jobs1", samples, || {
+        run_table_jobs(6, false, opts, 1)
+    });
+    println!("{}", report_line(&m));
+    measurements.push(m);
+    let m = time(&format!("table6_rows_jobs{jobs}"), samples, || {
+        run_table_jobs(6, false, opts, jobs)
+    });
+    println!("{}", report_line(&m));
+    measurements.push(m);
+
+    let meta = [
+        ("stamp", stamp.to_string()),
+        ("samples", samples.to_string()),
+        ("jobs", jobs.to_string()),
+        ("quick", quick.to_string()),
+    ];
+    let path = out.unwrap_or_else(|| format!("BENCH_{stamp}.json"));
+    if let Err(e) = std::fs::write(&path, to_json(&meta, &measurements)) {
+        eprintln!("failed to write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+    ExitCode::SUCCESS
+}

@@ -2,15 +2,19 @@
 //! the paper's fixed operating points).
 //!
 //! ```text
-//! sweep lambda [--n N] [--cycles C]      # offered load vs throughput/latency/I_r
-//! sweep capacity [--n N] [--table K]     # central-queue capacity vs latency
+//! sweep lambda [--n N] [--cycles C] [--jobs J]    # offered load vs throughput/latency/I_r
+//! sweep capacity [--n N] [--table K] [--jobs J]   # central-queue capacity vs latency
 //! ```
 //!
 //! Each sweep runs the fully-adaptive algorithm, the static hang, and
-//! e-cube + SBP side by side.
+//! e-cube + SBP side by side. Sweep points are independent simulations,
+//! so they fan out over `--jobs` worker threads (default: available
+//! parallelism); rows are computed into slots and printed in sweep
+//! order, so the CSV is bit-identical for any `--jobs` value.
 
 use std::process::ExitCode;
 
+use fadr_bench::exec;
 use fadr_bench::runner::{run_row, spec, Algo, RunOptions};
 use fadr_core::{EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang};
 use fadr_qdg::RoutingFunction;
@@ -23,27 +27,39 @@ const ALGOS: [(&str, Algo); 3] = [
     ("ecube-sbp", Algo::EcubeSbp),
 ];
 
-fn lambda_sweep(n: usize, cycles: u64) {
-    println!("lambda,algo,throughput,l_avg,l_max,injection_rate");
+fn lambda_sweep(n: usize, cycles: u64, jobs: usize) {
+    const LAMBDAS: [f64; 11] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
     let size = 1usize << n;
-    for lambda in [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
-        for (name, algo) in ALGOS {
-            let cfg = SimConfig::default();
-            let run = |res: fadr_sim::DynamicResult| {
-                let thr = res.delivered as f64 / (size as f64 * cycles as f64);
-                println!(
-                    "{lambda},{name},{thr:.4},{:.2},{},{:.3}",
-                    res.stats.mean(),
-                    res.stats.max(),
-                    res.injection_rate()
-                );
-            };
-            match algo {
-                Algo::FullyAdaptive => run(dynamic(Simulator::new(HypercubeFullyAdaptive::new(n), cfg), lambda, size, cycles)),
-                Algo::StaticHang => run(dynamic(Simulator::new(HypercubeStaticHang::new(n), cfg), lambda, size, cycles)),
-                Algo::EcubeSbp => run(dynamic(Simulator::new(EcubeSbp::new(n), cfg), lambda, size, cycles)),
-            }
-        }
+    let lines = exec::run_indexed(LAMBDAS.len() * ALGOS.len(), jobs, |i| {
+        let lambda = LAMBDAS[i / ALGOS.len()];
+        let (name, algo) = ALGOS[i % ALGOS.len()];
+        let cfg = SimConfig::default();
+        let res = match algo {
+            Algo::FullyAdaptive => dynamic(
+                Simulator::new(HypercubeFullyAdaptive::new(n), cfg),
+                lambda,
+                size,
+                cycles,
+            ),
+            Algo::StaticHang => dynamic(
+                Simulator::new(HypercubeStaticHang::new(n), cfg),
+                lambda,
+                size,
+                cycles,
+            ),
+            Algo::EcubeSbp => dynamic(Simulator::new(EcubeSbp::new(n), cfg), lambda, size, cycles),
+        };
+        let thr = res.delivered as f64 / (size as f64 * cycles as f64);
+        format!(
+            "{lambda},{name},{thr:.4},{:.2},{},{:.3}",
+            res.stats.mean(),
+            res.stats.max(),
+            res.injection_rate()
+        )
+    });
+    println!("lambda,algo,throughput,l_avg,l_max,injection_rate");
+    for line in lines {
+        println!("{line}");
     }
 }
 
@@ -53,17 +69,29 @@ fn dynamic<R: RoutingFunction>(
     size: usize,
     cycles: u64,
 ) -> fadr_sim::DynamicResult {
-    sim.run_dynamic(lambda, move |s, rng| Pattern::Random.draw(s, size, rng), cycles)
+    sim.run_dynamic(
+        lambda,
+        move |s, rng| Pattern::Random.draw(s, size, rng),
+        cycles,
+    )
 }
 
-fn capacity_sweep(n: usize, table: usize) {
+fn capacity_sweep(n: usize, table: usize, jobs: usize) {
+    const CAPS: [usize; 8] = [1, 2, 3, 5, 8, 10, 12, 16];
+    let lines = exec::run_indexed(CAPS.len() * ALGOS.len(), jobs, |i| {
+        let cap = CAPS[i / ALGOS.len()];
+        let (name, algo) = ALGOS[i % ALGOS.len()];
+        let opts = RunOptions {
+            queue_capacity: cap,
+            algo,
+            ..RunOptions::default()
+        };
+        let row = run_row(spec(table), n, opts);
+        format!("{cap},{name},{:.2},{}", row.l_avg, row.l_max)
+    });
     println!("capacity,algo,l_avg,l_max");
-    for cap in [1usize, 2, 3, 5, 8, 10, 12, 16] {
-        for (name, algo) in ALGOS {
-            let opts = RunOptions { queue_capacity: cap, algo, ..RunOptions::default() };
-            let row = run_row(spec(table), n, opts);
-            println!("{cap},{name},{:.2},{}", row.l_avg, row.l_max);
-        }
+    for line in lines {
+        println!("{line}");
     }
 }
 
@@ -73,6 +101,7 @@ fn main() -> ExitCode {
     let mut n = 8usize;
     let mut cycles = 300u64;
     let mut table = 6usize;
+    let mut jobs = exec::default_jobs();
     let rest: Vec<String> = args.collect();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -80,6 +109,13 @@ fn main() -> ExitCode {
             "--n" => n = it.next().and_then(|v| v.parse().ok()).unwrap_or(n),
             "--cycles" => cycles = it.next().and_then(|v| v.parse().ok()).unwrap_or(cycles),
             "--table" => table = it.next().and_then(|v| v.parse().ok()).unwrap_or(table),
+            "--jobs" => match it.next().map(|v| exec::parse_jobs(v)) {
+                Some(Ok(j)) => jobs = j,
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown argument {other}");
                 return ExitCode::FAILURE;
@@ -87,10 +123,10 @@ fn main() -> ExitCode {
         }
     }
     match mode.as_str() {
-        "lambda" => lambda_sweep(n, cycles),
-        "capacity" => capacity_sweep(n, table),
+        "lambda" => lambda_sweep(n, cycles, jobs),
+        "capacity" => capacity_sweep(n, table, jobs),
         _ => {
-            eprintln!("usage: sweep <lambda|capacity> [--n N] [--cycles C] [--table K]");
+            eprintln!("usage: sweep <lambda|capacity> [--n N] [--cycles C] [--table K] [--jobs J]");
             return ExitCode::FAILURE;
         }
     }

@@ -1,7 +1,7 @@
 //! Regenerate the paper's Tables 1–12.
 //!
 //! ```text
-//! tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--csv]
+//! tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--jobs J] [--csv]
 //! ```
 //!
 //! * `--table K` — regenerate only table K (repeatable); default: all 12.
@@ -9,16 +9,21 @@
 //! * `--cap N` — central queue capacity (default 5, the paper's value).
 //! * `--cycles N` — dynamic-run horizon in routing cycles (default 500).
 //! * `--seed S` — base RNG seed.
+//! * `--jobs J` — worker threads for the row × replication fan-out
+//!   (default: available parallelism). Output is bit-identical for any
+//!   value of `J`.
 //! * `--csv` — emit CSV instead of aligned text.
 
 use std::process::ExitCode;
 
-use fadr_bench::runner::{run_table, Algo, RunOptions};
+use fadr_bench::exec;
+use fadr_bench::runner::{run_table_jobs, Algo, RunOptions};
 
 struct Args {
     tables: Vec<usize>,
     full: bool,
     csv: bool,
+    jobs: usize,
     opts: RunOptions,
 }
 
@@ -27,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
         tables: Vec::new(),
         full: false,
         csv: false,
+        jobs: exec::default_jobs(),
         opts: RunOptions::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -71,9 +77,12 @@ fn parse_args() -> Result<Args, String> {
                 args.opts.algo = Algo::parse(&v)
                     .ok_or("--algo must be fully-adaptive | static-hang | ecube-sbp")?;
             }
+            "--jobs" => {
+                args.jobs = exec::parse_jobs(&next("--jobs")?)?;
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--reps R] [--algo A] [--csv]"
+                    "usage: tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--reps R] [--algo A] [--jobs J] [--csv]"
                         .into(),
                 );
             }
@@ -95,14 +104,15 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "# fully-adaptive hypercube routing (SPAA'91), queue capacity {}, dynamic horizon {} cycles{}",
+        "# fully-adaptive hypercube routing (SPAA'91), queue capacity {}, dynamic horizon {} cycles, {} jobs{}",
         args.opts.queue_capacity,
         args.opts.dynamic_cycles,
+        args.jobs,
         if args.full { ", full n=10..14 sweep" } else { "" }
     );
     for &t in &args.tables {
         let start = std::time::Instant::now();
-        let table = run_table(t, args.full, args.opts);
+        let table = run_table_jobs(t, args.full, args.opts, args.jobs);
         if args.csv {
             print!("{}", table.to_csv());
         } else {

@@ -8,11 +8,18 @@
 //!   `--full` for the paper's complete n = 10..14 sweep).
 //! * `bin/figures` — regenerates Figures 1–6 (QDGs as Graphviz DOT, node
 //!   designs as text).
-//! * `benches/` — one Criterion bench per table plus ablation benches
-//!   for the design choices called out in DESIGN.md.
+//! * `bin/perf` — times the canonical workloads and writes a
+//!   `BENCH_<stamp>.json` wall-clock baseline.
+//! * [`perf`] — the minimal timing/reporting harness those use.
+//! * [`exec`] — deterministic parallel execution of independent
+//!   simulation runs (`--jobs N`).
+//! * `benches/` — one timing bench per table plus ablation benches for
+//!   the design choices called out in DESIGN.md.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod paper;
+pub mod perf;
 pub mod runner;

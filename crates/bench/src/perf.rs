@@ -1,0 +1,135 @@
+//! Minimal wall-clock benchmarking: timed samples, summary statistics,
+//! and a machine-readable JSON report (`BENCH_<stamp>.json`).
+//!
+//! The build environment has no registry access, so the harness ships
+//! its own timing loop instead of Criterion: each measurement runs a
+//! warm-up iteration, then `samples` timed iterations, and reports
+//! min / median / mean seconds. The `perf` binary assembles the
+//! measurements into a JSON baseline so successive PRs can track the
+//! simulator's perf trajectory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One timed measurement: a label plus its per-sample wall-clock times.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Workload label, e.g. `table6_n10`.
+    pub name: String,
+    /// Wall-clock seconds of each timed sample.
+    pub secs: Vec<f64>,
+}
+
+impl Measurement {
+    /// Fastest sample (the usual headline number: least noise).
+    pub fn min(&self) -> f64 {
+        self.secs.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Median sample.
+    pub fn median(&self) -> f64 {
+        let mut s = self.secs.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        s[s.len() / 2]
+    }
+
+    /// Mean sample.
+    pub fn mean(&self) -> f64 {
+        self.secs.iter().sum::<f64>() / self.secs.len() as f64
+    }
+}
+
+/// Time `f` with one warm-up iteration plus `samples` timed iterations.
+///
+/// The closure's return value is consumed with [`std::hint::black_box`]
+/// so the optimizer cannot elide the work.
+pub fn time<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Measurement {
+    assert!(samples >= 1, "need at least one sample");
+    std::hint::black_box(f());
+    let secs = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    Measurement {
+        name: name.to_string(),
+        secs,
+    }
+}
+
+/// Print a measurement in a compact, stable one-line format.
+pub fn report_line(m: &Measurement) -> String {
+    format!(
+        "{:<28} min {:>9.4}s  median {:>9.4}s  mean {:>9.4}s  ({} samples)",
+        m.name,
+        m.min(),
+        m.median(),
+        m.mean(),
+        m.secs.len()
+    )
+}
+
+/// Serialize measurements plus run metadata as a JSON document.
+///
+/// Hand-rolled writer (no serde in the environment); labels are plain
+/// ASCII identifiers so no escaping is needed beyond a debug assert.
+pub fn to_json(meta: &[(&str, String)], measurements: &[Measurement]) -> String {
+    let mut out = String::from("{\n");
+    for (k, v) in meta {
+        debug_assert!(!k.contains('"') && !v.contains('"'), "labels are plain");
+        let _ = writeln!(out, "  \"{k}\": \"{v}\",");
+    }
+    out.push_str("  \"workloads\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        debug_assert!(!m.name.contains('"'), "labels are plain");
+        let secs: Vec<String> = m.secs.iter().map(|s| format!("{s:.6}")).collect();
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"min_s\": {:.6}, \"median_s\": {:.6}, \"mean_s\": {:.6}, \"samples_s\": [{}]}}",
+            m.name,
+            m.min(),
+            m.median(),
+            m.mean(),
+            secs.join(", ")
+        );
+        out.push_str(if i + 1 < measurements.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_collects_samples() {
+        let mut calls = 0;
+        let m = time("noop", 3, || calls += 1);
+        assert_eq!(m.secs.len(), 3);
+        assert_eq!(calls, 4, "warm-up plus three samples");
+        assert!(m.min() <= m.median() && m.median() <= m.secs.iter().cloned().fold(0.0, f64::max));
+        assert!(report_line(&m).starts_with("noop"));
+    }
+
+    #[test]
+    fn json_shape_is_valid() {
+        let m = Measurement {
+            name: "w1".into(),
+            secs: vec![0.25, 0.5],
+        };
+        let j = to_json(&[("stamp", "123".into())], &[m]);
+        assert!(j.contains("\"stamp\": \"123\""));
+        assert!(j.contains("\"name\": \"w1\""));
+        assert!(j.contains("\"min_s\": 0.250000"));
+        // Balanced braces/brackets.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

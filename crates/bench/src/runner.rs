@@ -207,12 +207,24 @@ pub struct RowResult {
 /// fully-adaptive algorithm, averaging over `opts.reps` replications.
 pub fn run_row(spec: TableSpec, n: usize, opts: RunOptions) -> RowResult {
     let reps = opts.reps.max(1);
+    let results: Vec<RowResult> = (0..reps)
+        .map(|rep| run_row_once(spec, n, opts, u64::from(rep)))
+        .collect();
+    reduce_reps(n, &results)
+}
+
+/// Fold per-replication results into one row. Replications must be in
+/// rep order; the accumulation order here is the single reduction path
+/// for both sequential and parallel execution, which is what makes
+/// `--jobs N` output bit-identical to `--jobs 1` (floating-point sums
+/// are order-sensitive).
+fn reduce_reps(n: usize, results: &[RowResult]) -> RowResult {
+    let reps = results.len() as u32;
     let mut avg = 0.0;
     let mut max = 0u64;
     let mut ir_sum = 0.0;
     let mut ir_any = false;
-    for rep in 0..reps {
-        let r = run_row_once(spec, n, opts, u64::from(rep));
+    for r in results {
         avg += r.l_avg;
         max = max.max(r.l_max);
         if let Some(ir) = r.injection_rate {
@@ -228,6 +240,27 @@ pub fn run_row(spec: TableSpec, n: usize, opts: RunOptions) -> RowResult {
     }
 }
 
+/// Run several rows of one table, fanning the `(dimension, replication)`
+/// grid out over `jobs` worker threads.
+///
+/// Every work unit seeds its RNG streams purely from
+/// `(opts.seed, spec.number, rep, n)`, so results do not depend on which
+/// worker ran them or in what order; the per-row reduction then happens
+/// in fixed rep order on the calling thread. Output is bit-identical to
+/// the sequential `run_row` loop (see `tests/parallel_identity.rs`).
+pub fn run_rows(spec: TableSpec, dims: &[usize], opts: RunOptions, jobs: usize) -> Vec<RowResult> {
+    let reps = opts.reps.max(1) as usize;
+    let units = dims.len() * reps;
+    let results = crate::exec::run_indexed(units, jobs, |i| {
+        run_row_once(spec, dims[i / reps], opts, (i % reps) as u64)
+    });
+    results
+        .chunks(reps)
+        .zip(dims)
+        .map(|(chunk, &n)| reduce_reps(n, chunk))
+        .collect()
+}
+
 fn run_row_once(spec: TableSpec, n: usize, opts: RunOptions, rep: u64) -> RowResult {
     let cfg = SimConfig {
         queue_capacity: opts.queue_capacity,
@@ -235,9 +268,27 @@ fn run_row_once(spec: TableSpec, n: usize, opts: RunOptions, rep: u64) -> RowRes
         ..SimConfig::default()
     };
     match opts.algo {
-        Algo::FullyAdaptive => drive(Simulator::new(HypercubeFullyAdaptive::new(n), cfg), spec, n, opts, cfg.seed),
-        Algo::StaticHang => drive(Simulator::new(HypercubeStaticHang::new(n), cfg), spec, n, opts, cfg.seed),
-        Algo::EcubeSbp => drive(Simulator::new(EcubeSbp::new(n), cfg), spec, n, opts, cfg.seed),
+        Algo::FullyAdaptive => drive(
+            Simulator::new(HypercubeFullyAdaptive::new(n), cfg),
+            spec,
+            n,
+            opts,
+            cfg.seed,
+        ),
+        Algo::StaticHang => drive(
+            Simulator::new(HypercubeStaticHang::new(n), cfg),
+            spec,
+            n,
+            opts,
+            cfg.seed,
+        ),
+        Algo::EcubeSbp => drive(
+            Simulator::new(EcubeSbp::new(n), cfg),
+            spec,
+            n,
+            opts,
+            cfg.seed,
+        ),
     }
 }
 
@@ -299,9 +350,23 @@ pub fn dims_for(spec: TableSpec, full: bool) -> Vec<usize> {
     base
 }
 
-/// Regenerate one table, returning a rendered [`Table`] with measured and
-/// paper reference columns side by side.
+/// Regenerate one table sequentially. Equivalent to
+/// [`run_table_jobs`] with `jobs = 1`.
 pub fn run_table(number: usize, full: bool, opts: RunOptions) -> Table {
+    run_table_jobs(number, full, opts, 1)
+}
+
+/// Regenerate one table with row × replication work units spread over
+/// `jobs` worker threads. Output is bit-identical for every `jobs`.
+pub fn run_table_jobs(number: usize, full: bool, opts: RunOptions, jobs: usize) -> Table {
+    run_table_dims(number, &dims_for(spec(number), full), opts, jobs)
+}
+
+/// Regenerate one table over an explicit dimension list, returning a
+/// rendered [`Table`] with measured and paper reference columns side by
+/// side. The dims override exists so tests and sweeps can run the full
+/// table pipeline at reduced scale.
+pub fn run_table_dims(number: usize, dims: &[usize], opts: RunOptions, jobs: usize) -> Table {
     let s = spec(number);
     let injection = match s.packets {
         Some(PacketsPerNode::One) => "1 packet".to_string(),
@@ -327,8 +392,8 @@ pub fn run_table(number: usize, full: bool, opts: RunOptions) -> Table {
         format!("Table {number}: {}, {injection}", s.pattern.label()),
         &headers,
     );
-    for n in dims_for(s, full) {
-        let row = run_row(s, n, opts);
+    for row in run_rows(s, dims, opts, jobs) {
+        let n = row.n;
         let mut cells = vec![
             n.to_string(),
             (1usize << n).to_string(),

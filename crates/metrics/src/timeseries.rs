@@ -12,7 +12,10 @@ impl TimeSeries {
     /// New series with the given window length (> 0).
     pub fn new(window: u64) -> Self {
         assert!(window > 0, "window must be positive");
-        Self { window, sums: Vec::new() }
+        Self {
+            window,
+            sums: Vec::new(),
+        }
     }
 
     /// Add `value` at time `t` (times may arrive in any order).

@@ -10,15 +10,13 @@ use crate::explore::Qdg;
 use crate::QueueKind;
 
 /// Options for QDG rendering.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct DotOptions {
     /// Include injection queues (the paper's figures omit them).
     pub show_inject: bool,
     /// Include delivery queues (the paper's figures omit them).
     pub show_deliver: bool,
 }
-
 
 /// Render a QDG as Graphviz: solid arrows for static links, dashed for
 /// dynamic links, queues labelled by a caller-supplied function.

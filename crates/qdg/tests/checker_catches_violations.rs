@@ -41,7 +41,10 @@ enum Defect {
 
 impl Broken {
     fn new(defect: Defect) -> Self {
-        Self { cube: Hypercube::new(3), defect }
+        Self {
+            cube: Hypercube::new(3),
+            defect,
+        }
     }
 
     fn entry(&self, node: NodeId, dst: NodeId) -> u8 {
@@ -149,9 +152,7 @@ impl RoutingFunction for Broken {
                             if w != u {
                                 f(Transition {
                                     kind: LinkKind::Dynamic,
-                                    hop: HopKind::Link(
-                                        (w ^ u).trailing_zeros() as usize,
-                                    ),
+                                    hop: HopKind::Link((w ^ u).trailing_zeros() as usize),
                                     to: QueueId::central(w, 1),
                                     msg: *msg,
                                 });

@@ -1,66 +1,87 @@
-//! Property-based tests of the digraph machinery the QDG checks rest on.
+//! Randomized property tests of the digraph machinery the QDG checks
+//! rest on. (Formerly proptest-based; now seeded loops over the
+//! workspace RNG so the suite has no external dependencies. Each test
+//! drives the same property over hundreds of random graphs.)
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use fadr_qdg::graph::Digraph;
 
-fn arb_edges(n: usize, m: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
-    proptest::collection::vec((0..n, 0..n), 0..m)
+const CASES: usize = 256;
+
+fn random_edges(rng: &mut StdRng, n: usize, max_edges: usize) -> Vec<(usize, usize)> {
+    let m = rng.gen_range(0..max_edges);
+    (0..m)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// `topological_order` and `find_cycle` agree: exactly one returns
-    /// something.
-    #[test]
-    fn acyclicity_checks_agree(edges in arb_edges(12, 40)) {
+/// `topological_order` and `find_cycle` agree: exactly one returns
+/// something.
+#[test]
+fn acyclicity_checks_agree() {
+    let mut rng = StdRng::seed_from_u64(0xd16a);
+    for _ in 0..CASES {
+        let edges = random_edges(&mut rng, 12, 40);
         let mut g = Digraph::new(12);
-        for (a, b) in edges {
+        for &(a, b) in &edges {
             g.add_edge(a, b);
         }
-        prop_assert_eq!(g.is_acyclic(), g.find_cycle().is_none());
+        assert_eq!(g.is_acyclic(), g.find_cycle().is_none(), "{edges:?}");
     }
+}
 
-    /// A reported topological order respects every edge.
-    #[test]
-    fn topological_order_respects_edges(edges in arb_edges(10, 30)) {
+/// A reported topological order respects every edge.
+#[test]
+fn topological_order_respects_edges() {
+    let mut rng = StdRng::seed_from_u64(0xd16b);
+    for _ in 0..CASES {
+        let edges = random_edges(&mut rng, 10, 30);
         let mut g = Digraph::new(10);
         for &(a, b) in &edges {
             g.add_edge(a, b);
         }
         if let Some(order) = g.topological_order() {
-            let pos: Vec<usize> = {
-                let mut p = vec![0; 10];
-                for (i, &v) in order.iter().enumerate() {
-                    p[v] = i;
-                }
-                p
-            };
+            let mut pos = [0; 10];
+            for (i, &v) in order.iter().enumerate() {
+                pos[v] = i;
+            }
             for &(a, b) in &edges {
-                prop_assert!(pos[a] < pos[b], "edge {a}->{b} violated");
+                assert!(pos[a] < pos[b], "edge {a}->{b} violated in {edges:?}");
             }
         }
     }
+}
 
-    /// A reported cycle really is one: consecutive pairs are edges.
-    #[test]
-    fn reported_cycles_are_cycles(edges in arb_edges(8, 24)) {
+/// A reported cycle really is one: consecutive pairs are edges.
+#[test]
+fn reported_cycles_are_cycles() {
+    let mut rng = StdRng::seed_from_u64(0xd16c);
+    for _ in 0..CASES {
+        let edges = random_edges(&mut rng, 8, 24);
         let mut g = Digraph::new(8);
-        for (a, b) in edges {
+        for &(a, b) in &edges {
             g.add_edge(a, b);
         }
         if let Some(c) = g.find_cycle() {
-            prop_assert!(!c.is_empty());
+            assert!(!c.is_empty());
             for i in 0..c.len() {
-                prop_assert!(g.has_edge(c[i], c[(i + 1) % c.len()]));
+                assert!(
+                    g.has_edge(c[i], c[(i + 1) % c.len()]),
+                    "non-edge in cycle {c:?} of {edges:?}"
+                );
             }
         }
     }
+}
 
-    /// Levels are monotone along edges (strictly increasing).
-    #[test]
-    fn levels_increase_along_edges(edges in arb_edges(10, 25)) {
+/// Levels are monotone along edges (strictly increasing).
+#[test]
+fn levels_increase_along_edges() {
+    let mut rng = StdRng::seed_from_u64(0xd16d);
+    for _ in 0..CASES {
+        let edges = random_edges(&mut rng, 10, 25);
         let mut g = Digraph::new(10);
         for &(a, b) in &edges {
             if a != b {
@@ -71,30 +92,39 @@ proptest! {
             let lv = g.levels();
             for v in 0..10 {
                 for &b in g.successors(v) {
-                    prop_assert!(lv[b] > lv[v]);
+                    assert!(lv[b] > lv[v], "level not monotone on {v}->{b}");
                 }
             }
         }
     }
+}
 
-    /// Forcing a known cycle makes the graph cyclic no matter what else
-    /// is added.
-    #[test]
-    fn forced_cycle_is_found(extra in arb_edges(9, 20), k in 2usize..6) {
+/// Forcing a known cycle makes the graph cyclic no matter what else is
+/// added.
+#[test]
+fn forced_cycle_is_found() {
+    let mut rng = StdRng::seed_from_u64(0xd16e);
+    for _ in 0..CASES {
+        let extra = random_edges(&mut rng, 9, 20);
+        let k = rng.gen_range(2..6usize);
         let mut g = Digraph::new(9);
         for i in 0..k {
             g.add_edge(i, (i + 1) % k);
         }
-        for (a, b) in extra {
+        for &(a, b) in &extra {
             g.add_edge(a, b);
         }
-        prop_assert!(!g.is_acyclic());
-        prop_assert!(g.find_cycle().is_some());
+        assert!(!g.is_acyclic());
+        assert!(g.find_cycle().is_some());
     }
+}
 
-    /// Edge deduplication: adding the same edges twice changes nothing.
-    #[test]
-    fn idempotent_edges(edges in arb_edges(8, 16)) {
+/// Edge deduplication: adding the same edges twice changes nothing.
+#[test]
+fn idempotent_edges() {
+    let mut rng = StdRng::seed_from_u64(0xd16f);
+    for _ in 0..CASES {
+        let edges = random_edges(&mut rng, 8, 16);
         let mut g1 = Digraph::new(8);
         let mut g2 = Digraph::new(8);
         for &(a, b) in &edges {
@@ -102,7 +132,7 @@ proptest! {
             g2.add_edge(a, b);
             g2.add_edge(a, b);
         }
-        prop_assert_eq!(g1.num_edges(), g2.num_edges());
-        prop_assert_eq!(g1.is_acyclic(), g2.is_acyclic());
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        assert_eq!(g1.is_acyclic(), g2.is_acyclic());
     }
 }

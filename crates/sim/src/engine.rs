@@ -1,8 +1,6 @@
 //! The simulation engine: packet slab, queue state, and the three-step
 //! routing cycle (fill, link, read).
 
-use std::collections::VecDeque;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -43,6 +41,9 @@ struct Packet<M> {
     msg: M,
     /// Central-queue class on arrival (valid while staged).
     next_class: u8,
+    /// Central-queue class of the current residence (valid while queued);
+    /// the per-class occupancy accounting keys off this.
+    class: u8,
     /// Cached moves for the current queue residence.
     options: Vec<MoveOpt<M>>,
 }
@@ -94,16 +95,27 @@ pub struct OccupancyProbe {
 
 impl OccupancyProbe {
     /// Mean occupancy of queue `(node, class)` over the run.
+    ///
+    /// Total: returns 0.0 when occupancy was never tracked (or the queue
+    /// index is out of range) instead of panicking.
     pub fn mean(&self, node: usize, num_classes: usize, class: usize) -> f64 {
         if self.samples == 0 {
             return 0.0;
         }
-        self.sum[node * num_classes + class] as f64 / self.samples as f64
+        self.sum
+            .get(node * num_classes + class)
+            .map_or(0.0, |&s| s as f64 / self.samples as f64)
     }
 
     /// Peak occupancy of queue `(node, class)`.
+    ///
+    /// Total: returns 0 when occupancy was never tracked (or the queue
+    /// index is out of range) instead of panicking.
     pub fn peak(&self, node: usize, num_classes: usize, class: usize) -> u16 {
-        self.max[node * num_classes + class]
+        self.max
+            .get(node * num_classes + class)
+            .copied()
+            .unwrap_or(0)
     }
 }
 
@@ -124,16 +136,28 @@ pub struct Simulator<R: RoutingFunction> {
     cfg: SimConfig,
     layout: Layout,
     num_classes: usize,
-    /// Central queues, indexed `node * num_classes + class`.
-    queues: Vec<VecDeque<u32>>,
-    /// Queued packets per node (fill-phase skip list).
-    queued_count: Vec<u32>,
+    /// Central-queue occupancy, indexed `node * num_classes + class`.
+    /// Queue *membership* lives in `node_fifo`; only the per-class counts
+    /// are needed for capacity checks and the occupancy probe.
+    queue_len: Vec<u32>,
+    /// Per-node queued packets in FIFO-across-queues order (nondecreasing
+    /// `enqueued_at`), maintained incrementally: arrivals append at the
+    /// back, stutters re-enqueue at the back, staged packets are removed
+    /// in place. This replaces a per-cycle rebuild + sort of the same
+    /// ordering, which dominated the fill-phase cost.
+    node_fifo: Vec<Vec<u32>>,
     outbuf: Vec<u32>,
     inbuf: Vec<u32>,
     /// Occupied input buffers per node (read-phase skip list).
     in_occupied: Vec<u32>,
     /// Round-robin pointer per channel (link-phase fairness).
     chan_rr: Vec<u8>,
+    /// Occupied output buffers per channel (link-phase skip list: a
+    /// channel with nothing to send costs one byte-read per cycle
+    /// instead of a scan over its buffer classes).
+    chan_pending: Vec<u8>,
+    /// Buffer id → channel id (derived from the layout once).
+    buf_chan: Vec<u32>,
     /// Injection buffer per node (`NONE` = empty).
     inj_buf: Vec<u32>,
     packets: Vec<Packet<R::Msg>>,
@@ -148,7 +172,6 @@ pub struct Simulator<R: RoutingFunction> {
     // Scratch (reused across nodes/cycles).
     wanting: Vec<Vec<u32>>,
     stutters: Vec<u32>,
-    fifo: Vec<u32>,
 }
 
 impl<R: RoutingFunction> Simulator<R> {
@@ -159,15 +182,23 @@ impl<R: RoutingFunction> Simulator<R> {
         let n = layout.num_nodes;
         let num_classes = rf.num_classes();
         let max_out = layout.node_out_bufs.iter().map(Vec::len).max().unwrap_or(0);
+        let mut buf_chan = vec![0u32; layout.num_buffers()];
+        for chan in 0..layout.num_channels() {
+            let start = layout.chan_buf_start[chan] as usize;
+            let len = layout.chan_buf_len[chan] as usize;
+            buf_chan[start..start + len].fill(chan as u32);
+        }
         Self {
             cfg,
             num_classes,
-            queues: vec![VecDeque::new(); n * num_classes],
-            queued_count: vec![0; n],
+            queue_len: vec![0; n * num_classes],
+            node_fifo: vec![Vec::new(); n],
             outbuf: vec![NONE; layout.num_buffers()],
             inbuf: vec![NONE; layout.num_buffers()],
             in_occupied: vec![0; n],
             chan_rr: vec![0; layout.num_channels()],
+            chan_pending: vec![0; layout.num_channels()],
+            buf_chan,
             inj_buf: vec![NONE; n],
             packets: Vec::new(),
             free: Vec::new(),
@@ -180,7 +211,6 @@ impl<R: RoutingFunction> Simulator<R> {
             throughput: (cfg.throughput_window > 0).then(|| TimeSeries::new(cfg.throughput_window)),
             wanting: vec![Vec::new(); max_out],
             stutters: Vec::new(),
-            fifo: Vec::new(),
             layout,
             rf,
         }
@@ -216,14 +246,15 @@ impl<R: RoutingFunction> Simulator<R> {
     }
 
     fn reset(&mut self) {
-        for q in &mut self.queues {
-            q.clear();
+        self.queue_len.fill(0);
+        for f in &mut self.node_fifo {
+            f.clear();
         }
-        self.queued_count.fill(0);
         self.outbuf.fill(NONE);
         self.inbuf.fill(NONE);
         self.in_occupied.fill(0);
         self.chan_rr.fill(0);
+        self.chan_pending.fill(0);
         self.inj_buf.fill(NONE);
         self.packets.clear();
         self.free.clear();
@@ -236,8 +267,8 @@ impl<R: RoutingFunction> Simulator<R> {
         self.throughput =
             (self.cfg.throughput_window > 0).then(|| TimeSeries::new(self.cfg.throughput_window));
         if self.cfg.track_occupancy {
-            self.occupancy.max = vec![0; self.queues.len()];
-            self.occupancy.sum = vec![0; self.queues.len()];
+            self.occupancy.max = vec![0; self.queue_len.len()];
+            self.occupancy.sum = vec![0; self.queue_len.len()];
         }
     }
 
@@ -316,10 +347,19 @@ impl<R: RoutingFunction> Simulator<R> {
             staged: false,
             msg,
             next_class: 0,
+            class: 0,
             options: Vec::new(),
         };
         if let Some(i) = self.free.pop() {
-            self.packets[i as usize] = pkt;
+            // Keep the recycled slot's `options` allocation: replacing it
+            // with the fresh empty Vec would force every reused packet to
+            // regrow its option list from capacity 0 (a realloc storm on
+            // long dynamic runs).
+            let slot = &mut self.packets[i as usize];
+            let mut options = std::mem::take(&mut slot.options);
+            options.clear();
+            *slot = pkt;
+            slot.options = options;
             i
         } else {
             self.packets.push(pkt);
@@ -333,8 +373,8 @@ impl<R: RoutingFunction> Simulator<R> {
         self.link_phase();
         self.read_phase();
         if self.cfg.track_occupancy {
-            for (i, q) in self.queues.iter().enumerate() {
-                let len = q.len() as u16;
+            for (i, &len) in self.queue_len.iter().enumerate() {
+                let len = len as u16;
                 self.occupancy.max[i] = self.occupancy.max[i].max(len);
                 self.occupancy.sum[i] += u64::from(len);
             }
@@ -346,38 +386,25 @@ impl<R: RoutingFunction> Simulator<R> {
     /// Node cycle, part 1 (§ 7.1): "each node fills its output buffers
     /// from low to high dimensions, taking messages from the queues in
     /// FIFO order."
+    ///
+    /// FIFO-across-queues priority comes straight from `node_fifo`, which
+    /// is kept in arrival order incrementally (appends on arrival and on
+    /// stutter re-enqueue, in-place removal when staged) — no per-cycle
+    /// rebuild or sort. Same-cycle arrivals rank in the order the read
+    /// phase accepted them, which rotates per cycle and is therefore fair
+    /// across classes.
     fn fill_phase(&mut self) {
         for node in 0..self.layout.num_nodes {
-            if self.queued_count[node] == 0 {
+            if self.node_fifo[node].is_empty() {
                 continue;
             }
             let n_out = self.layout.node_out_bufs[node].len();
-            // Build per-buffer "wanting" lists in FIFO-across-queues order
-            // (arrival timestamp, ties broken by class then queue position).
+            // Build per-buffer "wanting" lists in FIFO order.
             for w in self.wanting.iter_mut().take(n_out) {
                 w.clear();
             }
             self.stutters.clear();
-            self.fifo.clear();
-            for class in 0..self.num_classes {
-                self.fifo
-                    .extend(self.queues[node * self.num_classes + class].iter().copied());
-            }
-            // Stable, allocation-free insertion sort: the scratch is small
-            // (<= classes x capacity) and already nearly sorted, since
-            // older packets sit at the front of each queue.
-            let packets = &self.packets;
-            for i in 1..self.fifo.len() {
-                let mut j = i;
-                while j > 0
-                    && packets[self.fifo[j - 1] as usize].enqueued_at
-                        > packets[self.fifo[j] as usize].enqueued_at
-                {
-                    self.fifo.swap(j - 1, j);
-                    j -= 1;
-                }
-            }
-            for &p in &self.fifo {
+            for &p in &self.node_fifo[node] {
                 let pkt = &self.packets[p as usize];
                 for opt in &pkt.options {
                     if opt.buf == NONE {
@@ -393,6 +420,7 @@ impl<R: RoutingFunction> Simulator<R> {
                 FillOrder::LowToHigh | FillOrder::HighToLow => 0,
                 FillOrder::Rotating => (self.cycle as usize) % n_out.max(1),
             };
+            let mut staged_any = false;
             for i in 0..n_out {
                 let pos = match self.cfg.fill_order {
                     FillOrder::LowToHigh => i,
@@ -419,33 +447,36 @@ impl<R: RoutingFunction> Simulator<R> {
                 pkt.next_class = opt.to_class;
                 pkt.moved_at = self.cycle;
                 pkt.staged = true;
+                staged_any = true;
                 self.outbuf[buf] = p;
+                self.chan_pending[self.buf_chan[buf] as usize] += 1;
             }
-            // Remove staged packets from their queues (order preserved).
-            let mut removed = 0u32;
-            for class in 0..self.num_classes {
-                let q = &mut self.queues[node * self.num_classes + class];
-                if q.is_empty() {
-                    continue;
-                }
+            // Remove staged packets from the node's FIFO (order preserved).
+            if staged_any {
                 let packets = &mut self.packets;
-                q.retain(|&p| {
+                let queue_len = &mut self.queue_len;
+                let num_classes = self.num_classes;
+                self.node_fifo[node].retain(|&p| {
                     let pkt = &mut packets[p as usize];
                     if pkt.staged {
                         pkt.staged = false;
-                        removed += 1;
+                        queue_len[node * num_classes + usize::from(pkt.class)] -= 1;
                         false
                     } else {
                         true
                     }
                 });
             }
-            self.queued_count[node] -= removed;
             // Internal stutters (e.g. the shuffle-exchange's degenerate
-            // one-node cycles): advance state in place, costing one cycle.
+            // one-node cycles): advance state without crossing a link,
+            // costing one cycle. A stutter whose target class differs
+            // from the current residence physically migrates the packet,
+            // subject to the target queue's capacity — a full target
+            // blocks the stutter this cycle exactly like a full output
+            // buffer blocks a link move.
             for i in 0..self.stutters.len() {
                 let p = self.stutters[i];
-                let pkt = &mut self.packets[p as usize];
+                let pkt = &self.packets[p as usize];
                 if pkt.moved_at == self.cycle {
                     continue;
                 }
@@ -454,11 +485,32 @@ impl<R: RoutingFunction> Simulator<R> {
                     .iter()
                     .find(|o| o.buf == NONE)
                     .expect("stutter option");
-                let (next, class) = (opt.next.clone(), opt.to_class);
+                let (next, to_class) = (opt.next.clone(), opt.to_class);
+                let from_class = pkt.class;
+                if to_class != from_class
+                    && self.queue_len[node * self.num_classes + usize::from(to_class)] as usize
+                        >= self.cfg.queue_capacity
+                {
+                    continue;
+                }
+                let pkt = &mut self.packets[p as usize];
                 pkt.msg = next;
                 pkt.moved_at = self.cycle;
                 pkt.enqueued_at = self.cycle;
-                self.compute_options(p, node, class);
+                if to_class != from_class {
+                    pkt.class = to_class;
+                    self.queue_len[node * self.num_classes + usize::from(from_class)] -= 1;
+                    self.queue_len[node * self.num_classes + usize::from(to_class)] += 1;
+                }
+                // Re-enqueued now: move to the back of the arrival order.
+                let fifo = &mut self.node_fifo[node];
+                let pos = fifo
+                    .iter()
+                    .position(|&x| x == p)
+                    .expect("stuttering packet is queued at its node");
+                fifo.remove(pos);
+                fifo.push(p);
+                self.compute_options(p, node, to_class);
             }
         }
     }
@@ -468,6 +520,9 @@ impl<R: RoutingFunction> Simulator<R> {
     /// only into an empty input buffer on the far side.
     fn link_phase(&mut self) {
         for chan in 0..self.layout.num_channels() {
+            if self.chan_pending[chan] == 0 {
+                continue;
+            }
             let start = self.layout.chan_buf_start[chan] as usize;
             let len = self.layout.chan_buf_len[chan] as usize;
             let rr = self.chan_rr[chan] as usize;
@@ -477,6 +532,7 @@ impl<R: RoutingFunction> Simulator<R> {
                     self.inbuf[b] = self.outbuf[b];
                     self.packets[self.outbuf[b] as usize].hops += 1;
                     self.outbuf[b] = NONE;
+                    self.chan_pending[chan] -= 1;
                     self.in_occupied[self.layout.chan_to[chan] as usize] += 1;
                     self.chan_rr[chan] = ((rr + i + 1) % len) as u8;
                     break;
@@ -529,12 +585,14 @@ impl<R: RoutingFunction> Simulator<R> {
         }
         let class = usize::from(pkt.next_class);
         let q = node * self.num_classes + class;
-        if self.queues[q].len() >= self.cfg.queue_capacity {
+        if self.queue_len[q] as usize >= self.cfg.queue_capacity {
             return false;
         }
-        self.packets[p as usize].enqueued_at = self.cycle;
-        self.queues[q].push_back(p);
-        self.queued_count[node] += 1;
+        let pkt = &mut self.packets[p as usize];
+        pkt.enqueued_at = self.cycle;
+        pkt.class = class as u8;
+        self.queue_len[q] += 1;
+        self.node_fifo[node].push(p);
         self.compute_options(p, node, class as u8);
         true
     }
@@ -558,12 +616,14 @@ impl<R: RoutingFunction> Simulator<R> {
             });
         let class = usize::from(entry.expect("injection transition exists"));
         let q = node * self.num_classes + class;
-        if self.queues[q].len() >= self.cfg.queue_capacity {
+        if self.queue_len[q] as usize >= self.cfg.queue_capacity {
             return false;
         }
-        self.packets[p as usize].enqueued_at = self.cycle;
-        self.queues[q].push_back(p);
-        self.queued_count[node] += 1;
+        let pkt = &mut self.packets[p as usize];
+        pkt.enqueued_at = self.cycle;
+        pkt.class = class as u8;
+        self.queue_len[q] += 1;
+        self.node_fifo[node].push(p);
         self.compute_options(p, node, class as u8);
         true
     }
@@ -572,7 +632,10 @@ impl<R: RoutingFunction> Simulator<R> {
         let pkt = &self.packets[p as usize];
         let latency = 2 * (self.cycle - pkt.inject_cycle) + 1;
         if self.cfg.check_minimality {
-            let d = self.rf.topology().distance(pkt.src as usize, pkt.dst as usize);
+            let d = self
+                .rf
+                .topology()
+                .distance(pkt.src as usize, pkt.dst as usize);
             if usize::from(pkt.hops) != d {
                 self.minimality_violations += 1;
             }
@@ -590,10 +653,13 @@ impl<R: RoutingFunction> Simulator<R> {
     fn compute_options(&mut self, p: u32, node: usize, class: u8) {
         let mut opts = std::mem::take(&mut self.packets[p as usize].options);
         opts.clear();
-        let msg = self.packets[p as usize].msg.clone();
+        // Borrow the message in place: `rf`, `packets`, and `layout` are
+        // disjoint fields and all borrowed immutably here, so the hot
+        // path needs no `msg.clone()`.
+        let msg = &self.packets[p as usize].msg;
         let layout = &self.layout;
         self.rf
-            .for_each_transition(QueueId::central(node, class), &msg, &mut |t| match t.hop {
+            .for_each_transition(QueueId::central(node, class), msg, &mut |t| match t.hop {
                 HopKind::Link(port) => {
                     let (bc, to_class) = match (t.kind, t.to.kind) {
                         (LinkKind::Static, QueueKind::Central(c)) => (BufferClass::Static(c), c),

@@ -370,7 +370,10 @@ fn low_lambda_dynamic_is_nearly_uncongested() {
 fn minimality_holds_at_scale() {
     let n = 10;
     let size = 1usize << n;
-    let config = SimConfig { check_minimality: true, ..SimConfig::default() };
+    let config = SimConfig {
+        check_minimality: true,
+        ..SimConfig::default()
+    };
     let mut sim = Simulator::new(HypercubeFullyAdaptive::new(n), config);
     let mut rng = StdRng::seed_from_u64(41);
     let backlog = static_backlog(&Pattern::Random, size, 3, &mut rng);
@@ -385,7 +388,10 @@ fn minimality_holds_at_scale() {
 fn shuffle_exchange_is_detectably_non_minimal() {
     let n = 4;
     let size = 1usize << n;
-    let config = SimConfig { check_minimality: true, ..SimConfig::default() };
+    let config = SimConfig {
+        check_minimality: true,
+        ..SimConfig::default()
+    };
     let mut sim = Simulator::new(ShuffleExchangeRouting::new(n), config);
     let mut rng = StdRng::seed_from_u64(43);
     let backlog = static_backlog(&Pattern::Random, size, 2, &mut rng);

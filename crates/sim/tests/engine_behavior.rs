@@ -2,7 +2,8 @@
 //! fairness, capacity enforcement, fill-order effects, and timing lower
 //! bounds.
 
-use fadr_core::{HypercubeFullyAdaptive, MeshFullyAdaptive};
+use fadr_core::{HypercubeFullyAdaptive, MeshFullyAdaptive, ShuffleExchangeRouting};
+use fadr_qdg::RoutingFunction;
 use fadr_sim::{FillOrder, SimConfig, Simulator};
 use fadr_topology::{hamming_distance, Topology};
 use fadr_workloads::{static_backlog, Pattern};
@@ -61,7 +62,11 @@ fn fill_orders_agree_when_uncontended() {
     let n = 6;
     let size = 1usize << n;
     let mut lone_latencies = Vec::new();
-    for order in [FillOrder::LowToHigh, FillOrder::HighToLow, FillOrder::Rotating] {
+    for order in [
+        FillOrder::LowToHigh,
+        FillOrder::HighToLow,
+        FillOrder::Rotating,
+    ] {
         let cfg = SimConfig {
             fill_order: order,
             ..SimConfig::default()
@@ -74,7 +79,10 @@ fn fill_orders_agree_when_uncontended() {
         lone_latencies.push(res.stats.max());
     }
     let want = 2 * hamming_distance(5, 5 ^ 0b111000) as u64 + 1;
-    assert!(lone_latencies.iter().all(|&l| l == want), "{lone_latencies:?}");
+    assert!(
+        lone_latencies.iter().all(|&l| l == want),
+        "{lone_latencies:?}"
+    );
 }
 
 /// Loaded runs under different fill orders all drain (the § 7.1 rule is a
@@ -83,7 +91,11 @@ fn fill_orders_agree_when_uncontended() {
 fn fill_orders_all_drain_under_load() {
     let n = 6;
     let size = 1usize << n;
-    for order in [FillOrder::LowToHigh, FillOrder::HighToLow, FillOrder::Rotating] {
+    for order in [
+        FillOrder::LowToHigh,
+        FillOrder::HighToLow,
+        FillOrder::Rotating,
+    ] {
         let cfg = SimConfig {
             fill_order: order,
             ..SimConfig::default()
@@ -138,7 +150,7 @@ fn deterministic_histograms() {
 
 /// The topology exposed by the simulator matches the routing function's.
 #[test]
-fn simulator_reflects_routing_function()  {
+fn simulator_reflects_routing_function() {
     let rf = HypercubeFullyAdaptive::new(5);
     let name = fadr_qdg::RoutingFunction::name(&rf);
     let sim = Simulator::new(rf, SimConfig::default());
@@ -147,6 +159,79 @@ fn simulator_reflects_routing_function()  {
     assert_eq!(sim.routing().cube().dims(), 5);
     let _ = sim.routing().cube().num_nodes();
     let _ = Topology::name(sim.routing().cube());
+}
+
+/// Regression: a stutter whose target class differs from the current
+/// residence (the shuffle-exchange's degenerate one-node cycles cross a
+/// phase boundary in place) must physically migrate the packet between
+/// class queues, respecting the target's capacity. The per-class
+/// occupancy accounting is therefore exact: no class ever exceeds the
+/// configured capacity, and the phase-2 classes actually fill up at the
+/// degenerate nodes (under the old bookkeeping the packet stayed in its
+/// phase-1 queue while routing as phase-2).
+#[test]
+fn se_stutter_migrates_between_class_queues() {
+    let n = 4;
+    let size = 1usize << n;
+    for cap in [1usize, 2, 5] {
+        let cfg = SimConfig {
+            queue_capacity: cap,
+            track_occupancy: true,
+            seed: 0x5e5e,
+            ..SimConfig::default()
+        };
+        let rf = ShuffleExchangeRouting::new(n);
+        let nc = rf.num_classes();
+        let mut sim = Simulator::new(rf, cfg);
+        let mut rng = StdRng::seed_from_u64(41);
+        let backlog = static_backlog(&Pattern::Random, size, 2 * n, &mut rng);
+        let total: u64 = backlog.iter().map(|b| b.len() as u64).sum();
+        let res = sim.run_static(&backlog);
+        assert!(res.drained, "cap {cap} stalled");
+        assert_eq!(res.delivered, total);
+        let probe = sim.occupancy();
+        let mut phase2_peak = 0u16;
+        for v in 0..size {
+            for c in 0..nc {
+                let peak = probe.peak(v, nc, c);
+                assert!(
+                    usize::from(peak) <= cap,
+                    "cap {cap} exceeded at node {v} class {c}: {peak}"
+                );
+                if c >= nc / 2 {
+                    phase2_peak = phase2_peak.max(peak);
+                }
+            }
+        }
+        assert!(
+            phase2_peak > 0,
+            "no packet was ever counted in a phase-2 class"
+        );
+    }
+}
+
+/// Regression: the occupancy probe accessors are total — when occupancy
+/// was never tracked (or the index is out of range) they report zero
+/// instead of panicking on the empty sample vectors.
+#[test]
+fn occupancy_probe_is_total_when_untracked() {
+    let n = 5;
+    let size = 1usize << n;
+    // track_occupancy defaults to false.
+    let mut sim = Simulator::new(HypercubeFullyAdaptive::new(n), SimConfig::default());
+    let mut rng = StdRng::seed_from_u64(43);
+    let backlog = static_backlog(&Pattern::Random, size, 2, &mut rng);
+    assert!(sim.run_static(&backlog).drained);
+    let probe = sim.occupancy();
+    for v in 0..size {
+        for c in 0..2 {
+            assert_eq!(probe.peak(v, 2, c), 0);
+            assert_eq!(probe.mean(v, 2, c), 0.0);
+        }
+    }
+    // Out-of-range queries are zero too, tracked or not.
+    assert_eq!(probe.peak(size + 7, 2, 1), 0);
+    assert_eq!(probe.mean(size + 7, 2, 1), 0.0);
 }
 
 /// The throughput time series accounts for every delivered packet and

@@ -1,114 +1,145 @@
-//! Property-based tests of the topology substrates.
+//! Randomized property tests of the topology substrates. (Formerly
+//! proptest-based; now seeded loops over the workspace RNG so the suite
+//! has no external dependencies.)
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use fadr_topology::{
     graph, hamming_distance, CubeConnectedCycles, Hypercube, Mesh2D, MeshKD, ShuffleExchange,
     Topology, Torus2D,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 128;
 
-    /// Hypercube closed-form distance equals BFS for arbitrary pairs.
-    #[test]
-    fn hypercube_distance_is_hamming(a in 0usize..128, b in 0usize..128) {
-        let h = Hypercube::new(7);
-        prop_assert_eq!(h.distance(a, b), hamming_distance(a, b));
-        prop_assert_eq!(h.distance(a, b), graph::bfs_distance(&h, a, b).unwrap());
+/// Hypercube closed-form distance equals BFS for arbitrary pairs.
+#[test]
+fn hypercube_distance_is_hamming() {
+    let mut rng = StdRng::seed_from_u64(0x70b0);
+    let h = Hypercube::new(7);
+    for _ in 0..CASES {
+        let (a, b) = (rng.gen_range(0..128usize), rng.gen_range(0..128usize));
+        assert_eq!(h.distance(a, b), hamming_distance(a, b));
+        assert_eq!(h.distance(a, b), graph::bfs_distance(&h, a, b).unwrap());
     }
+}
 
-    /// Mesh distance is the Manhattan metric and satisfies the triangle
-    /// inequality.
-    #[test]
-    fn mesh_triangle_inequality(
-        a in 0usize..35,
-        b in 0usize..35,
-        c in 0usize..35,
-    ) {
-        let m = Mesh2D::new(7, 5);
-        prop_assert!(m.distance(a, c) <= m.distance(a, b) + m.distance(b, c));
-        prop_assert_eq!(m.distance(a, b), m.distance(b, a));
+/// Mesh distance is the Manhattan metric and satisfies the triangle
+/// inequality.
+#[test]
+fn mesh_triangle_inequality() {
+    let mut rng = StdRng::seed_from_u64(0x70b1);
+    let m = Mesh2D::new(7, 5);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            rng.gen_range(0..35usize),
+            rng.gen_range(0..35usize),
+            rng.gen_range(0..35usize),
+        );
+        assert!(m.distance(a, c) <= m.distance(a, b) + m.distance(b, c));
+        assert_eq!(m.distance(a, b), m.distance(b, a));
     }
+}
 
-    /// Torus distance never exceeds the mesh distance on the same grid
-    /// (wraparound can only help) and obeys the triangle inequality.
-    #[test]
-    fn torus_wraparound_helps(a in 0usize..30, b in 0usize..30, c in 0usize..30) {
-        let t = Torus2D::new(6, 5);
-        let m = Mesh2D::new(6, 5);
-        prop_assert!(t.distance(a, b) <= m.distance(a, b));
-        prop_assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+/// Torus distance never exceeds the mesh distance on the same grid
+/// (wraparound can only help) and obeys the triangle inequality.
+#[test]
+fn torus_wraparound_helps() {
+    let mut rng = StdRng::seed_from_u64(0x70b2);
+    let t = Torus2D::new(6, 5);
+    let m = Mesh2D::new(6, 5);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            rng.gen_range(0..30usize),
+            rng.gen_range(0..30usize),
+            rng.gen_range(0..30usize),
+        );
+        assert!(t.distance(a, b) <= m.distance(a, b));
+        assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
     }
+}
 
-    /// Every minimal port really decreases the distance by one, on every
-    /// topology.
-    #[test]
-    fn minimal_ports_decrease_distance(a in 0usize..24, b in 0usize..24) {
-        prop_assume!(a != b);
-        let topos: Vec<Box<dyn Topology>> = vec![
-            Box::new(Hypercube::new(5)),
-            Box::new(Mesh2D::new(6, 4)),
-            Box::new(Torus2D::new(6, 4)),
-            Box::new(CubeConnectedCycles::new(3)),
-        ];
+/// Every minimal port really decreases the distance by one, on every
+/// topology.
+#[test]
+fn minimal_ports_decrease_distance() {
+    let mut rng = StdRng::seed_from_u64(0x70b3);
+    let topos: Vec<Box<dyn Topology>> = vec![
+        Box::new(Hypercube::new(5)),
+        Box::new(Mesh2D::new(6, 4)),
+        Box::new(Torus2D::new(6, 4)),
+        Box::new(CubeConnectedCycles::new(3)),
+    ];
+    for _ in 0..CASES {
+        let (a, b) = (rng.gen_range(0..24usize), rng.gen_range(0..24usize));
+        if a == b {
+            continue;
+        }
         for t in &topos {
             let d = t.distance(a, b);
             let ports = t.minimal_ports(a, b);
-            prop_assert!(!ports.is_empty(), "{}", t.name());
+            assert!(!ports.is_empty(), "{}", t.name());
             for (p, v) in ports {
-                prop_assert_eq!(t.neighbor(a, p), Some(v));
-                prop_assert_eq!(t.distance(v, b) + 1, d);
+                assert_eq!(t.neighbor(a, p), Some(v));
+                assert_eq!(t.distance(v, b) + 1, d);
             }
         }
     }
+}
 
-    /// MeshKD id/coordinate round trip.
-    #[test]
-    fn meshkd_coords_roundtrip(v in 0usize..60) {
-        let m = MeshKD::new(&[3, 4, 5]);
-        prop_assert_eq!(m.node_at(&m.coords(v)), v);
+/// MeshKD id/coordinate round trip.
+#[test]
+fn meshkd_coords_roundtrip() {
+    let m = MeshKD::new(&[3, 4, 5]);
+    for v in 0..60 {
+        assert_eq!(m.node_at(&m.coords(v)), v);
     }
+}
 
-    /// Shuffle-exchange: shuffle preserves weight, exchange changes it by
-    /// exactly one, and unshuffle inverts shuffle.
-    #[test]
-    fn shuffle_exchange_structure(u in 0usize..64) {
-        let se = ShuffleExchange::new(6);
-        prop_assert_eq!(se.unshuffle(se.shuffle(u)), u);
-        prop_assert_eq!(
+/// Shuffle-exchange: shuffle preserves weight, exchange changes it by
+/// exactly one, and unshuffle inverts shuffle.
+#[test]
+fn shuffle_exchange_structure() {
+    let se = ShuffleExchange::new(6);
+    for u in 0..64usize {
+        assert_eq!(se.unshuffle(se.shuffle(u)), u);
+        assert_eq!(
             fadr_topology::hamming_weight(se.shuffle(u)),
             fadr_topology::hamming_weight(u)
         );
         let dw = fadr_topology::hamming_weight(se.exchange(u)) as isize
             - fadr_topology::hamming_weight(u) as isize;
-        prop_assert_eq!(dw.abs(), 1);
+        assert_eq!(dw.abs(), 1);
     }
+}
 
-    /// Cycle positions are consistent: `pos(shuffle(u)) == pos(u) + 1`
-    /// except when leaving the break node's predecessor wraps to 0.
-    #[test]
-    fn cycle_positions_advance(u in 0usize..64) {
-        let se = ShuffleExchange::new(6);
+/// Cycle positions are consistent: `pos(shuffle(u)) == pos(u) + 1`
+/// except when leaving the break node's predecessor wraps to 0.
+#[test]
+fn cycle_positions_advance() {
+    let se = ShuffleExchange::new(6);
+    for u in 0..64usize {
         let v = se.shuffle(u);
         if v != u {
             let (pu, pv) = (se.cycle_position(u), se.cycle_position(v));
-            prop_assert!(pv == pu + 1 || pv == 0, "pos {pu} -> {pv}");
+            assert!(pv == pu + 1 || pv == 0, "pos {pu} -> {pv}");
         }
     }
+}
 
-    /// Reverse ports invert every bidirectional link.
-    #[test]
-    fn reverse_ports_invert(v in 0usize..48, p in 0usize..4) {
-        let topos: Vec<Box<dyn Topology>> = vec![
-            Box::new(Mesh2D::new(8, 6)),
-            Box::new(Torus2D::new(8, 6)),
-            Box::new(CubeConnectedCycles::new(4)),
-        ];
-        for t in &topos {
-            if v < t.num_nodes() && p < t.max_ports() {
+/// Reverse ports invert every bidirectional link.
+#[test]
+fn reverse_ports_invert() {
+    let topos: Vec<Box<dyn Topology>> = vec![
+        Box::new(Mesh2D::new(8, 6)),
+        Box::new(Torus2D::new(8, 6)),
+        Box::new(CubeConnectedCycles::new(4)),
+    ];
+    for t in &topos {
+        for v in 0..t.num_nodes() {
+            for p in 0..t.max_ports() {
                 if let (Some(u), Some(rp)) = (t.neighbor(v, p), t.reverse_port(v, p)) {
-                    prop_assert_eq!(t.neighbor(u, rp), Some(v), "{}", t.name());
+                    assert_eq!(t.neighbor(u, rp), Some(v), "{}", t.name());
                 }
             }
         }

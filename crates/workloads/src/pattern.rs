@@ -86,26 +86,30 @@ impl Pattern {
     }
 
     /// Draw the destination for a packet injected at `src`.
+    ///
+    /// Degenerate sizes are total: a 1-node network has no destination
+    /// other than the source, so `Random` (and a hotspot sending from
+    /// itself) returns `src` — the simulator delivers such self-addressed
+    /// packets locally. Larger networks never draw `src`.
     pub fn draw<R: Rng>(&self, src: NodeId, num_nodes: usize, rng: &mut R) -> NodeId {
-        match self {
-            Pattern::Random => {
-                // Uniform over V \ {src} (§ 7, footnote 2).
-                let d = rng.gen_range(0..num_nodes - 1);
-                if d >= src {
-                    d + 1
-                } else {
-                    d
-                }
+        // Uniform over V \ {src} (§ 7, footnote 2); total for N = 1.
+        fn other_than<R: Rng>(src: NodeId, num_nodes: usize, rng: &mut R) -> NodeId {
+            if num_nodes <= 1 {
+                return src;
             }
+            let d = rng.gen_range(0..num_nodes - 1);
+            if d >= src {
+                d + 1
+            } else {
+                d
+            }
+        }
+        match self {
+            Pattern::Random => other_than(src, num_nodes, rng),
             Pattern::Map(map) => map[src],
             Pattern::Hotspot(target) => {
                 if src == *target {
-                    let d = rng.gen_range(0..num_nodes - 1);
-                    if d >= src {
-                        d + 1
-                    } else {
-                        d
-                    }
+                    other_than(src, num_nodes, rng)
                 } else {
                     *target
                 }
@@ -179,6 +183,18 @@ mod tests {
     }
 
     #[test]
+    fn one_node_network_draws_are_total() {
+        // With a single node the only possible destination is the source;
+        // draw must not panic (it used to call gen_range(0..0)).
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(Pattern::Random.draw(0, 1, &mut rng), 0);
+        assert_eq!(Pattern::Hotspot(0).draw(0, 1, &mut rng), 0);
+        // Two nodes: the draw is forced but well-defined.
+        assert_eq!(Pattern::Random.draw(0, 2, &mut rng), 1);
+        assert_eq!(Pattern::Random.draw(1, 2, &mut rng), 0);
+    }
+
+    #[test]
     fn random_permutation_is_bijection() {
         let mut rng = StdRng::seed_from_u64(3);
         if let Pattern::Map(m) = Pattern::random_permutation(32, &mut rng) {
@@ -195,10 +211,22 @@ mod tests {
 
 /// Torus/grid-specific pattern constructors.
 impl Pattern {
-    /// Tornado on a `side × side` torus: every node sends `⌊side/2⌋ - ...`
-    /// half-way around its x-ring — the classic adversarial torus pattern
-    /// that concentrates load in one rotational direction.
+    /// Tornado on a `side × side` torus: every node sends
+    /// `⌈side/2⌉ - 1` hops around its x-ring — the classic adversarial
+    /// torus pattern that concentrates load in one rotational direction.
+    ///
+    /// A meaningful tornado needs `side >= 3`: on a 1- or 2-wide ring the
+    /// shift formula degenerates to 0 (all-self traffic, and for
+    /// `side = 0` it would underflow), which silently measures nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side < 3`.
     pub fn tornado(side: usize) -> Self {
+        assert!(
+            side >= 3,
+            "tornado needs side >= 3 (side {side} gives shift 0: all-self traffic)"
+        );
         let shift = side.div_ceil(2) - 1; // just under half way
         Self::Map(
             (0..side * side)
@@ -245,6 +273,33 @@ mod grid_tests {
         assert_eq!(p.draw(0, 36, &mut rng), 2);
         // Wraps: (5,1) -> (1,1).
         assert_eq!(p.draw(11, 36, &mut rng), 7);
+    }
+
+    #[test]
+    fn tornado_shift_is_nonzero_for_valid_sides() {
+        for side in 3..10 {
+            if let Pattern::Map(m) = Pattern::tornado(side) {
+                // No node sends to itself: the shift is in 1..side.
+                for (v, &d) in m.iter().enumerate() {
+                    assert_ne!(v, d, "side {side}");
+                }
+            } else {
+                panic!("expected map");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tornado needs side >= 3")]
+    fn tornado_rejects_degenerate_side_two() {
+        let _ = Pattern::tornado(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "tornado needs side >= 3")]
+    fn tornado_rejects_side_zero() {
+        // side = 0 previously underflowed in the shift computation.
+        let _ = Pattern::tornado(0);
     }
 
     #[test]

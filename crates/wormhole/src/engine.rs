@@ -233,8 +233,8 @@ impl<R: RoutingFunction> WormholeSim<R> {
                 if lambda < 1.0 && !rng.gen_bool(lambda) {
                     continue;
                 }
-                let idle = active[src] == NONE
-                    || self.worms[active[src] as usize].flits_at_source == 0;
+                let idle =
+                    active[src] == NONE || self.worms[active[src] as usize].flits_at_source == 0;
                 if idle {
                     let dst = dest(src, rng);
                     active[src] = self.spawn(src, dst);
@@ -290,12 +290,21 @@ impl<R: RoutingFunction> WormholeSim<R> {
             for (w, worm) in self.worms.iter().enumerate() {
                 eprintln!(
                     "cycle {} worm {w}: header {:?} first_vc {} at_src {} delivered {}",
-                    self.cycle, worm.header, worm.first_vc, worm.flits_at_source, worm.delivered_flits
+                    self.cycle,
+                    worm.header,
+                    worm.first_vc,
+                    worm.flits_at_source,
+                    worm.delivered_flits
                 );
             }
             for (i, vc) in self.vcs.iter().enumerate() {
                 if vc.owner != NONE || !vc.fifo.is_empty() {
-                    eprintln!("  vc {i}: owner {} next {} fifo {}", vc.owner, vc.route_next, vc.fifo.len());
+                    eprintln!(
+                        "  vc {i}: owner {} next {} fifo {}",
+                        vc.owner,
+                        vc.route_next,
+                        vc.fifo.len()
+                    );
                 }
             }
         }

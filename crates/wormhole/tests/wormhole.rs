@@ -144,8 +144,15 @@ fn escape_only_mode_is_safe_and_no_faster() {
     let mut rng = StdRng::seed_from_u64(21);
     let backlog = static_backlog(&Pattern::complement(n), size, 2, &mut rng);
 
-    let adaptive_cfg = WormConfig { message_length: 6, ..WormConfig::default() };
-    let safe_cfg = WormConfig { message_length: 6, use_dynamic_vcs: false, ..WormConfig::default() };
+    let adaptive_cfg = WormConfig {
+        message_length: 6,
+        ..WormConfig::default()
+    };
+    let safe_cfg = WormConfig {
+        message_length: 6,
+        use_dynamic_vcs: false,
+        ..WormConfig::default()
+    };
 
     let mut sim = WormholeSim::new(HypercubeFullyAdaptive::new(n), adaptive_cfg);
     let res_a = sim.run_static(&backlog);
@@ -162,14 +169,21 @@ fn dynamic_wormhole_sustains_load() {
     use rand::Rng as _;
     let n = 6;
     let size = 1usize << n;
-    let cfg = WormConfig { message_length: 4, ..WormConfig::default() };
+    let cfg = WormConfig {
+        message_length: 4,
+        ..WormConfig::default()
+    };
     let mut sim = WormholeSim::new(HypercubeFullyAdaptive::new(n), cfg);
     let mut rng = StdRng::seed_from_u64(77);
     let res = sim.run_dynamic(
         0.2,
         |src, rng| {
             let d = rng.gen_range(0..size - 1);
-            if d >= src { d + 1 } else { d }
+            if d >= src {
+                d + 1
+            } else {
+                d
+            }
         },
         600,
         &mut rng,

@@ -24,11 +24,19 @@ fn main() {
         let backlog = static_backlog(&pattern, size, 2, &mut rng);
         let mut line = format!("  {wname:<11}");
         for (mode, dynamic) in [("adaptive", true), ("escape-only", false)] {
-            let cfg = WormConfig { message_length: 8, use_dynamic_vcs: dynamic, ..WormConfig::default() };
+            let cfg = WormConfig {
+                message_length: 8,
+                use_dynamic_vcs: dynamic,
+                ..WormConfig::default()
+            };
             let mut sim = WormholeSim::new(HypercubeFullyAdaptive::new(n), cfg);
             let res = sim.run_static(&backlog);
             assert!(res.drained, "{wname}/{mode} stalled");
-            line.push_str(&format!("  {mode}: L_avg = {:>6.2}, L_max = {:>3}", res.stats.mean(), res.stats.max()));
+            line.push_str(&format!(
+                "  {mode}: L_avg = {:>6.2}, L_max = {:>3}",
+                res.stats.mean(),
+                res.stats.max()
+            ));
         }
         println!("{line}");
     }

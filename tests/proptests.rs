@@ -1,10 +1,16 @@
-//! Property-based tests (proptest) on the core invariants.
+//! Randomized property tests on the core invariants. (Formerly
+//! proptest-based; now seeded loops over the workspace RNG so the suite
+//! has no external dependencies. Each test exercises the same property
+//! over dozens of random cases.)
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use fadroute::prelude::*;
 use fadroute::qdg::{HopKind, LinkKind};
 use fadroute::topology::{graph, hamming_distance};
+
+const CASES: usize = 64;
 
 /// Walk a message greedily through `R̃`, always taking the `choice`-th
 /// available transition, and return the link-hop count to delivery.
@@ -34,155 +40,184 @@ fn greedy_walk<RF: RoutingFunction>(rf: &RF, src: NodeId, dst: NodeId, mut choic
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any adversarially-chosen sequence of R̃ choices delivers a
-    /// hypercube packet in exactly Hamming-distance hops (minimality +
-    /// no dead ends).
-    #[test]
-    fn hypercube_walks_are_minimal(
-        src in 0usize..64,
-        dst in 0usize..64,
-        choice in any::<u64>(),
-    ) {
-        prop_assume!(src != dst);
-        let rf = HypercubeFullyAdaptive::new(6);
-        let hops = greedy_walk(&rf, src, dst, choice);
-        prop_assert_eq!(hops, hamming_distance(src, dst));
-    }
-
-    /// Same for the mesh: exactly Manhattan distance.
-    #[test]
-    fn mesh_walks_are_minimal(
-        src in 0usize..36,
-        dst in 0usize..36,
-        choice in any::<u64>(),
-    ) {
-        prop_assume!(src != dst);
-        let rf = MeshFullyAdaptive::new(6, 6);
-        let d = rf.topology().distance(src, dst);
-        let hops = greedy_walk(&rf, src, dst, choice);
-        prop_assert_eq!(hops, d);
-    }
-
-    /// Torus: exactly wraparound distance.
-    #[test]
-    fn torus_walks_are_minimal(
-        src in 0usize..25,
-        dst in 0usize..25,
-        choice in any::<u64>(),
-    ) {
-        prop_assume!(src != dst);
-        let rf = TorusTwoPhase::new(5, 5);
-        let d = rf.topology().distance(src, dst);
-        let hops = greedy_walk(&rf, src, dst, choice);
-        prop_assert_eq!(hops, d);
-    }
-
-    /// Shuffle-exchange: any walk delivers within 3n link hops (Theorem 3),
-    /// for both the adaptive and static variants.
-    #[test]
-    fn shuffle_exchange_walks_are_bounded(
-        src in 0usize..32,
-        dst in 0usize..32,
-        choice in any::<u64>(),
-        dynamic in any::<bool>(),
-    ) {
-        prop_assume!(src != dst);
-        let n = 5;
-        let rf = if dynamic {
-            ShuffleExchangeRouting::new(n)
-        } else {
-            ShuffleExchangeRouting::without_dynamic_links(n)
-        };
-        let hops = greedy_walk(&rf, src, dst, choice);
-        prop_assert!(hops <= 3 * n, "{} hops", hops);
-    }
-
-    /// Static-link hops only still deliver (condition 3 / the underlying
-    /// DAG route always exists): restrict choices to static transitions.
-    #[test]
-    fn hypercube_static_only_walks_deliver(
-        src in 0usize..32,
-        dst in 0usize..32,
-    ) {
-        prop_assume!(src != dst);
-        let rf = HypercubeFullyAdaptive::new(5);
-        let mut q = QueueId::inject(src);
-        let mut msg = rf.initial_msg(src, dst);
-        let mut steps = 0;
-        while q.kind != QueueKind::Deliver {
-            steps += 1;
-            prop_assert!(steps < 1000);
-            let ts = rf.transitions(q, &msg);
-            let t = ts.iter().find(|t| t.kind == LinkKind::Static).expect("static escape");
-            q = t.to;
-            msg = t.msg;
+/// Any adversarially-chosen sequence of R̃ choices delivers a hypercube
+/// packet in exactly Hamming-distance hops (minimality + no dead ends).
+#[test]
+fn hypercube_walks_are_minimal() {
+    let mut rng = StdRng::seed_from_u64(0xf00d);
+    let rf = HypercubeFullyAdaptive::new(6);
+    for _ in 0..CASES {
+        let (src, dst) = (rng.gen_range(0..64usize), rng.gen_range(0..64usize));
+        if src == dst {
+            continue;
         }
-        prop_assert_eq!(q.node, dst);
+        let hops = greedy_walk(&rf, src, dst, rng.gen_range(0..u64::MAX));
+        assert_eq!(hops, hamming_distance(src, dst));
     }
+}
 
-    /// Simulator invariant: every static run drains and delivers exactly
-    /// the injected packet count, whatever the (pattern-free) random
-    /// destination multiset.
-    #[test]
-    fn simulator_conserves_packets(
-        seed in any::<u64>(),
-        packets in 1usize..4,
-    ) {
+/// Same for the mesh: exactly Manhattan distance.
+#[test]
+fn mesh_walks_are_minimal() {
+    let mut rng = StdRng::seed_from_u64(0xf00e);
+    let rf = MeshFullyAdaptive::new(6, 6);
+    for _ in 0..CASES {
+        let (src, dst) = (rng.gen_range(0..36usize), rng.gen_range(0..36usize));
+        if src == dst {
+            continue;
+        }
+        let d = rf.topology().distance(src, dst);
+        assert_eq!(greedy_walk(&rf, src, dst, rng.gen_range(0..u64::MAX)), d);
+    }
+}
+
+/// Torus: exactly wraparound distance.
+#[test]
+fn torus_walks_are_minimal() {
+    let mut rng = StdRng::seed_from_u64(0xf00f);
+    let rf = TorusTwoPhase::new(5, 5);
+    for _ in 0..CASES {
+        let (src, dst) = (rng.gen_range(0..25usize), rng.gen_range(0..25usize));
+        if src == dst {
+            continue;
+        }
+        let d = rf.topology().distance(src, dst);
+        assert_eq!(greedy_walk(&rf, src, dst, rng.gen_range(0..u64::MAX)), d);
+    }
+}
+
+/// Shuffle-exchange: any walk delivers within 3n link hops (Theorem 3),
+/// for both the adaptive and static variants.
+#[test]
+fn shuffle_exchange_walks_are_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xf010);
+    let n = 5;
+    let adaptive = ShuffleExchangeRouting::new(n);
+    let static_rf = ShuffleExchangeRouting::without_dynamic_links(n);
+    for _ in 0..CASES {
+        let (src, dst) = (rng.gen_range(0..32usize), rng.gen_range(0..32usize));
+        if src == dst {
+            continue;
+        }
+        let choice = rng.gen_range(0..u64::MAX);
+        for hops in [
+            greedy_walk(&adaptive, src, dst, choice),
+            greedy_walk(&static_rf, src, dst, choice),
+        ] {
+            assert!(hops <= 3 * n, "{hops} hops");
+        }
+    }
+}
+
+/// Static-link hops only still deliver (condition 3 / the underlying
+/// DAG route always exists): restrict choices to static transitions.
+#[test]
+fn hypercube_static_only_walks_deliver() {
+    let rf = HypercubeFullyAdaptive::new(5);
+    for src in 0..32usize {
+        for dst in 0..32usize {
+            if src == dst {
+                continue;
+            }
+            let mut q = QueueId::inject(src);
+            let mut msg = rf.initial_msg(src, dst);
+            let mut steps = 0;
+            while q.kind != QueueKind::Deliver {
+                steps += 1;
+                assert!(steps < 1000);
+                let ts = rf.transitions(q, &msg);
+                let t = ts
+                    .iter()
+                    .find(|t| t.kind == LinkKind::Static)
+                    .expect("static escape");
+                q = t.to;
+                msg = t.msg;
+            }
+            assert_eq!(q.node, dst);
+        }
+    }
+}
+
+/// Simulator invariant: every static run drains and delivers exactly
+/// the injected packet count, whatever the (pattern-free) random
+/// destination multiset.
+#[test]
+fn simulator_conserves_packets() {
+    let mut seeder = StdRng::seed_from_u64(0xf011);
+    for _ in 0..16 {
+        let seed = seeder.gen_range(0..u64::MAX);
+        let packets = seeder.gen_range(1..4usize);
         let n = 5;
         let size = 1usize << n;
-        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let cfg = SimConfig {
+            seed,
+            ..SimConfig::default()
+        };
         let mut sim = Simulator::new(HypercubeFullyAdaptive::new(n), cfg);
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
         let backlog = static_backlog(&Pattern::Random, size, packets, &mut rng);
         let res = sim.run_static(&backlog);
-        prop_assert!(res.drained);
-        prop_assert_eq!(res.delivered, (size * packets) as u64);
+        assert!(res.drained);
+        assert_eq!(res.delivered, (size * packets) as u64);
         // Latencies are odd (2k+1) and at least 1.
-        prop_assert!(res.stats.min() >= 1);
-        prop_assert_eq!(res.stats.min() % 2, 1);
-        prop_assert_eq!(res.stats.max() % 2, 1);
+        assert!(res.stats.min() >= 1);
+        assert_eq!(res.stats.min() % 2, 1);
+        assert_eq!(res.stats.max() % 2, 1);
     }
+}
 
-    /// LatencyStats agrees with a naive recomputation.
-    #[test]
-    fn latency_stats_matches_naive(values in proptest::collection::vec(0u64..500, 1..200)) {
+/// LatencyStats agrees with a naive recomputation.
+#[test]
+fn latency_stats_matches_naive() {
+    let mut rng = StdRng::seed_from_u64(0xf012);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1..200usize);
+        let values: Vec<u64> = (0..len).map(|_| rng.gen_range(0..500u64)).collect();
         let mut s = LatencyStats::new();
         for &v in &values {
             s.record(v);
         }
         let naive_mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
-        prop_assert!((s.mean() - naive_mean).abs() < 1e-9);
-        prop_assert_eq!(s.max(), *values.iter().max().unwrap());
-        prop_assert_eq!(s.min(), *values.iter().min().unwrap());
-        prop_assert_eq!(s.count(), values.len() as u64);
+        assert!((s.mean() - naive_mean).abs() < 1e-9);
+        assert_eq!(s.max(), *values.iter().max().unwrap());
+        assert_eq!(s.min(), *values.iter().min().unwrap());
+        assert_eq!(s.count(), values.len() as u64);
         // Median sanity: at least half the mass is <= the 50th percentile.
         let p50 = s.percentile(0.5);
         let at_most = values.iter().filter(|&&v| v <= p50).count();
-        prop_assert!(at_most * 2 >= values.len());
+        assert!(at_most * 2 >= values.len());
     }
+}
 
-    /// Topology distances: symmetric on undirected networks and
-    /// consistent with BFS.
-    #[test]
-    fn undirected_distances_are_symmetric(a in 0usize..64, b in 0usize..64) {
-        let h = Hypercube::new(6);
-        prop_assert_eq!(h.distance(a, b), h.distance(b, a));
-        let t = Torus2D::new(8, 8);
-        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
-        prop_assert_eq!(t.distance(a, b), graph::bfs_distance(&t, a, b).unwrap());
+/// Topology distances: symmetric on undirected networks and consistent
+/// with BFS.
+#[test]
+fn undirected_distances_are_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0xf013);
+    let h = Hypercube::new(6);
+    let t = Torus2D::new(8, 8);
+    for _ in 0..CASES {
+        let (a, b) = (rng.gen_range(0..64usize), rng.gen_range(0..64usize));
+        assert_eq!(h.distance(a, b), h.distance(b, a));
+        assert_eq!(t.distance(a, b), t.distance(b, a));
+        assert_eq!(t.distance(a, b), graph::bfs_distance(&t, a, b).unwrap());
     }
+}
 
-    /// Patterns never draw destinations out of range, and permutation
-    /// patterns are self-inverse where they claim to be.
-    #[test]
-    fn pattern_draws_in_range(src in 0usize..256, seed in any::<u64>()) {
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
-        for p in [Pattern::Random, Pattern::complement(8), Pattern::transpose(8), Pattern::bit_reversal(8)] {
+/// Patterns never draw destinations out of range.
+#[test]
+fn pattern_draws_in_range() {
+    let mut rng = StdRng::seed_from_u64(0xf014);
+    for _ in 0..CASES {
+        let src = rng.gen_range(0..256usize);
+        for p in [
+            Pattern::Random,
+            Pattern::complement(8),
+            Pattern::transpose(8),
+            Pattern::bit_reversal(8),
+        ] {
             let d = p.draw(src, 256, &mut rng);
-            prop_assert!(d < 256);
+            assert!(d < 256);
         }
     }
 }
