@@ -17,19 +17,26 @@
 //! * `--out PATH` — report path (default `BENCH_<stamp>.json` in the
 //!   current directory).
 //! * `--quick` — n = 10 only (fast smoke run).
+//! * `--trace PATH` / `--metrics-out PATH` / `--watchdog K` — after the
+//!   timed (recorder-free) measurements, re-run one Table 6 and one
+//!   Table 9 row with recording sinks and print a metrics summary
+//!   block; the instrumented re-runs are *not* timed, so the baseline
+//!   numbers stay comparable across PRs.
 
 use std::process::ExitCode;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use fadr_bench::exec;
+use fadr_bench::obs::{self, MetricsRow, ObsArgs};
 use fadr_bench::perf::{report_line, time, to_json};
-use fadr_bench::runner::{run_row, run_table_jobs, spec, RunOptions};
+use fadr_bench::runner::{run_row, run_rows_recorded, run_table_jobs, spec, RunOptions};
 
 fn main() -> ExitCode {
     let mut samples = 3usize;
     let mut jobs = exec::default_jobs();
     let mut out: Option<String> = None;
     let mut quick = false;
+    let mut obs_args = ObsArgs::default();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -56,9 +63,23 @@ fn main() -> ExitCode {
             },
             "--quick" => quick = true,
             other => {
-                eprintln!("unknown argument {other}");
-                eprintln!("usage: perf [--samples S] [--jobs J] [--out PATH] [--quick]");
-                return ExitCode::FAILURE;
+                let mut next =
+                    |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+                match obs_args.parse_flag(other, &mut next) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        eprintln!("unknown argument {other}");
+                        eprintln!(
+                            "usage: perf [--samples S] [--jobs J] [--out PATH] [--quick] {}",
+                            ObsArgs::USAGE
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
         }
     }
@@ -111,5 +132,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {path}");
+
+    // Instrumented (untimed) re-runs: one static and one dynamic row
+    // with recording sinks, for the metrics summary block and exports.
+    if obs_args.enabled() {
+        let rc = obs_args.record_config();
+        let mut metrics = Vec::new();
+        for &table in &[6usize, 9] {
+            let recorded = run_rows_recorded(spec(table), &[10], opts, 1, rc);
+            metrics.extend(recorded.iter().map(|r| MetricsRow::from_recorded(table, r)));
+        }
+        println!("# metrics summary (instrumented re-runs, untimed)");
+        obs::report(&metrics);
+        if let Err(e) = obs::export(&obs_args, "FullyAdaptive", &metrics) {
+            eprintln!("failed to write observability output: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

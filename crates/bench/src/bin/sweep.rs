@@ -11,14 +11,20 @@
 //! so they fan out over `--jobs` worker threads (default: available
 //! parallelism); rows are computed into slots and printed in sweep
 //! order, so the CSV is bit-identical for any `--jobs` value.
+//!
+//! Observability: `--trace PATH`, `--metrics-out PATH`, and
+//! `--watchdog K` attach recording sinks to every sweep point; metrics
+//! rows carry a `label` identifying the point (the CSV itself is
+//! unchanged by recording).
 
 use std::process::ExitCode;
 
 use fadr_bench::exec;
-use fadr_bench::runner::{run_row, spec, Algo, RunOptions};
+use fadr_bench::obs::{self, MetricsRow, ObsArgs, RecordConfig};
+use fadr_bench::runner::{run_rows_recorded, spec, Algo, RunOptions};
 use fadr_core::{EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang};
 use fadr_qdg::RoutingFunction;
-use fadr_sim::{SimConfig, Simulator};
+use fadr_sim::{Recorder, SimConfig, Simulator};
 use fadr_workloads::Pattern;
 
 const ALGOS: [(&str, Algo); 3] = [
@@ -27,58 +33,86 @@ const ALGOS: [(&str, Algo); 3] = [
     ("ecube-sbp", Algo::EcubeSbp),
 ];
 
-fn lambda_sweep(n: usize, cycles: u64, jobs: usize) {
+fn lambda_sweep(n: usize, cycles: u64, jobs: usize, rc: RecordConfig) -> Vec<MetricsRow> {
     const LAMBDAS: [f64; 11] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
     let size = 1usize << n;
-    let lines = exec::run_indexed(LAMBDAS.len() * ALGOS.len(), jobs, |i| {
+    let points = exec::run_indexed(LAMBDAS.len() * ALGOS.len(), jobs, |i| {
         let lambda = LAMBDAS[i / ALGOS.len()];
         let (name, algo) = ALGOS[i % ALGOS.len()];
         let cfg = SimConfig::default();
-        let res = match algo {
-            Algo::FullyAdaptive => dynamic(
-                Simulator::new(HypercubeFullyAdaptive::new(n), cfg),
-                lambda,
-                size,
-                cycles,
-            ),
-            Algo::StaticHang => dynamic(
-                Simulator::new(HypercubeStaticHang::new(n), cfg),
-                lambda,
-                size,
-                cycles,
-            ),
-            Algo::EcubeSbp => dynamic(Simulator::new(EcubeSbp::new(n), cfg), lambda, size, cycles),
+        let (res, mut sinks) = match algo {
+            Algo::FullyAdaptive => {
+                let rf = HypercubeFullyAdaptive::new(n);
+                let sinks = rc.build(size, rf.num_classes());
+                dynamic(
+                    Simulator::with_recorder(rf, cfg, sinks),
+                    lambda,
+                    size,
+                    cycles,
+                )
+            }
+            Algo::StaticHang => {
+                let rf = HypercubeStaticHang::new(n);
+                let sinks = rc.build(size, rf.num_classes());
+                dynamic(
+                    Simulator::with_recorder(rf, cfg, sinks),
+                    lambda,
+                    size,
+                    cycles,
+                )
+            }
+            Algo::EcubeSbp => {
+                let rf = EcubeSbp::new(n);
+                let sinks = rc.build(size, rf.num_classes());
+                dynamic(
+                    Simulator::with_recorder(rf, cfg, sinks),
+                    lambda,
+                    size,
+                    cycles,
+                )
+            }
         };
+        sinks.flush();
         let thr = res.delivered as f64 / (size as f64 * cycles as f64);
-        format!(
+        let line = format!(
             "{lambda},{name},{thr:.4},{:.2},{},{:.3}",
             res.stats.mean(),
             res.stats.max(),
             res.injection_rate()
-        )
+        );
+        (line, format!("lambda={lambda} algo={name}"), sinks)
     });
     println!("lambda,algo,throughput,l_avg,l_max,injection_rate");
-    for line in lines {
+    let mut metrics = Vec::new();
+    for (line, label, sinks) in points {
         println!("{line}");
+        metrics.push(MetricsRow {
+            table: 0,
+            n,
+            label: Some(label),
+            sinks,
+        });
     }
+    metrics
 }
 
-fn dynamic<R: RoutingFunction>(
-    mut sim: Simulator<R>,
+fn dynamic<R: RoutingFunction, Rec: Recorder>(
+    mut sim: Simulator<R, Rec>,
     lambda: f64,
     size: usize,
     cycles: u64,
-) -> fadr_sim::DynamicResult {
-    sim.run_dynamic(
+) -> (fadr_sim::DynamicResult, Rec) {
+    let res = sim.run_dynamic(
         lambda,
         move |s, rng| Pattern::Random.draw(s, size, rng),
         cycles,
-    )
+    );
+    (res, sim.into_recorder())
 }
 
-fn capacity_sweep(n: usize, table: usize, jobs: usize) {
+fn capacity_sweep(n: usize, table: usize, jobs: usize, rc: RecordConfig) -> Vec<MetricsRow> {
     const CAPS: [usize; 8] = [1, 2, 3, 5, 8, 10, 12, 16];
-    let lines = exec::run_indexed(CAPS.len() * ALGOS.len(), jobs, |i| {
+    let points = exec::run_indexed(CAPS.len() * ALGOS.len(), jobs, |i| {
         let cap = CAPS[i / ALGOS.len()];
         let (name, algo) = ALGOS[i % ALGOS.len()];
         let opts = RunOptions {
@@ -86,13 +120,28 @@ fn capacity_sweep(n: usize, table: usize, jobs: usize) {
             algo,
             ..RunOptions::default()
         };
-        let row = run_row(spec(table), n, opts);
-        format!("{cap},{name},{:.2},{}", row.l_avg, row.l_max)
+        // One dimension, one rep: the recorded row is the sweep point.
+        let recorded = run_rows_recorded(spec(table), &[n], opts, 1, rc);
+        let row = recorded[0].row;
+        let line = format!("{cap},{name},{:.2},{}", row.l_avg, row.l_max);
+        (
+            line,
+            format!("cap={cap} algo={name}"),
+            recorded[0].sinks.clone(),
+        )
     });
     println!("capacity,algo,l_avg,l_max");
-    for line in lines {
+    let mut metrics = Vec::new();
+    for (line, label, sinks) in points {
         println!("{line}");
+        metrics.push(MetricsRow {
+            table,
+            n,
+            label: Some(label),
+            sinks,
+        });
     }
+    metrics
 }
 
 fn main() -> ExitCode {
@@ -102,6 +151,7 @@ fn main() -> ExitCode {
     let mut cycles = 300u64;
     let mut table = 6usize;
     let mut jobs = exec::default_jobs();
+    let mut obs_args = ObsArgs::default();
     let rest: Vec<String> = args.collect();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -117,16 +167,41 @@ fn main() -> ExitCode {
                 }
             },
             other => {
-                eprintln!("unknown argument {other}");
-                return ExitCode::FAILURE;
+                let mut next = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match obs_args.parse_flag(other, &mut next) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        eprintln!("unknown argument {other}");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
         }
     }
-    match mode.as_str() {
-        "lambda" => lambda_sweep(n, cycles, jobs),
-        "capacity" => capacity_sweep(n, table, jobs),
+    let rc = obs_args.record_config();
+    let metrics = match mode.as_str() {
+        "lambda" => lambda_sweep(n, cycles, jobs, rc),
+        "capacity" => capacity_sweep(n, table, jobs, rc),
         _ => {
-            eprintln!("usage: sweep <lambda|capacity> [--n N] [--cycles C] [--table K] [--jobs J]");
+            eprintln!(
+                "usage: sweep <lambda|capacity> [--n N] [--cycles C] [--table K] [--jobs J] {}",
+                ObsArgs::USAGE
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if obs_args.enabled() {
+        obs::report(&metrics);
+        if let Err(e) = obs::export(&obs_args, "mixed", &metrics) {
+            eprintln!("failed to write observability output: {e}");
             return ExitCode::FAILURE;
         }
     }

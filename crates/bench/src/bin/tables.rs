@@ -2,22 +2,33 @@
 //!
 //! ```text
 //! tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--jobs J] [--csv]
+//!        [--trace PATH] [--metrics-out PATH] [--watchdog K]
 //! ```
 //!
 //! * `--table K` — regenerate only table K (repeatable); default: all 12.
 //! * `--full` — the paper's complete sweep (n = 10..14; slow at n = 14).
-//! * `--cap N` — central queue capacity (default 5, the paper's value).
+//! * `--cap N` — central queue capacity (default 5, the paper's value;
+//!   0 deliberately wedges the network and requires `--watchdog`).
 //! * `--cycles N` — dynamic-run horizon in routing cycles (default 500).
 //! * `--seed S` — base RNG seed.
 //! * `--jobs J` — worker threads for the row × replication fan-out
 //!   (default: available parallelism). Output is bit-identical for any
 //!   value of `J`.
 //! * `--csv` — emit CSV instead of aligned text.
+//! * `--trace PATH` — write JSONL packet lifecycles (first 256 packets
+//!   per run).
+//! * `--metrics-out PATH` — write routing-decision counters and stall
+//!   reports as JSON (schema `fadr-metrics/1`).
+//! * `--watchdog K` — abort a run after `K` cycles without a delivery
+//!   and report the stall instead of spinning to the cycle cap.
 
 use std::process::ExitCode;
 
 use fadr_bench::exec;
-use fadr_bench::runner::{run_table_jobs, Algo, RunOptions};
+use fadr_bench::obs::{self, MetricsRow, ObsArgs};
+use fadr_bench::runner::{
+    dims_for, run_table_dims_recorded, run_table_jobs, spec, Algo, RunOptions,
+};
 
 struct Args {
     tables: Vec<usize>,
@@ -25,6 +36,7 @@ struct Args {
     csv: bool,
     jobs: usize,
     opts: RunOptions,
+    obs: ObsArgs,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         csv: false,
         jobs: exec::default_jobs(),
         opts: RunOptions::default(),
+        obs: ObsArgs::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -53,9 +66,6 @@ fn parse_args() -> Result<Args, String> {
             "--cap" => {
                 args.opts.queue_capacity =
                     next("--cap")?.parse().map_err(|e| format!("--cap: {e}"))?;
-                if args.opts.queue_capacity == 0 {
-                    return Err("--cap must be at least 1".into());
-                }
             }
             "--cycles" => {
                 args.opts.dynamic_cycles = next("--cycles")?
@@ -81,16 +91,23 @@ fn parse_args() -> Result<Args, String> {
                 args.jobs = exec::parse_jobs(&next("--jobs")?)?;
             }
             "--help" | "-h" => {
-                return Err(
-                    "usage: tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--reps R] [--algo A] [--jobs J] [--csv]"
-                        .into(),
-                );
+                return Err(format!(
+                    "usage: tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--reps R] [--algo A] [--jobs J] [--csv] {}",
+                    ObsArgs::USAGE
+                ));
             }
-            other => return Err(format!("unknown argument {other}")),
+            other => {
+                if !args.obs.parse_flag(other, &mut next)? {
+                    return Err(format!("unknown argument {other}"));
+                }
+            }
         }
     }
     if args.tables.is_empty() {
         args.tables = (1..=12).collect();
+    }
+    if args.opts.queue_capacity == 0 && args.obs.watchdog.is_none() {
+        return Err("--cap 0 wedges the network; it requires --watchdog".into());
     }
     Ok(args)
 }
@@ -110,15 +127,32 @@ fn main() -> ExitCode {
         args.jobs,
         if args.full { ", full n=10..14 sweep" } else { "" }
     );
+    let mut metrics: Vec<MetricsRow> = Vec::new();
     for &t in &args.tables {
         let start = std::time::Instant::now();
-        let table = run_table_jobs(t, args.full, args.opts, args.jobs);
+        let table = if args.obs.enabled() {
+            let dims = dims_for(spec(t), args.full);
+            let (table, recorded) =
+                run_table_dims_recorded(t, &dims, args.opts, args.jobs, args.obs.record_config());
+            metrics.extend(recorded.iter().map(|r| MetricsRow::from_recorded(t, r)));
+            table
+        } else {
+            run_table_jobs(t, args.full, args.opts, args.jobs)
+        };
         if args.csv {
             print!("{}", table.to_csv());
         } else {
             println!("{}", table.to_text());
         }
         eprintln!("# table {t} regenerated in {:.1?}", start.elapsed());
+    }
+    if args.obs.enabled() {
+        obs::report(&metrics);
+        let algo = format!("{:?}", args.opts.algo);
+        if let Err(e) = obs::export(&args.obs, &algo, &metrics) {
+            eprintln!("failed to write observability output: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

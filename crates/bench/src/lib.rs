@@ -13,6 +13,9 @@
 //! * [`perf`] — the minimal timing/reporting harness those use.
 //! * [`exec`] — deterministic parallel execution of independent
 //!   simulation runs (`--jobs N`).
+//! * [`obs`] — observability wiring: the `--trace` / `--metrics-out` /
+//!   `--watchdog` flags, recording-sink construction, and structured
+//!   JSON export.
 //! * `benches/` — one timing bench per table plus ablation benches for
 //!   the design choices called out in DESIGN.md.
 
@@ -20,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod obs;
 pub mod paper;
 pub mod perf;
 pub mod runner;

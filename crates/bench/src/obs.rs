@@ -1,0 +1,311 @@
+//! Observability wiring shared by the harness binaries: the
+//! `--trace` / `--metrics-out` / `--watchdog` flags, sink construction,
+//! and structured JSON export of recorded runs.
+//!
+//! The binaries keep their timing paths recorder-free ([`fadr_sim::NoRecorder`]
+//! monomorphizes to nothing); recording is opt-in per invocation and
+//! routes through [`crate::runner::run_rows_recorded`], which merges
+//! per-worker sinks in fixed replication order so recorded runs stay
+//! bit-identical for any `--jobs` value.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use fadr_metrics::SinkSet;
+
+use crate::runner::RecordedRow;
+
+/// Packets traced per run when `--trace` is given (first-N by injection
+/// order; later packets are counted, not traced).
+pub const DEFAULT_TRACE_LIMIT: usize = 256;
+
+/// Per-queue rows included in each counters JSON block (top by peak
+/// occupancy; the rest are summarized, not dropped silently).
+pub const TOP_QUEUES: usize = 8;
+
+/// Which sinks an instrumented run attaches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecordConfig {
+    /// Attach a [`fadr_metrics::CounterSink`].
+    pub counters: bool,
+    /// Attach a [`fadr_metrics::TraceSink`] bounded to this many packets.
+    pub trace: Option<usize>,
+    /// Attach a [`fadr_metrics::WatchdogSink`] with this no-progress
+    /// window (cycles).
+    pub watchdog: Option<u64>,
+}
+
+impl RecordConfig {
+    /// Whether any sink is enabled (if not, callers should use the
+    /// recorder-free path).
+    pub fn enabled(&self) -> bool {
+        self.counters || self.trace.is_some() || self.watchdog.is_some()
+    }
+
+    /// Build the sink set for one run over a `num_nodes` ×
+    /// `num_classes` network.
+    pub fn build(&self, num_nodes: usize, num_classes: usize) -> SinkSet {
+        let mut s = SinkSet::new();
+        if self.counters {
+            s = s.with_counters(num_nodes, num_classes);
+        }
+        if let Some(limit) = self.trace {
+            s = s.with_trace(limit);
+        }
+        if let Some(k) = self.watchdog {
+            s = s.with_watchdog(k);
+        }
+        s
+    }
+}
+
+/// Parsed observability flags, shared by the `tables`/`sweep`/`perf`
+/// binaries.
+#[derive(Debug, Clone, Default)]
+pub struct ObsArgs {
+    /// `--metrics-out PATH`: write a counters/stall JSON document.
+    pub metrics_out: Option<PathBuf>,
+    /// `--trace PATH`: write JSONL packet lifecycles.
+    pub trace_out: Option<PathBuf>,
+    /// `--watchdog K`: abort a run after `K` cycles without a delivery.
+    pub watchdog: Option<u64>,
+}
+
+impl ObsArgs {
+    /// Usage fragment for the binaries' `--help` text.
+    pub const USAGE: &'static str = "[--trace PATH] [--metrics-out PATH] [--watchdog K]";
+
+    /// Try to consume one observability flag. Returns `Ok(true)` if
+    /// `arg` was one of ours, `Ok(false)` to let the caller handle it;
+    /// `next` fetches the flag's value from the argument stream.
+    pub fn parse_flag(
+        &mut self,
+        arg: &str,
+        next: &mut dyn FnMut(&str) -> Result<String, String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--metrics-out" => {
+                self.metrics_out = Some(PathBuf::from(next("--metrics-out")?));
+                Ok(true)
+            }
+            "--trace" => {
+                self.trace_out = Some(PathBuf::from(next("--trace")?));
+                Ok(true)
+            }
+            "--watchdog" => {
+                let k: u64 = next("--watchdog")?
+                    .parse()
+                    .map_err(|e| format!("--watchdog: {e}"))?;
+                if k == 0 {
+                    return Err("--watchdog window must be at least 1 cycle".into());
+                }
+                self.watchdog = Some(k);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Whether any flag was given (if not, the binary should take its
+    /// recorder-free path).
+    pub fn enabled(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some() || self.watchdog.is_some()
+    }
+
+    /// The record configuration these flags imply: counters power
+    /// `--metrics-out`, the trace sink is bounded to
+    /// [`DEFAULT_TRACE_LIMIT`] packets per run.
+    pub fn record_config(&self) -> RecordConfig {
+        RecordConfig {
+            counters: self.metrics_out.is_some(),
+            trace: self.trace_out.as_ref().map(|_| DEFAULT_TRACE_LIMIT),
+            watchdog: self.watchdog,
+        }
+    }
+}
+
+/// One exported row of a metrics document: where it ran plus its merged
+/// sinks.
+#[derive(Debug, Clone)]
+pub struct MetricsRow {
+    /// Paper table number (0 = not a paper table, e.g. a sweep point —
+    /// see `label`).
+    pub table: usize,
+    /// Hypercube dimension.
+    pub n: usize,
+    /// Free-form point label for non-table rows (e.g.
+    /// `"lambda=0.4 algo=fully-adaptive"`).
+    pub label: Option<String>,
+    /// Merged sinks of all replications of this row.
+    pub sinks: SinkSet,
+}
+
+impl MetricsRow {
+    /// Lift a [`RecordedRow`] into an export row.
+    pub fn from_recorded(table: usize, r: &RecordedRow) -> Self {
+        Self {
+            table,
+            n: r.row.n,
+            label: None,
+            sinks: r.sinks.clone(),
+        }
+    }
+}
+
+/// Render the full metrics JSON document (`fadr-metrics/1` schema):
+/// one object per instrumented row with its routing-decision counters
+/// and, when a watchdog fired, the stall report.
+pub fn metrics_json(algo: &str, rows: &[MetricsRow]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\": \"fadr-metrics/1\", \"algo\": \"{algo}\", \"rows\": ["
+    );
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{{\"table\": {}, \"n\": {}, ", row.table, row.n);
+        match &row.label {
+            // Labels are harness-generated (no quotes/escapes to worry
+            // about).
+            Some(l) => {
+                let _ = write!(out, "\"label\": \"{l}\", ");
+            }
+            None => out.push_str("\"label\": null, "),
+        }
+        match &row.sinks.counters {
+            Some(c) => {
+                let _ = write!(out, "\"counters\": {}, ", c.to_json(TOP_QUEUES));
+            }
+            None => out.push_str("\"counters\": null, "),
+        }
+        match row.sinks.stall() {
+            Some(s) => {
+                let _ = write!(out, "\"stall\": {}", s.to_json());
+            }
+            None => out.push_str("\"stall\": null"),
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Concatenate every row's trace lines into one JSONL body (one packet
+/// lifecycle per line; `pkt` ids restart per replication).
+pub fn trace_jsonl(rows: &[MetricsRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        if let Some(t) = &row.sinks.trace {
+            for line in t.lines() {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Write the metrics document and/or trace file named by `args`, then
+/// print a one-line confirmation per file to stderr.
+pub fn export(args: &ObsArgs, algo: &str, rows: &[MetricsRow]) -> std::io::Result<()> {
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, metrics_json(algo, rows))?;
+        eprintln!("# metrics written to {}", path.display());
+    }
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, trace_jsonl(rows))?;
+        eprintln!("# trace written to {}", path.display());
+    }
+    Ok(())
+}
+
+/// Print the post-run observability summary: stall reports always, and
+/// a compact counters digest per row when counters ran.
+pub fn report(rows: &[MetricsRow]) {
+    for row in rows {
+        let place = match &row.label {
+            Some(l) => format!("{l} n={}", row.n),
+            None => format!("table {} n={}", row.table, row.n),
+        };
+        if let Some(c) = &row.sinks.counters {
+            eprintln!(
+                "# {place}: links {} ({:.1}% dynamic), stutters {}, blocked {}, peak queue {} ({:.3} mean total)",
+                c.links_total(),
+                100.0 * c.dynamic_share(),
+                c.stutters,
+                c.blocked_cycles,
+                c.peak_max(),
+                c.mean_total(),
+            );
+        }
+        if let Some(s) = row.sinks.stall() {
+            eprintln!(
+                "# {place}: WATCHDOG STALL at cycle {} ({} in flight, {} link moves in window) {}",
+                s.cycle,
+                s.in_flight,
+                s.links_in_window,
+                if s.links_in_window == 0 {
+                    "- no movement: deadlock signature"
+                } else {
+                    "- movement without delivery: livelock suspect"
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flag_consumes_only_obs_flags() {
+        let mut o = ObsArgs::default();
+        let mut vals = vec!["out.json".to_string()];
+        let mut next = |_: &str| Ok(vals.remove(0));
+        assert!(o.parse_flag("--metrics-out", &mut next).unwrap());
+        let mut no_val = |_: &str| -> Result<String, String> { Err("no value".into()) };
+        assert!(!o.parse_flag("--cap", &mut no_val).unwrap());
+        assert_eq!(o.metrics_out.as_deref().unwrap().to_str(), Some("out.json"));
+        assert!(o.enabled());
+        let rc = o.record_config();
+        assert!(rc.counters && rc.trace.is_none() && rc.watchdog.is_none());
+    }
+
+    #[test]
+    fn watchdog_flag_rejects_zero() {
+        let mut o = ObsArgs::default();
+        let mut next = |_: &str| Ok("0".to_string());
+        assert!(o.parse_flag("--watchdog", &mut next).is_err());
+    }
+
+    #[test]
+    fn record_config_builds_requested_sinks() {
+        let rc = RecordConfig {
+            counters: true,
+            trace: Some(4),
+            watchdog: Some(100),
+        };
+        let s = rc.build(8, 2);
+        assert!(s.counters.is_some() && s.trace.is_some() && s.watchdog.is_some());
+        assert!(rc.enabled());
+        assert!(!RecordConfig::default().enabled());
+    }
+
+    #[test]
+    fn metrics_json_renders_null_slots() {
+        let row = MetricsRow {
+            table: 1,
+            n: 3,
+            label: None,
+            sinks: SinkSet::new(),
+        };
+        let doc = metrics_json("fully-adaptive", &[row]);
+        assert!(doc.contains("\"schema\": \"fadr-metrics/1\""));
+        assert!(doc.contains("\"label\": null"));
+        assert!(doc.contains("\"counters\": null"));
+        assert!(doc.contains("\"stall\": null"));
+    }
+}

@@ -4,11 +4,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fadr_core::{EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang};
-use fadr_metrics::{table::fmt2, Table};
+use fadr_metrics::{table::fmt2, Recorder, SinkSet, Table};
 use fadr_qdg::RoutingFunction;
 use fadr_sim::{SimConfig, Simulator};
 use fadr_workloads::{static_backlog, Pattern};
 
+use crate::obs::RecordConfig;
 use crate::paper;
 
 /// The four § 7 communication patterns, in table order.
@@ -261,47 +262,167 @@ pub fn run_rows(spec: TableSpec, dims: &[usize], opts: RunOptions, jobs: usize) 
         .collect()
 }
 
+/// One table row with the merged observability sinks of all its
+/// replications.
+#[derive(Debug, Clone)]
+pub struct RecordedRow {
+    /// The measured row (bit-identical to the unrecorded path).
+    pub row: RowResult,
+    /// Merged sinks (fixed replication order, so deterministic for any
+    /// `jobs`).
+    pub sinks: SinkSet,
+}
+
+/// [`run_rows`] with recording sinks attached to every replication.
+///
+/// Parallelism-safe: each work unit records into its own [`SinkSet`];
+/// the per-row merge happens on the calling thread in fixed rep order,
+/// so both the measured rows *and* the merged sinks are bit-identical
+/// for any `jobs` value.
+pub fn run_rows_recorded(
+    spec: TableSpec,
+    dims: &[usize],
+    opts: RunOptions,
+    jobs: usize,
+    rc: RecordConfig,
+) -> Vec<RecordedRow> {
+    let reps = opts.reps.max(1) as usize;
+    let units = dims.len() * reps;
+    let results = crate::exec::run_indexed(units, jobs, |i| {
+        run_row_once_recorded(spec, dims[i / reps], opts, (i % reps) as u64, rc)
+    });
+    results
+        .chunks(reps)
+        .zip(dims)
+        .map(|(chunk, &n)| {
+            let rows: Vec<RowResult> = chunk.iter().map(|(r, _)| *r).collect();
+            let mut sinks = chunk[0].1.clone();
+            for (_, s) in &chunk[1..] {
+                sinks.merge(s);
+            }
+            RecordedRow {
+                row: reduce_reps(n, &rows),
+                sinks,
+            }
+        })
+        .collect()
+}
+
 fn run_row_once(spec: TableSpec, n: usize, opts: RunOptions, rep: u64) -> RowResult {
-    let cfg = SimConfig {
-        queue_capacity: opts.queue_capacity,
-        seed: opts.seed ^ ((spec.number as u64) << 32) ^ (rep << 16) ^ n as u64,
-        ..SimConfig::default()
-    };
+    let cfg = row_cfg(spec, n, opts, rep);
     match opts.algo {
-        Algo::FullyAdaptive => drive(
-            Simulator::new(HypercubeFullyAdaptive::new(n), cfg),
-            spec,
-            n,
-            opts,
-            cfg.seed,
-        ),
-        Algo::StaticHang => drive(
-            Simulator::new(HypercubeStaticHang::new(n), cfg),
-            spec,
-            n,
-            opts,
-            cfg.seed,
-        ),
-        Algo::EcubeSbp => drive(
-            Simulator::new(EcubeSbp::new(n), cfg),
-            spec,
-            n,
-            opts,
-            cfg.seed,
-        ),
+        Algo::FullyAdaptive => {
+            drive(
+                Simulator::new(HypercubeFullyAdaptive::new(n), cfg),
+                spec,
+                n,
+                opts,
+                cfg.seed,
+                true,
+            )
+            .0
+        }
+        Algo::StaticHang => {
+            drive(
+                Simulator::new(HypercubeStaticHang::new(n), cfg),
+                spec,
+                n,
+                opts,
+                cfg.seed,
+                true,
+            )
+            .0
+        }
+        Algo::EcubeSbp => {
+            drive(
+                Simulator::new(EcubeSbp::new(n), cfg),
+                spec,
+                n,
+                opts,
+                cfg.seed,
+                true,
+            )
+            .0
+        }
     }
 }
 
-fn drive<R: RoutingFunction>(
-    mut sim: Simulator<R>,
+/// The [`SimConfig`] of one `(table, n, rep)` work unit; seeding is a
+/// pure function of those coordinates (see [`run_rows`]).
+fn row_cfg(spec: TableSpec, n: usize, opts: RunOptions, rep: u64) -> SimConfig {
+    SimConfig {
+        queue_capacity: opts.queue_capacity,
+        seed: opts.seed ^ ((spec.number as u64) << 32) ^ (rep << 16) ^ n as u64,
+        ..SimConfig::default()
+    }
+}
+
+/// One replication with recording sinks attached; the recorder shares
+/// the plain path's seeding, so measured rows are bit-identical with
+/// and without recording (`tests/recording.rs` enforces this).
+fn run_row_once_recorded(
+    spec: TableSpec,
+    n: usize,
+    opts: RunOptions,
+    rep: u64,
+    rc: RecordConfig,
+) -> (RowResult, SinkSet) {
+    let cfg = row_cfg(spec, n, opts, rep);
+    // A watchdogged run may abort instead of draining; report, don't panic.
+    let require_drain = rc.watchdog.is_none();
+    let (row, mut sinks) = match opts.algo {
+        Algo::FullyAdaptive => {
+            let rf = HypercubeFullyAdaptive::new(n);
+            let sinks = rc.build(1 << n, rf.num_classes());
+            drive(
+                Simulator::with_recorder(rf, cfg, sinks),
+                spec,
+                n,
+                opts,
+                cfg.seed,
+                require_drain,
+            )
+        }
+        Algo::StaticHang => {
+            let rf = HypercubeStaticHang::new(n);
+            let sinks = rc.build(1 << n, rf.num_classes());
+            drive(
+                Simulator::with_recorder(rf, cfg, sinks),
+                spec,
+                n,
+                opts,
+                cfg.seed,
+                require_drain,
+            )
+        }
+        Algo::EcubeSbp => {
+            let rf = EcubeSbp::new(n);
+            let sinks = rc.build(1 << n, rf.num_classes());
+            drive(
+                Simulator::with_recorder(rf, cfg, sinks),
+                spec,
+                n,
+                opts,
+                cfg.seed,
+                require_drain,
+            )
+        }
+    };
+    sinks.flush();
+    (row, sinks)
+}
+
+fn drive<R: RoutingFunction, Rec: Recorder>(
+    mut sim: Simulator<R, Rec>,
     spec: TableSpec,
     n: usize,
     opts: RunOptions,
     seed: u64,
-) -> RowResult {
+    require_drain: bool,
+) -> (RowResult, Rec) {
     let size = 1usize << n;
     let pattern = spec.pattern.compile(n, seed ^ 0x1e7e1);
-    match spec.packets {
+    let row = match spec.packets {
         Some(per_node) => {
             let k = match per_node {
                 PacketsPerNode::One => 1,
@@ -310,7 +431,9 @@ fn drive<R: RoutingFunction>(
             let mut rng = StdRng::seed_from_u64(seed ^ 0xbac1);
             let backlog = static_backlog(&pattern, size, k, &mut rng);
             let res = sim.run_static(&backlog);
-            assert!(res.drained, "table {} n={n} failed to drain", spec.number);
+            if require_drain {
+                assert!(res.drained, "table {} n={n} failed to drain", spec.number);
+            }
             RowResult {
                 n,
                 l_avg: res.stats.mean(),
@@ -331,7 +454,8 @@ fn drive<R: RoutingFunction>(
                 injection_rate: Some(res.injection_rate()),
             }
         }
-    }
+    };
+    (row, sim.into_recorder())
 }
 
 /// Dimensions a table covers: the paper's full sweep or a reduced default.
@@ -367,6 +491,27 @@ pub fn run_table_jobs(number: usize, full: bool, opts: RunOptions, jobs: usize) 
 /// side. The dims override exists so tests and sweeps can run the full
 /// table pipeline at reduced scale.
 pub fn run_table_dims(number: usize, dims: &[usize], opts: RunOptions, jobs: usize) -> Table {
+    render_table(number, &run_rows(spec(number), dims, opts, jobs))
+}
+
+/// [`run_table_dims`] with recording: returns the rendered table plus
+/// each row's merged sinks for JSON export. The rendered table is
+/// bit-identical to the unrecorded one.
+pub fn run_table_dims_recorded(
+    number: usize,
+    dims: &[usize],
+    opts: RunOptions,
+    jobs: usize,
+    rc: RecordConfig,
+) -> (Table, Vec<RecordedRow>) {
+    let recorded = run_rows_recorded(spec(number), dims, opts, jobs, rc);
+    let rows: Vec<RowResult> = recorded.iter().map(|r| r.row).collect();
+    (render_table(number, &rows), recorded)
+}
+
+/// Render measured rows of table `number` next to the paper's reference
+/// columns.
+pub fn render_table(number: usize, rows: &[RowResult]) -> Table {
     let s = spec(number);
     let injection = match s.packets {
         Some(PacketsPerNode::One) => "1 packet".to_string(),
@@ -392,7 +537,7 @@ pub fn run_table_dims(number: usize, dims: &[usize], opts: RunOptions, jobs: usi
         format!("Table {number}: {}, {injection}", s.pattern.label()),
         &headers,
     );
-    for row in run_rows(s, dims, opts, jobs) {
+    for row in rows {
         let n = row.n;
         let mut cells = vec![
             n.to_string(),

@@ -2,16 +2,23 @@
 //!
 //! Provides the measurements the paper's § 7 reports — average latency
 //! `L_avg`, maximum latency `L_max`, and effective injection rate `I_r` —
-//! plus latency histograms/percentiles and plain-text/CSV table rendering
-//! in the style of the paper's Tables 1–12.
+//! plus latency histograms/percentiles, plain-text/CSV table rendering
+//! in the style of the paper's Tables 1–12, and the [`record`]
+//! observability layer (event [`Recorder`] trait, routing-decision
+//! [`CounterSink`], JSONL [`TraceSink`], and no-progress
+//! [`WatchdogSink`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod record;
 pub mod stats;
 pub mod table;
 pub mod timeseries;
 
+pub use record::{
+    Control, CounterSink, NoRecorder, Recorder, SinkSet, StallReport, TraceSink, WatchdogSink,
+};
 pub use stats::{Histogram, LatencyStats};
 pub use table::Table;
 pub use timeseries::TimeSeries;

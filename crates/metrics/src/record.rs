@@ -1,0 +1,1033 @@
+//! Sim-wide event recording: a zero-cost-when-disabled [`Recorder`]
+//! trait plus three concrete sinks.
+//!
+//! The simulators (`fadr-sim`, `fadr-wormhole`) are generic over a
+//! `Recorder` and **monomorphize** it: with the default [`NoRecorder`]
+//! every hook is an empty inline function and the compiled hot loop is
+//! byte-for-byte the uninstrumented one — no branches, no dynamic
+//! dispatch, no flag checks. Enabling observability is a *type* choice,
+//! not a runtime one.
+//!
+//! The event vocabulary mirrors the paper's § 2/§ 6 model:
+//!
+//! * [`Recorder::on_inject`] — a packet enters the network (injection
+//!   queue `i_v`);
+//! * [`Recorder::on_queue_enter`] / [`Recorder::on_queue_leave`] — a
+//!   packet enters/leaves a bounded central queue (`q_A`/`q_B`/…);
+//! * [`Recorder::on_link`] — a packet crosses a physical channel, tagged
+//!   **static** (an edge of the underlying acyclic routing function `R`,
+//!   i.e. the escape path) or **dynamic** (an adaptivity-adding edge of
+//!   `R̃`), together with the `q_A → q_B` class transition it performs;
+//! * [`Recorder::on_stutter`] — an internal (same-node) phase change;
+//! * [`Recorder::on_block`] — a packet could not move into a full queue
+//!   this cycle (one event per blocked attempt per cycle);
+//! * [`Recorder::on_deliver`] — a packet reaches its delivery queue;
+//! * [`Recorder::on_cycle_end`] — the routing cycle finished; the
+//!   recorder may return [`Control::Stop`] to abort the run (this is how
+//!   [`WatchdogSink`] converts a wedged network from a hang into a
+//!   structured stall report).
+//!
+//! Three sinks are provided: [`CounterSink`] (routing-decision counters
+//! and per-queue occupancy statistics), [`TraceSink`] (bounded JSONL
+//! packet lifecycles), and [`WatchdogSink`] (K-cycle no-progress
+//! detection). [`SinkSet`] composes any subset and merges deterministically
+//! across parallel workers.
+
+use std::fmt::Write as _;
+
+/// Flow-control verdict returned by [`Recorder::on_cycle_end`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep simulating.
+    Continue,
+    /// Abort the run (e.g. a watchdog detected a stall). The simulator
+    /// returns with whatever was delivered so far.
+    Stop,
+}
+
+/// Observer of simulator events; see the [module docs](self) for the
+/// event vocabulary. Every method has an empty default body so sinks
+/// implement only what they consume, and [`NoRecorder`] implements
+/// nothing at all.
+///
+/// `pkt` is a run-unique packet id (monotonically increasing in
+/// injection order — slab slots may be recycled, ids are not). `node`,
+/// `class` address the § 2 queue `q_class[node]`; `occupancy` is the
+/// queue length *after* the event.
+#[allow(unused_variables)]
+pub trait Recorder {
+    /// `false` promises every hook is a no-op, letting instrumentation
+    /// sites skip even the *evaluation of hook arguments* (occupancy
+    /// reads, channel-endpoint lookups) behind a compile-time constant.
+    /// Only [`NoRecorder`] should set this to `false`.
+    const ENABLED: bool = true;
+
+    /// A packet entered the network at `src` heading for `dst`.
+    #[inline(always)]
+    fn on_inject(&mut self, cycle: u64, pkt: u64, src: u32, dst: u32) {}
+
+    /// A packet entered central queue `(node, class)`.
+    #[inline(always)]
+    fn on_queue_enter(&mut self, cycle: u64, pkt: u64, node: u32, class: u8, occupancy: u32) {}
+
+    /// A packet left central queue `(node, class)`.
+    #[inline(always)]
+    fn on_queue_leave(&mut self, cycle: u64, pkt: u64, node: u32, class: u8, occupancy: u32) {}
+
+    /// A packet crossed the physical channel `from → to`. `dynamic`
+    /// tags the hop's § 2 link kind; `from_class → to_class` is the
+    /// central-queue class transition it performs.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn on_link(
+        &mut self,
+        cycle: u64,
+        pkt: u64,
+        from: u32,
+        to: u32,
+        dynamic: bool,
+        from_class: u8,
+        to_class: u8,
+    ) {
+    }
+
+    /// A packet performed an internal (same-node) transition.
+    #[inline(always)]
+    fn on_stutter(&mut self, cycle: u64, pkt: u64, node: u32, from_class: u8, to_class: u8) {}
+
+    /// A packet's move into queue `(node, class)` was refused (full
+    /// queue); it retries next cycle. One event per attempt per cycle,
+    /// so the total is a *blocked-cycle* count.
+    #[inline(always)]
+    fn on_block(&mut self, cycle: u64, pkt: u64, node: u32, class: u8) {}
+
+    /// A packet reached its delivery queue.
+    #[inline(always)]
+    fn on_deliver(&mut self, cycle: u64, pkt: u64, latency: u64, hops: u32) {}
+
+    /// The routing cycle ended; return [`Control::Stop`] to abort.
+    #[inline(always)]
+    fn on_cycle_end(&mut self, cycle: u64) -> Control {
+        Control::Continue
+    }
+}
+
+/// The default recorder: records nothing, costs nothing. All hooks
+/// inline to empty bodies, so `Simulator<R, NoRecorder>` compiles to
+/// the same hot loop as an unobserved simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoRecorder;
+
+impl Recorder for NoRecorder {
+    const ENABLED: bool = false;
+}
+
+// ---------------------------------------------------------------------
+// CounterSink
+// ---------------------------------------------------------------------
+
+/// Routing-decision counters and per-queue occupancy statistics.
+///
+/// Counts every link traversal split static (escape path) vs dynamic,
+/// stutters, blocked cycles, class transitions, injections, and
+/// deliveries; tracks per-queue current/peak occupancy from the
+/// enter/leave event stream and samples per-queue means once per cycle.
+#[derive(Debug, Clone)]
+pub struct CounterSink {
+    num_classes: usize,
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Static-link traversals (the underlying `R` / escape path).
+    pub links_static: u64,
+    /// Dynamic-link traversals (the adaptivity-adding `R̃ \ R` edges).
+    pub links_dynamic: u64,
+    /// Internal same-node transitions.
+    pub stutters: u64,
+    /// Blocked move attempts (one per packet per cycle spent blocked).
+    pub blocked_cycles: u64,
+    /// Hops (link or stutter) whose target class differs from the source
+    /// class — e.g. the hypercube's one `q_A → q_B` migration per packet.
+    pub class_transitions: u64,
+    /// Cycles observed (occupancy sample count).
+    pub cycles: u64,
+    occupancy: Vec<u32>,
+    peak: Vec<u32>,
+    sum: Vec<u64>,
+}
+
+impl CounterSink {
+    /// Counter sink for a network of `num_nodes` nodes with
+    /// `num_classes` central-queue classes per node.
+    pub fn new(num_nodes: usize, num_classes: usize) -> Self {
+        let q = num_nodes * num_classes;
+        Self {
+            num_classes,
+            injected: 0,
+            delivered: 0,
+            links_static: 0,
+            links_dynamic: 0,
+            stutters: 0,
+            blocked_cycles: 0,
+            class_transitions: 0,
+            cycles: 0,
+            occupancy: vec![0; q],
+            peak: vec![0; q],
+            sum: vec![0; q],
+        }
+    }
+
+    /// Total link traversals (static + dynamic).
+    pub fn links_total(&self) -> u64 {
+        self.links_static + self.links_dynamic
+    }
+
+    /// Fraction of link traversals over dynamic links — the paper's
+    /// full-adaptivity claim made measurable (0.0 if no links crossed).
+    pub fn dynamic_share(&self) -> f64 {
+        let total = self.links_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.links_dynamic as f64 / total as f64
+        }
+    }
+
+    /// Number of queues tracked (`num_nodes * num_classes`).
+    pub fn num_queues(&self) -> usize {
+        self.peak.len()
+    }
+
+    /// Peak occupancy of queue `(node, class)` over the run.
+    pub fn queue_peak(&self, node: usize, class: usize) -> u32 {
+        self.peak
+            .get(node * self.num_classes + class)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Mean occupancy of queue `(node, class)` (sampled at cycle ends).
+    pub fn queue_mean(&self, node: usize, class: usize) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.sum
+            .get(node * self.num_classes + class)
+            .map_or(0.0, |&s| s as f64 / self.cycles as f64)
+    }
+
+    /// Largest per-queue peak across the whole network.
+    pub fn peak_max(&self) -> u32 {
+        self.peak.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean *network-total* occupancy per cycle (sum of all queue means).
+    pub fn mean_total(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.sum.iter().sum::<u64>() as f64 / self.cycles as f64
+    }
+
+    /// Merge another sink of the same shape (same network) into this
+    /// one. Counters add, peaks take the max, occupancy sums/samples
+    /// add — merging in a fixed order is deterministic regardless of
+    /// which parallel worker produced which sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes (queue counts) differ.
+    pub fn merge(&mut self, other: &CounterSink) {
+        assert_eq!(
+            self.peak.len(),
+            other.peak.len(),
+            "merging counter sinks of different network shapes"
+        );
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.links_static += other.links_static;
+        self.links_dynamic += other.links_dynamic;
+        self.stutters += other.stutters;
+        self.blocked_cycles += other.blocked_cycles;
+        self.class_transitions += other.class_transitions;
+        self.cycles += other.cycles;
+        for (a, &b) in self.peak.iter_mut().zip(&other.peak) {
+            *a = (*a).max(b);
+        }
+        for (a, &b) in self.sum.iter_mut().zip(&other.sum) {
+            *a += b;
+        }
+    }
+
+    /// The `top` busiest queues by peak occupancy (ties broken by queue
+    /// index for determinism), as `(node, class, peak, mean)`.
+    pub fn top_queues(&self, top: usize) -> Vec<(usize, usize, u32, f64)> {
+        let mut idx: Vec<usize> = (0..self.peak.len()).filter(|&q| self.peak[q] > 0).collect();
+        idx.sort_by(|&a, &b| self.peak[b].cmp(&self.peak[a]).then(a.cmp(&b)));
+        idx.truncate(top);
+        idx.into_iter()
+            .map(|q| {
+                (
+                    q / self.num_classes,
+                    q % self.num_classes,
+                    self.peak[q],
+                    if self.cycles == 0 {
+                        0.0
+                    } else {
+                        self.sum[q] as f64 / self.cycles as f64
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Serialize as a JSON object. Per-queue detail is bounded to the
+    /// `top` busiest queues; `queues_omitted` records how many non-empty
+    /// queues were dropped so the truncation is never silent.
+    pub fn to_json(&self, top: usize) -> String {
+        let nonzero = self.peak.iter().filter(|&&p| p > 0).count();
+        let top_queues = self.top_queues(top);
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"injected\": {}, \"delivered\": {}, \"cycles\": {}, ",
+            self.injected, self.delivered, self.cycles
+        );
+        let _ = write!(
+            out,
+            "\"links_total\": {}, \"links_static\": {}, \"links_dynamic\": {}, \"dynamic_share\": {:.6}, ",
+            self.links_total(),
+            self.links_static,
+            self.links_dynamic,
+            self.dynamic_share()
+        );
+        let _ = write!(
+            out,
+            "\"stutters\": {}, \"blocked_cycles\": {}, \"class_transitions\": {}, ",
+            self.stutters, self.blocked_cycles, self.class_transitions
+        );
+        let _ = write!(
+            out,
+            "\"occupancy\": {{\"peak_max\": {}, \"mean_total\": {:.6}, \"queues_nonzero\": {}, \"queues_omitted\": {}, \"top\": [",
+            self.peak_max(),
+            self.mean_total(),
+            nonzero,
+            nonzero.saturating_sub(top_queues.len())
+        );
+        for (i, (node, class, peak, mean)) in top_queues.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"node\": {node}, \"class\": {class}, \"peak\": {peak}, \"mean\": {mean:.6}}}",
+                if i == 0 { "" } else { ", " }
+            );
+        }
+        out.push_str("]}}");
+        out
+    }
+}
+
+impl Recorder for CounterSink {
+    fn on_inject(&mut self, _cycle: u64, _pkt: u64, _src: u32, _dst: u32) {
+        self.injected += 1;
+    }
+
+    fn on_queue_enter(&mut self, _cycle: u64, _pkt: u64, node: u32, class: u8, _occupancy: u32) {
+        let q = node as usize * self.num_classes + usize::from(class);
+        self.occupancy[q] += 1;
+        self.peak[q] = self.peak[q].max(self.occupancy[q]);
+    }
+
+    fn on_queue_leave(&mut self, _cycle: u64, _pkt: u64, node: u32, class: u8, _occupancy: u32) {
+        let q = node as usize * self.num_classes + usize::from(class);
+        debug_assert!(self.occupancy[q] > 0, "queue-leave on empty queue");
+        self.occupancy[q] -= 1;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_link(
+        &mut self,
+        _cycle: u64,
+        _pkt: u64,
+        _from: u32,
+        _to: u32,
+        dynamic: bool,
+        from_class: u8,
+        to_class: u8,
+    ) {
+        if dynamic {
+            self.links_dynamic += 1;
+        } else {
+            self.links_static += 1;
+        }
+        if from_class != to_class {
+            self.class_transitions += 1;
+        }
+    }
+
+    fn on_stutter(&mut self, _cycle: u64, _pkt: u64, _node: u32, from_class: u8, to_class: u8) {
+        self.stutters += 1;
+        if from_class != to_class {
+            self.class_transitions += 1;
+        }
+    }
+
+    fn on_block(&mut self, _cycle: u64, _pkt: u64, _node: u32, _class: u8) {
+        self.blocked_cycles += 1;
+    }
+
+    fn on_deliver(&mut self, _cycle: u64, _pkt: u64, _latency: u64, _hops: u32) {
+        self.delivered += 1;
+    }
+
+    fn on_cycle_end(&mut self, _cycle: u64) -> Control {
+        self.cycles += 1;
+        for (s, &o) in self.sum.iter_mut().zip(&self.occupancy) {
+            *s += u64::from(o);
+        }
+        Control::Continue
+    }
+}
+
+// ---------------------------------------------------------------------
+// TraceSink
+// ---------------------------------------------------------------------
+
+/// One in-flight packet lifecycle being assembled by [`TraceSink`].
+#[derive(Debug, Clone)]
+struct PacketTrace {
+    src: u32,
+    dst: u32,
+    inject_cycle: u64,
+    /// Pre-rendered hop fragments (JSON objects).
+    hops: String,
+    n_hops: u32,
+}
+
+/// Bounded JSONL packet-lifecycle traces: one JSON line per packet,
+/// `inject → hops (static/dynamic, class transitions) → deliver`,
+/// enabling post-hoc path reconstruction.
+///
+/// Memory is bounded by tracing only the first `limit` packets injected
+/// (ids are assigned in injection order); later packets are counted in
+/// [`TraceSink::skipped`] so the truncation is visible in the output.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    limit: u64,
+    active: Vec<Option<PacketTrace>>,
+    /// Completed (or flushed) lifecycles, one JSON object per line.
+    lines: Vec<String>,
+    /// Packets beyond the trace bound (not traced).
+    pub skipped: u64,
+}
+
+impl TraceSink {
+    /// Trace the first `limit` packets injected (per run).
+    pub fn new(limit: usize) -> Self {
+        Self {
+            limit: limit as u64,
+            active: Vec::new(),
+            lines: Vec::new(),
+            skipped: 0,
+        }
+    }
+
+    /// Completed lifecycle lines (call [`TraceSink::flush`] first to
+    /// include packets still in flight).
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Render still-in-flight packets as undelivered lifecycles and move
+    /// them into [`TraceSink::lines`]. Call once after the run.
+    pub fn flush(&mut self) {
+        for slot in 0..self.active.len() {
+            if let Some(t) = self.active[slot].take() {
+                let line = format!(
+                    "{{\"pkt\": {slot}, \"src\": {}, \"dst\": {}, \"inject\": {}, \"delivered\": false, \"hops\": [{}]}}",
+                    t.src, t.dst, t.inject_cycle, t.hops
+                );
+                self.lines.push(line);
+            }
+        }
+    }
+
+    /// Append another sink's lines (parallel-merge path); `skipped`
+    /// counts add.
+    pub fn merge(&mut self, other: &TraceSink) {
+        self.lines.extend(other.lines.iter().cloned());
+        self.skipped += other.skipped;
+    }
+
+    fn slot(&mut self, pkt: u64) -> Option<&mut PacketTrace> {
+        if pkt >= self.limit {
+            return None;
+        }
+        self.active.get_mut(pkt as usize)?.as_mut()
+    }
+}
+
+impl Recorder for TraceSink {
+    fn on_inject(&mut self, cycle: u64, pkt: u64, src: u32, dst: u32) {
+        if pkt >= self.limit {
+            self.skipped += 1;
+            return;
+        }
+        let slot = pkt as usize;
+        if slot >= self.active.len() {
+            self.active.resize(slot + 1, None);
+        }
+        self.active[slot] = Some(PacketTrace {
+            src,
+            dst,
+            inject_cycle: cycle,
+            hops: String::new(),
+            n_hops: 0,
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_link(
+        &mut self,
+        cycle: u64,
+        pkt: u64,
+        from: u32,
+        to: u32,
+        dynamic: bool,
+        from_class: u8,
+        to_class: u8,
+    ) {
+        if let Some(t) = self.slot(pkt) {
+            let sep = if t.n_hops == 0 { "" } else { ", " };
+            let kind = if dynamic { "dynamic" } else { "static" };
+            let _ = write!(
+                t.hops,
+                "{sep}{{\"c\": {cycle}, \"from\": {from}, \"to\": {to}, \"kind\": \"{kind}\", \"q\": [{from_class}, {to_class}]}}"
+            );
+            t.n_hops += 1;
+        }
+    }
+
+    fn on_stutter(&mut self, cycle: u64, pkt: u64, node: u32, from_class: u8, to_class: u8) {
+        if let Some(t) = self.slot(pkt) {
+            let sep = if t.n_hops == 0 { "" } else { ", " };
+            let _ = write!(
+                t.hops,
+                "{sep}{{\"c\": {cycle}, \"from\": {node}, \"to\": {node}, \"kind\": \"stutter\", \"q\": [{from_class}, {to_class}]}}"
+            );
+            t.n_hops += 1;
+        }
+    }
+
+    fn on_deliver(&mut self, cycle: u64, pkt: u64, latency: u64, _hops: u32) {
+        if pkt >= self.limit {
+            return;
+        }
+        if let Some(t) = self.active.get_mut(pkt as usize).and_then(Option::take) {
+            let line = format!(
+                "{{\"pkt\": {pkt}, \"src\": {}, \"dst\": {}, \"inject\": {}, \"deliver\": {cycle}, \"latency\": {latency}, \"delivered\": true, \"hops\": [{}]}}",
+                t.src, t.dst, t.inject_cycle, t.hops
+            );
+            self.lines.push(line);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// WatchdogSink
+// ---------------------------------------------------------------------
+
+/// Evidence captured by [`WatchdogSink`] when a no-progress window
+/// elapses: the empirical deadlock/livelock report.
+#[derive(Debug, Clone)]
+pub struct StallReport {
+    /// Cycle at which the stall was declared.
+    pub cycle: u64,
+    /// Undelivered packets at stall time.
+    pub in_flight: u64,
+    /// Delivery-free window length that triggered the report.
+    pub window: u64,
+    /// Link traversals inside the window: 0 ⇒ nothing moved at all
+    /// (deadlock signature); > 0 ⇒ movement without delivery
+    /// (livelock suspect, Faber's sense).
+    pub links_in_window: u64,
+    /// Oldest undelivered packet: `(pkt, src, dst, inject_cycle)`.
+    pub oldest: Option<(u64, u32, u32, u64)>,
+    /// Occupancy snapshot at stall time: non-empty queues as
+    /// `(node, class, occupancy)`, sorted by node then class.
+    pub queues: Vec<(u32, u8, u32)>,
+}
+
+impl StallReport {
+    /// Serialize as a JSON object (the full queue snapshot is included —
+    /// a stalled network's non-empty queue set is small by nature).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"cycle\": {}, \"in_flight\": {}, \"window\": {}, \"links_in_window\": {}, ",
+            self.cycle, self.in_flight, self.window, self.links_in_window
+        );
+        match self.oldest {
+            Some((pkt, src, dst, inject)) => {
+                let _ = write!(
+                    out,
+                    "\"oldest\": {{\"pkt\": {pkt}, \"src\": {src}, \"dst\": {dst}, \"inject\": {inject}, \"age\": {}}}, ",
+                    self.cycle.saturating_sub(inject)
+                );
+            }
+            None => out.push_str("\"oldest\": null, "),
+        }
+        out.push_str("\"queues\": [");
+        for (i, (node, class, occ)) in self.queues.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"node\": {node}, \"class\": {class}, \"occupancy\": {occ}}}",
+                if i == 0 { "" } else { ", " }
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Detects K-cycle no-progress windows and aborts the run with a
+/// structured [`StallReport`] instead of letting it spin to the cycle
+/// cap — a reusable empirical deadlock/livelock check replacing ad-hoc
+/// "stalled at cycle N" asserts.
+///
+/// *Progress* means a **delivery**: a window with link movement but no
+/// deliveries is reported too (as a livelock suspect), matching the
+/// paper's claim structure — deadlock-freedom alone does not rule out
+/// packets circulating forever.
+#[derive(Debug, Clone)]
+pub struct WatchdogSink {
+    k: u64,
+    last_delivery: u64,
+    links_since_delivery: u64,
+    in_flight: u64,
+    /// Injection records of live packets, `pkt → (inject_cycle, src, dst)`.
+    /// Packet ids are assigned in injection order, so the minimum key is
+    /// the oldest undelivered packet.
+    live: std::collections::BTreeMap<u64, (u64, u32, u32)>,
+    /// Current occupancy per (node, class), maintained from queue events.
+    occupancy: std::collections::BTreeMap<(u32, u8), u32>,
+    /// The stall report, if a stall was detected (the run was aborted).
+    pub report: Option<StallReport>,
+}
+
+impl WatchdogSink {
+    /// Watchdog with a `k`-cycle no-progress window (`k >= 1`).
+    pub fn new(k: u64) -> Self {
+        assert!(k >= 1, "watchdog window must be at least 1 cycle");
+        Self {
+            k,
+            last_delivery: 0,
+            links_since_delivery: 0,
+            in_flight: 0,
+            live: std::collections::BTreeMap::new(),
+            occupancy: std::collections::BTreeMap::new(),
+            report: None,
+        }
+    }
+
+    /// Whether a stall was detected.
+    pub fn stalled(&self) -> bool {
+        self.report.is_some()
+    }
+
+    /// Keep the first (earliest-cycle) stall report when merging
+    /// per-worker sinks; merge order is fixed, so this is deterministic.
+    pub fn merge(&mut self, other: &WatchdogSink) {
+        match (&self.report, &other.report) {
+            (None, Some(_)) => self.report = other.report.clone(),
+            (Some(a), Some(b)) if b.cycle < a.cycle => self.report = other.report.clone(),
+            _ => {}
+        }
+    }
+}
+
+impl Recorder for WatchdogSink {
+    fn on_inject(&mut self, cycle: u64, pkt: u64, src: u32, dst: u32) {
+        self.in_flight += 1;
+        self.live.insert(pkt, (cycle, src, dst));
+    }
+
+    fn on_queue_enter(&mut self, _cycle: u64, _pkt: u64, node: u32, class: u8, _occupancy: u32) {
+        *self.occupancy.entry((node, class)).or_insert(0) += 1;
+    }
+
+    fn on_queue_leave(&mut self, _cycle: u64, _pkt: u64, node: u32, class: u8, _occupancy: u32) {
+        if let Some(o) = self.occupancy.get_mut(&(node, class)) {
+            *o = o.saturating_sub(1);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_link(
+        &mut self,
+        _cycle: u64,
+        _pkt: u64,
+        _from: u32,
+        _to: u32,
+        _dynamic: bool,
+        _from_class: u8,
+        _to_class: u8,
+    ) {
+        self.links_since_delivery += 1;
+    }
+
+    fn on_deliver(&mut self, cycle: u64, pkt: u64, _latency: u64, _hops: u32) {
+        self.in_flight -= 1;
+        self.live.remove(&pkt);
+        self.last_delivery = cycle;
+        self.links_since_delivery = 0;
+    }
+
+    fn on_cycle_end(&mut self, cycle: u64) -> Control {
+        if self.report.is_some() {
+            return Control::Stop;
+        }
+        if self.in_flight == 0 || cycle.saturating_sub(self.last_delivery) < self.k {
+            return Control::Continue;
+        }
+        let queues: Vec<(u32, u8, u32)> = self
+            .occupancy
+            .iter()
+            .filter(|(_, &o)| o > 0)
+            .map(|(&(node, class), &o)| (node, class, o))
+            .collect();
+        self.report = Some(StallReport {
+            cycle,
+            in_flight: self.in_flight,
+            window: cycle - self.last_delivery,
+            links_in_window: self.links_since_delivery,
+            oldest: self
+                .live
+                .iter()
+                .next()
+                .map(|(&pkt, &(inject, src, dst))| (pkt, src, dst, inject)),
+            queues,
+        });
+        Control::Stop
+    }
+}
+
+// ---------------------------------------------------------------------
+// SinkSet
+// ---------------------------------------------------------------------
+
+/// A composable bundle of the three sinks, itself a [`Recorder`]: the
+/// harness enables any subset via the `--trace` / `--metrics-out` /
+/// `--watchdog` flags and merges per-worker sets deterministically.
+#[derive(Debug, Clone, Default)]
+pub struct SinkSet {
+    /// Routing-decision counters, if enabled.
+    pub counters: Option<CounterSink>,
+    /// Packet-lifecycle traces, if enabled.
+    pub trace: Option<TraceSink>,
+    /// No-progress watchdog, if enabled.
+    pub watchdog: Option<WatchdogSink>,
+}
+
+impl SinkSet {
+    /// Empty set (records nothing, but still pays the dispatch branches
+    /// — use [`NoRecorder`] for the true zero-cost path).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a [`CounterSink`] for the given network shape.
+    pub fn with_counters(mut self, num_nodes: usize, num_classes: usize) -> Self {
+        self.counters = Some(CounterSink::new(num_nodes, num_classes));
+        self
+    }
+
+    /// Add a [`TraceSink`] bounded to `limit` packets.
+    pub fn with_trace(mut self, limit: usize) -> Self {
+        self.trace = Some(TraceSink::new(limit));
+        self
+    }
+
+    /// Add a [`WatchdogSink`] with a `k`-cycle window.
+    pub fn with_watchdog(mut self, k: u64) -> Self {
+        self.watchdog = Some(WatchdogSink::new(k));
+        self
+    }
+
+    /// Merge another set (same sink configuration) into this one. Call
+    /// in a fixed order over per-worker sinks for deterministic output.
+    pub fn merge(&mut self, other: &SinkSet) {
+        match (&mut self.counters, &other.counters) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(b.clone()),
+            _ => {}
+        }
+        match (&mut self.trace, &other.trace) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(b.clone()),
+            _ => {}
+        }
+        match (&mut self.watchdog, &other.watchdog) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(b.clone()),
+            _ => {}
+        }
+    }
+
+    /// Flush the trace sink (renders still-in-flight packets).
+    pub fn flush(&mut self) {
+        if let Some(t) = &mut self.trace {
+            t.flush();
+        }
+    }
+
+    /// The watchdog's stall report, if any.
+    pub fn stall(&self) -> Option<&StallReport> {
+        self.watchdog.as_ref().and_then(|w| w.report.as_ref())
+    }
+}
+
+impl Recorder for SinkSet {
+    fn on_inject(&mut self, cycle: u64, pkt: u64, src: u32, dst: u32) {
+        if let Some(c) = &mut self.counters {
+            c.on_inject(cycle, pkt, src, dst);
+        }
+        if let Some(t) = &mut self.trace {
+            t.on_inject(cycle, pkt, src, dst);
+        }
+        if let Some(w) = &mut self.watchdog {
+            w.on_inject(cycle, pkt, src, dst);
+        }
+    }
+
+    fn on_queue_enter(&mut self, cycle: u64, pkt: u64, node: u32, class: u8, occupancy: u32) {
+        if let Some(c) = &mut self.counters {
+            c.on_queue_enter(cycle, pkt, node, class, occupancy);
+        }
+        if let Some(w) = &mut self.watchdog {
+            w.on_queue_enter(cycle, pkt, node, class, occupancy);
+        }
+    }
+
+    fn on_queue_leave(&mut self, cycle: u64, pkt: u64, node: u32, class: u8, occupancy: u32) {
+        if let Some(c) = &mut self.counters {
+            c.on_queue_leave(cycle, pkt, node, class, occupancy);
+        }
+        if let Some(w) = &mut self.watchdog {
+            w.on_queue_leave(cycle, pkt, node, class, occupancy);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_link(
+        &mut self,
+        cycle: u64,
+        pkt: u64,
+        from: u32,
+        to: u32,
+        dynamic: bool,
+        from_class: u8,
+        to_class: u8,
+    ) {
+        if let Some(c) = &mut self.counters {
+            c.on_link(cycle, pkt, from, to, dynamic, from_class, to_class);
+        }
+        if let Some(t) = &mut self.trace {
+            t.on_link(cycle, pkt, from, to, dynamic, from_class, to_class);
+        }
+        if let Some(w) = &mut self.watchdog {
+            w.on_link(cycle, pkt, from, to, dynamic, from_class, to_class);
+        }
+    }
+
+    fn on_stutter(&mut self, cycle: u64, pkt: u64, node: u32, from_class: u8, to_class: u8) {
+        if let Some(c) = &mut self.counters {
+            c.on_stutter(cycle, pkt, node, from_class, to_class);
+        }
+        if let Some(t) = &mut self.trace {
+            t.on_stutter(cycle, pkt, node, from_class, to_class);
+        }
+    }
+
+    fn on_block(&mut self, cycle: u64, pkt: u64, node: u32, class: u8) {
+        if let Some(c) = &mut self.counters {
+            c.on_block(cycle, pkt, node, class);
+        }
+    }
+
+    fn on_deliver(&mut self, cycle: u64, pkt: u64, latency: u64, hops: u32) {
+        if let Some(c) = &mut self.counters {
+            c.on_deliver(cycle, pkt, latency, hops);
+        }
+        if let Some(t) = &mut self.trace {
+            t.on_deliver(cycle, pkt, latency, hops);
+        }
+        if let Some(w) = &mut self.watchdog {
+            w.on_deliver(cycle, pkt, latency, hops);
+        }
+    }
+
+    fn on_cycle_end(&mut self, cycle: u64) -> Control {
+        if let Some(c) = &mut self.counters {
+            let _ = c.on_cycle_end(cycle);
+        }
+        if let Some(w) = &mut self.watchdog {
+            if w.on_cycle_end(cycle) == Control::Stop {
+                return Control::Stop;
+            }
+        }
+        Control::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a tiny synthetic event stream through a sink.
+    fn feed(rec: &mut impl Recorder) {
+        rec.on_inject(0, 0, 1, 2);
+        rec.on_queue_enter(0, 0, 1, 0, 1);
+        rec.on_queue_leave(1, 0, 1, 0, 0);
+        rec.on_link(1, 0, 1, 2, false, 0, 1);
+        rec.on_queue_enter(2, 0, 2, 1, 1);
+        rec.on_block(3, 0, 2, 1);
+        rec.on_queue_leave(4, 0, 2, 1, 0);
+        rec.on_link(4, 0, 2, 3, true, 1, 1);
+        rec.on_deliver(5, 0, 11, 2);
+        assert_eq!(rec.on_cycle_end(5), Control::Continue);
+    }
+
+    #[test]
+    fn counter_sink_counts() {
+        let mut c = CounterSink::new(4, 2);
+        feed(&mut c);
+        assert_eq!(c.injected, 1);
+        assert_eq!(c.delivered, 1);
+        assert_eq!(c.links_static, 1);
+        assert_eq!(c.links_dynamic, 1);
+        assert_eq!(c.links_total(), 2);
+        assert!((c.dynamic_share() - 0.5).abs() < 1e-12);
+        assert_eq!(c.blocked_cycles, 1);
+        assert_eq!(c.class_transitions, 1);
+        assert_eq!(c.queue_peak(1, 0), 1);
+        assert_eq!(c.queue_peak(2, 1), 1);
+        assert_eq!(c.peak_max(), 1);
+        let j = c.to_json(8);
+        assert!(j.contains("\"dynamic_share\": 0.5"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn counter_sink_merge_adds_and_maxes() {
+        let mut a = CounterSink::new(4, 2);
+        let mut b = CounterSink::new(4, 2);
+        feed(&mut a);
+        b.on_queue_enter(0, 1, 0, 0, 1);
+        b.on_queue_enter(0, 2, 0, 0, 2);
+        let _ = b.on_cycle_end(0);
+        a.merge(&b);
+        assert_eq!(a.links_total(), 2);
+        assert_eq!(a.queue_peak(0, 0), 2);
+        assert_eq!(a.cycles, 2);
+    }
+
+    #[test]
+    fn trace_sink_renders_lifecycles() {
+        let mut t = TraceSink::new(1);
+        feed(&mut t);
+        // Second packet is beyond the bound.
+        t.on_inject(6, 1, 3, 0);
+        t.flush();
+        assert_eq!(t.lines().len(), 1);
+        assert_eq!(t.skipped, 1);
+        let line = &t.lines()[0];
+        assert!(line.contains("\"delivered\": true"));
+        assert!(line.contains("\"kind\": \"static\""));
+        assert!(line.contains("\"kind\": \"dynamic\""));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn trace_sink_flush_marks_undelivered() {
+        let mut t = TraceSink::new(4);
+        t.on_inject(0, 0, 1, 2);
+        t.on_link(1, 0, 1, 2, false, 0, 0);
+        t.flush();
+        assert_eq!(t.lines().len(), 1);
+        assert!(t.lines()[0].contains("\"delivered\": false"));
+    }
+
+    #[test]
+    fn watchdog_fires_after_k_dry_cycles() {
+        let mut w = WatchdogSink::new(3);
+        w.on_inject(0, 0, 5, 9);
+        w.on_queue_enter(0, 0, 5, 0, 1);
+        assert_eq!(w.on_cycle_end(0), Control::Continue);
+        assert_eq!(w.on_cycle_end(1), Control::Continue);
+        assert_eq!(w.on_cycle_end(2), Control::Continue);
+        assert_eq!(w.on_cycle_end(3), Control::Stop);
+        let r = w.report.as_ref().expect("stall detected");
+        assert_eq!(r.in_flight, 1);
+        assert_eq!(r.oldest, Some((0, 5, 9, 0)));
+        assert_eq!(r.queues, vec![(5, 0, 1)]);
+        assert_eq!(r.links_in_window, 0, "deadlock signature: nothing moved");
+        let j = r.to_json();
+        assert!(j.contains("\"in_flight\": 1"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn watchdog_deliveries_reset_the_window() {
+        let mut w = WatchdogSink::new(2);
+        w.on_inject(0, 0, 0, 1);
+        w.on_inject(0, 1, 1, 0);
+        assert_eq!(w.on_cycle_end(0), Control::Continue);
+        w.on_deliver(1, 0, 3, 1);
+        assert_eq!(w.on_cycle_end(1), Control::Continue);
+        assert_eq!(w.on_cycle_end(2), Control::Continue);
+        // Last delivery at cycle 1; window 2 elapses at cycle 3.
+        assert_eq!(w.on_cycle_end(3), Control::Stop);
+        assert_eq!(w.report.as_ref().unwrap().oldest.unwrap().0, 1);
+    }
+
+    #[test]
+    fn watchdog_idle_network_never_fires() {
+        let mut w = WatchdogSink::new(1);
+        for c in 0..100 {
+            assert_eq!(w.on_cycle_end(c), Control::Continue);
+        }
+        assert!(!w.stalled());
+    }
+
+    #[test]
+    fn sink_set_dispatches_and_merges() {
+        let mut s = SinkSet::new()
+            .with_counters(4, 2)
+            .with_trace(8)
+            .with_watchdog(100);
+        feed(&mut s);
+        s.flush();
+        assert_eq!(s.counters.as_ref().unwrap().links_total(), 2);
+        assert_eq!(s.trace.as_ref().unwrap().lines().len(), 1);
+        assert!(s.stall().is_none());
+
+        let mut other = SinkSet::new()
+            .with_counters(4, 2)
+            .with_trace(8)
+            .with_watchdog(100);
+        feed(&mut other);
+        other.flush();
+        s.merge(&other);
+        assert_eq!(s.counters.as_ref().unwrap().links_total(), 4);
+        assert_eq!(s.trace.as_ref().unwrap().lines().len(), 2);
+    }
+
+    #[test]
+    fn no_recorder_is_inert() {
+        let mut n = NoRecorder;
+        feed(&mut n);
+        assert_eq!(n.on_cycle_end(0), Control::Continue);
+    }
+}

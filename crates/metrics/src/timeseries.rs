@@ -2,29 +2,60 @@
 
 /// Accumulates a per-window sum over a fixed window length, e.g. packets
 /// delivered per 100-cycle window, for saturation and warm-up analysis.
+///
+/// # Memory model
+///
+/// Storage is one `f64` per window touched so far: recording at time `t`
+/// grows the series to `t / window + 1` slots. Growth is capped at
+/// [`TimeSeries::MAX_WINDOWS`] slots (8 MiB of sums): a single far-future
+/// `t` — e.g. a corrupted timestamp — **saturates** into the last window
+/// instead of attempting a multi-gigabyte allocation, and the series
+/// remembers it via [`TimeSeries::saturated`]. Saturated windows mix
+/// events from different times, so callers should treat a saturated
+/// series' tail as unreliable and check the flag before trusting
+/// [`TimeSeries::steady_state_rate`].
 #[derive(Debug, Clone)]
 pub struct TimeSeries {
     window: u64,
     sums: Vec<f64>,
+    saturated: bool,
 }
 
 impl TimeSeries {
+    /// Hard cap on the number of windows a series will allocate
+    /// (2^20 windows = 8 MiB of `f64` sums). Records beyond it saturate
+    /// into the last window.
+    pub const MAX_WINDOWS: usize = 1 << 20;
+
     /// New series with the given window length (> 0).
     pub fn new(window: u64) -> Self {
         assert!(window > 0, "window must be positive");
         Self {
             window,
             sums: Vec::new(),
+            saturated: false,
         }
     }
 
-    /// Add `value` at time `t` (times may arrive in any order).
+    /// Add `value` at time `t` (times may arrive in any order). Times at
+    /// or beyond window [`TimeSeries::MAX_WINDOWS`] saturate into the
+    /// last representable window (see the type-level memory model).
     pub fn record(&mut self, t: u64, value: f64) {
-        let idx = usize::try_from(t / self.window).expect("time fits usize");
+        let mut idx = usize::try_from(t / self.window).unwrap_or(usize::MAX);
+        if idx >= Self::MAX_WINDOWS {
+            idx = Self::MAX_WINDOWS - 1;
+            self.saturated = true;
+        }
         if idx >= self.sums.len() {
             self.sums.resize(idx + 1, 0.0);
         }
         self.sums[idx] += value;
+    }
+
+    /// Whether any record saturated at the window cap (the last window
+    /// then aggregates every out-of-range time).
+    pub fn saturated(&self) -> bool {
+        self.saturated
     }
 
     /// Window length.
@@ -93,5 +124,29 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_rejected() {
         let _ = TimeSeries::new(0);
+    }
+
+    #[test]
+    fn far_future_time_saturates_instead_of_allocating() {
+        let mut ts = TimeSeries::new(1);
+        ts.record(3, 1.0);
+        assert!(!ts.saturated());
+        // Would be ~2^64 windows unbounded; must clamp to MAX_WINDOWS.
+        ts.record(u64::MAX, 2.0);
+        assert!(ts.saturated());
+        assert_eq!(ts.windows().len(), TimeSeries::MAX_WINDOWS);
+        assert_eq!(ts.windows()[TimeSeries::MAX_WINDOWS - 1], 2.0);
+        assert_eq!(ts.windows()[3], 1.0);
+        // Further saturating records accumulate in the last window.
+        ts.record(u64::MAX - 5, 3.0);
+        assert_eq!(ts.windows()[TimeSeries::MAX_WINDOWS - 1], 5.0);
+    }
+
+    #[test]
+    fn last_in_range_window_does_not_saturate() {
+        let mut ts = TimeSeries::new(10);
+        ts.record((TimeSeries::MAX_WINDOWS as u64 - 1) * 10, 1.0);
+        assert!(!ts.saturated());
+        assert_eq!(ts.windows().len(), TimeSeries::MAX_WINDOWS);
     }
 }

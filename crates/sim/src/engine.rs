@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use fadr_metrics::{LatencyStats, TimeSeries};
+use fadr_metrics::{Control, LatencyStats, NoRecorder, Recorder, TimeSeries};
 use fadr_qdg::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction};
 use fadr_topology::NodeId;
 
@@ -23,6 +23,9 @@ struct MoveOpt<M> {
 struct Packet<M> {
     src: u32,
     dst: u32,
+    /// Run-unique id in injection order (slab slots are recycled, ids
+    /// are not); this is the `pkt` handed to the [`Recorder`] hooks.
+    uid: u64,
     /// Link hops taken so far (for the minimality check).
     hops: u16,
     inject_cycle: u64,
@@ -61,7 +64,9 @@ pub struct StaticResult {
     /// Packets that were to be injected.
     pub total: u64,
     /// Whether the network fully drained (always true for a deadlock-free
-    /// algorithm within the cycle cap).
+    /// algorithm within the cycle cap). `false` when the cycle cap was
+    /// hit — or when an attached [`Recorder`] (e.g. a watchdog sink)
+    /// aborted the run early.
     pub drained: bool,
 }
 
@@ -117,6 +122,30 @@ impl OccupancyProbe {
             .copied()
             .unwrap_or(0)
     }
+
+    /// Number of queues tracked (`num_nodes * num_classes`; 0 when
+    /// occupancy was never tracked).
+    pub fn num_queues(&self) -> usize {
+        self.max.len()
+    }
+
+    /// Network-total mean occupancy per cycle: the sum of every queue's
+    /// mean, i.e. the average number of packets resident in central
+    /// queues across the run. Equals the sum of [`OccupancyProbe::mean`]
+    /// over all queues by construction.
+    pub fn total_mean(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.sum.iter().sum::<u64>() as f64 / self.samples as f64
+    }
+
+    /// Largest per-queue peak across the network. Note this is the max
+    /// of *per-queue* peaks (each possibly attained at a different
+    /// cycle), not the peak simultaneous network population.
+    pub fn total_peak(&self) -> u16 {
+        self.max.iter().copied().max().unwrap_or(0)
+    }
 }
 
 impl DynamicResult {
@@ -131,8 +160,18 @@ impl DynamicResult {
 }
 
 /// The packet-routing simulator; see the crate docs for the model.
-pub struct Simulator<R: RoutingFunction> {
+///
+/// `Rec` is the attached event [`Recorder`], monomorphized into the hot
+/// loop: the default [`NoRecorder`] has empty inline hooks, so an
+/// unobserved simulator compiles to exactly the code it had before the
+/// observability layer existed. Pass a [`fadr_metrics::SinkSet`] (or any
+/// custom recorder) via [`Simulator::with_recorder`] to collect
+/// routing-decision counters, packet traces, or watchdog evidence.
+pub struct Simulator<R: RoutingFunction, Rec: Recorder = NoRecorder> {
     rf: R,
+    rec: Rec,
+    /// Next packet uid (injection order; never recycled).
+    next_uid: u64,
     cfg: SimConfig,
     layout: Layout,
     num_classes: usize,
@@ -175,9 +214,22 @@ pub struct Simulator<R: RoutingFunction> {
 }
 
 impl<R: RoutingFunction> Simulator<R> {
-    /// Build a simulator for `rf` with the given configuration.
+    /// Build a simulator for `rf` with the given configuration and no
+    /// recorder (the zero-overhead default).
     pub fn new(rf: R, cfg: SimConfig) -> Self {
-        assert!(cfg.queue_capacity >= 1, "central queues need capacity >= 1");
+        Self::with_recorder(rf, cfg, NoRecorder)
+    }
+}
+
+impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
+    /// Build a simulator with an attached event recorder. The recorder
+    /// observes every run of this simulator (it is *not* reset between
+    /// runs); use one recorder per run for per-run metrics.
+    ///
+    /// A `queue_capacity` of 0 is permitted: it wedges the network (no
+    /// packet can ever enter a central queue), which is useful for
+    /// exercising watchdog sinks against a guaranteed stall.
+    pub fn with_recorder(rf: R, cfg: SimConfig, rec: Rec) -> Self {
         let layout = Layout::new(&rf);
         let n = layout.num_nodes;
         let num_classes = rf.num_classes();
@@ -190,6 +242,8 @@ impl<R: RoutingFunction> Simulator<R> {
         }
         Self {
             cfg,
+            rec,
+            next_uid: 0,
             num_classes,
             queue_len: vec![0; n * num_classes],
             node_fifo: vec![Vec::new(); n],
@@ -220,6 +274,22 @@ impl<R: RoutingFunction> Simulator<R> {
     /// [`crate::SimConfig::track_occupancy`] was set).
     pub fn occupancy(&self) -> &OccupancyProbe {
         &self.occupancy
+    }
+
+    /// The attached event recorder.
+    pub fn recorder(&self) -> &Rec {
+        &self.rec
+    }
+
+    /// Mutable access to the attached event recorder.
+    pub fn recorder_mut(&mut self) -> &mut Rec {
+        &mut self.rec
+    }
+
+    /// Consume the simulator and return its recorder (e.g. to reduce a
+    /// sink after a run).
+    pub fn into_recorder(self) -> Rec {
+        self.rec
     }
 
     /// Packets delivered with a hop count different from the topology
@@ -258,6 +328,7 @@ impl<R: RoutingFunction> Simulator<R> {
         self.inj_buf.fill(NONE);
         self.packets.clear();
         self.free.clear();
+        self.next_uid = 0;
         self.rng = StdRng::seed_from_u64(self.cfg.seed);
         self.cycle = 0;
         self.stats = LatencyStats::new();
@@ -288,7 +359,9 @@ impl<R: RoutingFunction> Simulator<R> {
                     self.inj_buf[v] = self.alloc_packet(v, dst);
                 }
             }
-            self.step();
+            if self.step() == Control::Stop {
+                break;
+            }
         }
         StaticResult {
             stats: self.stats.clone(),
@@ -324,7 +397,9 @@ impl<R: RoutingFunction> Simulator<R> {
                     injected += 1;
                 }
             }
-            self.step();
+            if self.step() == Control::Stop {
+                break;
+            }
         }
         DynamicResult {
             stats: self.stats.clone(),
@@ -337,9 +412,15 @@ impl<R: RoutingFunction> Simulator<R> {
 
     fn alloc_packet(&mut self, src: NodeId, dst: NodeId) -> u32 {
         let msg = self.rf.initial_msg(src, dst);
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        if Rec::ENABLED {
+            self.rec.on_inject(self.cycle, uid, src as u32, dst as u32);
+        }
         let pkt = Packet {
             src: src as u32,
             dst: dst as u32,
+            uid,
             hops: 0,
             inject_cycle: self.cycle,
             enqueued_at: self.cycle,
@@ -367,8 +448,10 @@ impl<R: RoutingFunction> Simulator<R> {
         }
     }
 
-    /// One routing cycle: node fill, link, node read.
-    fn step(&mut self) {
+    /// One routing cycle: node fill, link, node read. Returns the
+    /// recorder's verdict (always [`Control::Continue`] for the no-op
+    /// recorder, in which case the check folds away).
+    fn step(&mut self) -> Control {
         self.fill_phase();
         self.link_phase();
         self.read_phase();
@@ -380,7 +463,13 @@ impl<R: RoutingFunction> Simulator<R> {
             }
             self.occupancy.samples += 1;
         }
+        let ctl = if Rec::ENABLED {
+            self.rec.on_cycle_end(self.cycle)
+        } else {
+            Control::Continue
+        };
         self.cycle += 1;
+        ctl
     }
 
     /// Node cycle, part 1 (§ 7.1): "each node fills its output buffers
@@ -456,11 +545,23 @@ impl<R: RoutingFunction> Simulator<R> {
                 let packets = &mut self.packets;
                 let queue_len = &mut self.queue_len;
                 let num_classes = self.num_classes;
+                let rec = &mut self.rec;
+                let cycle = self.cycle;
                 self.node_fifo[node].retain(|&p| {
                     let pkt = &mut packets[p as usize];
                     if pkt.staged {
                         pkt.staged = false;
-                        queue_len[node * num_classes + usize::from(pkt.class)] -= 1;
+                        let q = node * num_classes + usize::from(pkt.class);
+                        queue_len[q] -= 1;
+                        if Rec::ENABLED {
+                            rec.on_queue_leave(
+                                cycle,
+                                pkt.uid,
+                                node as u32,
+                                pkt.class,
+                                queue_len[q],
+                            );
+                        }
                         false
                     } else {
                         true
@@ -497,10 +598,33 @@ impl<R: RoutingFunction> Simulator<R> {
                 pkt.msg = next;
                 pkt.moved_at = self.cycle;
                 pkt.enqueued_at = self.cycle;
+                let uid = pkt.uid;
+                if Rec::ENABLED {
+                    self.rec
+                        .on_stutter(self.cycle, uid, node as u32, from_class, to_class);
+                }
                 if to_class != from_class {
-                    pkt.class = to_class;
-                    self.queue_len[node * self.num_classes + usize::from(from_class)] -= 1;
-                    self.queue_len[node * self.num_classes + usize::from(to_class)] += 1;
+                    self.packets[p as usize].class = to_class;
+                    let qf = node * self.num_classes + usize::from(from_class);
+                    let qt = node * self.num_classes + usize::from(to_class);
+                    self.queue_len[qf] -= 1;
+                    self.queue_len[qt] += 1;
+                    if Rec::ENABLED {
+                        self.rec.on_queue_leave(
+                            self.cycle,
+                            uid,
+                            node as u32,
+                            from_class,
+                            self.queue_len[qf],
+                        );
+                        self.rec.on_queue_enter(
+                            self.cycle,
+                            uid,
+                            node as u32,
+                            to_class,
+                            self.queue_len[qt],
+                        );
+                    }
                 }
                 // Re-enqueued now: move to the back of the arrival order.
                 let fifo = &mut self.node_fifo[node];
@@ -529,8 +653,21 @@ impl<R: RoutingFunction> Simulator<R> {
             for i in 0..len {
                 let b = start + (rr + i) % len;
                 if self.outbuf[b] != NONE && self.inbuf[b] == NONE {
-                    self.inbuf[b] = self.outbuf[b];
-                    self.packets[self.outbuf[b] as usize].hops += 1;
+                    let p = self.outbuf[b];
+                    self.inbuf[b] = p;
+                    let pkt = &mut self.packets[p as usize];
+                    pkt.hops += 1;
+                    if Rec::ENABLED {
+                        self.rec.on_link(
+                            self.cycle,
+                            pkt.uid,
+                            self.layout.chan_from[chan],
+                            self.layout.chan_to[chan],
+                            matches!(self.layout.buf_class[b], BufferClass::Dynamic),
+                            pkt.class,
+                            pkt.next_class,
+                        );
+                    }
                     self.outbuf[b] = NONE;
                     self.chan_pending[chan] -= 1;
                     self.in_occupied[self.layout.chan_to[chan] as usize] += 1;
@@ -584,14 +721,22 @@ impl<R: RoutingFunction> Simulator<R> {
             return true;
         }
         let class = usize::from(pkt.next_class);
+        let uid = pkt.uid;
         let q = node * self.num_classes + class;
         if self.queue_len[q] as usize >= self.cfg.queue_capacity {
+            if Rec::ENABLED {
+                self.rec.on_block(self.cycle, uid, node as u32, class as u8);
+            }
             return false;
         }
         let pkt = &mut self.packets[p as usize];
         pkt.enqueued_at = self.cycle;
         pkt.class = class as u8;
         self.queue_len[q] += 1;
+        if Rec::ENABLED {
+            self.rec
+                .on_queue_enter(self.cycle, uid, node as u32, class as u8, self.queue_len[q]);
+        }
         self.node_fifo[node].push(p);
         self.compute_options(p, node, class as u8);
         true
@@ -615,14 +760,22 @@ impl<R: RoutingFunction> Simulator<R> {
                 }
             });
         let class = usize::from(entry.expect("injection transition exists"));
+        let uid = self.packets[p as usize].uid;
         let q = node * self.num_classes + class;
         if self.queue_len[q] as usize >= self.cfg.queue_capacity {
+            if Rec::ENABLED {
+                self.rec.on_block(self.cycle, uid, node as u32, class as u8);
+            }
             return false;
         }
         let pkt = &mut self.packets[p as usize];
         pkt.enqueued_at = self.cycle;
         pkt.class = class as u8;
         self.queue_len[q] += 1;
+        if Rec::ENABLED {
+            self.rec
+                .on_queue_enter(self.cycle, uid, node as u32, class as u8, self.queue_len[q]);
+        }
         self.node_fifo[node].push(p);
         self.compute_options(p, node, class as u8);
         true
@@ -631,6 +784,10 @@ impl<R: RoutingFunction> Simulator<R> {
     fn deliver(&mut self, p: u32) {
         let pkt = &self.packets[p as usize];
         let latency = 2 * (self.cycle - pkt.inject_cycle) + 1;
+        if Rec::ENABLED {
+            self.rec
+                .on_deliver(self.cycle, pkt.uid, latency, u32::from(pkt.hops));
+        }
         if self.cfg.check_minimality {
             let d = self
                 .rf

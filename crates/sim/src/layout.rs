@@ -20,6 +20,8 @@ pub struct Layout {
     pub max_ports: usize,
     /// `(node * max_ports + port) -> channel id` (or `NONE`).
     pub chan_of: Vec<u32>,
+    /// Channel id → source node.
+    pub chan_from: Vec<u32>,
     /// Channel id → target node.
     pub chan_to: Vec<u32>,
     /// Channel id → first buffer id.
@@ -47,6 +49,7 @@ impl Layout {
             num_nodes: n,
             max_ports: mp,
             chan_of: vec![NONE; n * mp],
+            chan_from: Vec::new(),
             chan_to: Vec::new(),
             chan_buf_start: Vec::new(),
             chan_buf_len: Vec::new(),
@@ -66,6 +69,7 @@ impl Layout {
                 }
                 let chan = layout.chan_to.len() as u32;
                 layout.chan_of[node * mp + port] = chan;
+                layout.chan_from.push(node as u32);
                 layout.chan_to.push(to as u32);
                 layout.chan_buf_start.push(layout.buf_class.len() as u32);
                 layout

@@ -35,6 +35,17 @@
 //!
 //! The simulator is deterministic given the RNG seed; randomness is used
 //! only for Bernoulli injection (λ < 1) and workload destination draws.
+//!
+//! # Observability
+//!
+//! The engine is generic over a [`Recorder`] — an event listener invoked
+//! at every packet injection, queue entry/exit, link traversal (tagged
+//! static/dynamic with its `q_A`/`q_B` class transition), stutter, block,
+//! and delivery, plus an end-of-cycle hook that can abort a run. The
+//! default [`NoRecorder`] is a zero-sized no-op whose empty inline hooks
+//! compile away entirely, so an uninstrumented `Simulator::new(..)` pays
+//! nothing. Attach sinks with [`Simulator::with_recorder`] — see
+//! [`SinkSet`] for the stock counter/trace/watchdog sinks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,12 +55,19 @@ mod layout;
 pub mod node_design;
 
 pub use engine::{DynamicResult, OccupancyProbe, Simulator, StaticResult};
+pub use fadr_metrics::{
+    Control, CounterSink, NoRecorder, Recorder, SinkSet, StallReport, TraceSink, WatchdogSink,
+};
 pub use layout::Layout;
 
 /// Simulator configuration (§ 7.1 defaults).
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
-    /// Capacity of each central queue (`q_A`/`q_B` size; the paper fixes 5).
+    /// Capacity of each central queue (`q_A`/`q_B` size; the paper
+    /// fixes 5). A capacity of 0 deliberately wedges the network —
+    /// packets can never leave their injection buffers — which is useful
+    /// for exercising the no-progress watchdog ([`WatchdogSink`]); any
+    /// run without a watchdog will spin to `max_cycles`.
     pub queue_capacity: usize,
     /// RNG seed (workload draws and Bernoulli injection).
     pub seed: u64,

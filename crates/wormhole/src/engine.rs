@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use fadr_metrics::LatencyStats;
+use fadr_metrics::{Control, LatencyStats, NoRecorder, Recorder};
 use fadr_qdg::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction};
 use fadr_topology::NodeId;
 
@@ -80,8 +80,19 @@ pub struct WormholeResult {
 
 /// Flit-level wormhole simulator over a [`RoutingFunction`]; see the
 /// crate docs for the model.
-pub struct WormholeSim<R: RoutingFunction> {
+///
+/// Generic over a [`Recorder`] (default: the zero-cost [`NoRecorder`]).
+/// Recorder semantics differ slightly from the packet engine's: worms are
+/// identified by spawn index, [`Recorder::on_link`] fires when a header
+/// *acquires* a virtual channel (the routing decision, tagged
+/// static/dynamic), [`Recorder::on_block`] fires each cycle a header
+/// finds no free VC, and [`Recorder::on_deliver`] reports `hops = 0`
+/// (flit pipelining makes a per-worm hop count redundant with its link
+/// events). Queue-enter/leave and stutter events are not emitted — worms
+/// occupy VCs, not central queues.
+pub struct WormholeSim<R: RoutingFunction, Rec: Recorder = NoRecorder> {
     rf: R,
+    rec: Rec,
     cfg: WormConfig,
     num_nodes: usize,
     max_ports: usize,
@@ -102,8 +113,15 @@ pub struct WormholeSim<R: RoutingFunction> {
 }
 
 impl<R: RoutingFunction> WormholeSim<R> {
-    /// Build a wormhole simulator for `rf`.
+    /// Build a wormhole simulator for `rf` (no recording).
     pub fn new(rf: R, cfg: WormConfig) -> Self {
+        Self::with_recorder(rf, cfg, NoRecorder)
+    }
+}
+
+impl<R: RoutingFunction, Rec: Recorder> WormholeSim<R, Rec> {
+    /// Build a wormhole simulator for `rf` with an event recorder.
+    pub fn with_recorder(rf: R, cfg: WormConfig, rec: Rec) -> Self {
         assert!(cfg.message_length >= 1);
         assert!(cfg.flit_buffer_depth >= 1);
         let topo = rf.topology();
@@ -150,12 +168,29 @@ impl<R: RoutingFunction> WormholeSim<R> {
             stats: LatencyStats::new(),
             delivered: 0,
             rf,
+            rec,
         }
     }
 
     /// The routing function under simulation.
     pub fn routing(&self) -> &R {
         &self.rf
+    }
+
+    /// The attached recorder.
+    pub fn recorder(&self) -> &Rec {
+        &self.rec
+    }
+
+    /// Mutable access to the attached recorder.
+    pub fn recorder_mut(&mut self) -> &mut Rec {
+        &mut self.rec
+    }
+
+    /// Consume the simulator, returning the recorder (e.g. to flush and
+    /// serialize its sinks after a run).
+    pub fn into_recorder(self) -> Rec {
+        self.rec
     }
 
     /// Resolve the VC of `(node, port, class)`.
@@ -201,7 +236,9 @@ impl<R: RoutingFunction> WormholeSim<R> {
                     active[src] = self.spawn(src, dst);
                 }
             }
-            self.step();
+            if self.step() == Control::Stop {
+                break;
+            }
         }
         WormholeResult {
             stats: self.stats.clone(),
@@ -241,7 +278,9 @@ impl<R: RoutingFunction> WormholeSim<R> {
                     spawned += 1;
                 }
             }
-            self.step();
+            if self.step() == Control::Stop {
+                break;
+            }
         }
         WormholeResult {
             stats: self.stats.clone(),
@@ -274,11 +313,16 @@ impl<R: RoutingFunction> WormholeSim<R> {
             first_vc: NONE,
         });
         self.worm_sources.push(src);
-        self.live.push((self.worms.len() - 1) as u32);
-        (self.worms.len() - 1) as u32
+        let w = (self.worms.len() - 1) as u32;
+        if Rec::ENABLED {
+            self.rec
+                .on_inject(self.cycle, u64::from(w), src as u32, dst as u32);
+        }
+        self.live.push(w);
+        w
     }
 
-    fn step(&mut self) {
+    fn step(&mut self) -> Control {
         self.route_headers();
         self.move_flits();
         let worms = &self.worms;
@@ -308,7 +352,13 @@ impl<R: RoutingFunction> WormholeSim<R> {
                 }
             }
         }
+        let ctl = if Rec::ENABLED {
+            self.rec.on_cycle_end(self.cycle)
+        } else {
+            Control::Continue
+        };
         self.cycle += 1;
+        ctl
     }
 
     /// Phase 1: every header at a routing point tries to reserve its next
@@ -373,6 +423,17 @@ impl<R: RoutingFunction> WormholeSim<R> {
                 }
             });
             if let Some((vc, c, next_msg)) = chosen {
+                if Rec::ENABLED {
+                    self.rec.on_link(
+                        self.cycle,
+                        w as u64,
+                        node as u32,
+                        self.vc_node(vc) as u32,
+                        self.vc_class[vc as usize] == BufferClass::Dynamic,
+                        class,
+                        c,
+                    );
+                }
                 self.vcs[vc as usize].owner = w as u32;
                 self.worms[w].msg = next_msg;
                 self.worms[w].class = c;
@@ -383,6 +444,8 @@ impl<R: RoutingFunction> WormholeSim<R> {
                     self.worms[w].first_vc = vc;
                     self.vcs[vc as usize].prev = SOURCE;
                 }
+            } else if Rec::ENABLED {
+                self.rec.on_block(self.cycle, w as u64, node as u32, class);
             }
         }
     }
@@ -504,6 +567,9 @@ impl<R: RoutingFunction> WormholeSim<R> {
     fn complete(&mut self, w: usize) {
         debug_assert_eq!(self.worms[w].delivered_flits, self.worms[w].total_flits);
         let latency = self.cycle - self.worms[w].inject_cycle + 1;
+        if Rec::ENABLED {
+            self.rec.on_deliver(self.cycle, w as u64, latency, 0);
+        }
         self.stats.record(latency);
         self.delivered += 1;
     }

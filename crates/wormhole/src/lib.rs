@@ -50,6 +50,7 @@
 mod engine;
 
 pub use engine::{WormholeResult, WormholeSim};
+pub use fadr_metrics::{Control, NoRecorder, Recorder, SinkSet};
 
 /// Wormhole simulator configuration.
 #[derive(Debug, Clone, Copy)]
