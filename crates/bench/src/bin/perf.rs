@@ -86,8 +86,7 @@ fn main() -> ExitCode {
 
     let stamp = SystemTime::now()
         .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
+        .map_or(0, |d| d.as_secs());
     let opts = RunOptions::default();
     let dims: &[usize] = if quick { &[10] } else { &[10, 11, 12] };
     let mut measurements = Vec::new();

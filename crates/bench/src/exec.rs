@@ -17,9 +17,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Default worker count: the machine's available parallelism (1 if it
 /// cannot be determined).
 pub fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
 /// Evaluate `f(0), f(1), …, f(count - 1)` on up to `jobs` worker

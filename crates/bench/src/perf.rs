@@ -29,7 +29,7 @@ impl Measurement {
     /// Median sample.
     pub fn median(&self) -> f64 {
         let mut s = self.secs.clone();
-        s.sort_by(|a, b| a.total_cmp(b));
+        s.sort_by(f64::total_cmp);
         s[s.len() / 2]
     }
 
@@ -114,7 +114,7 @@ mod tests {
         let m = time("noop", 3, || calls += 1);
         assert_eq!(m.secs.len(), 3);
         assert_eq!(calls, 4, "warm-up plus three samples");
-        assert!(m.min() <= m.median() && m.median() <= m.secs.iter().cloned().fold(0.0, f64::max));
+        assert!(m.min() <= m.median() && m.median() <= m.secs.iter().copied().fold(0.0, f64::max));
         assert!(report_line(&m).starts_with("noop"));
     }
 

@@ -1,10 +1,31 @@
 //! Hypercube routing: the paper's § 3 fully-adaptive algorithm, its
 //! underlying partially-adaptive "hang", and the oblivious e-cube baseline.
 
+use fadr_qdg::sym::{QueueClass, Symmetry};
 use fadr_qdg::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction, Transition};
 use fadr_topology::{Hypercube, NodeId, Port, Topology};
 
 use crate::{CLASS_A, CLASS_B};
+
+/// Classifier shared by the hypercube hang schemes: central queues by
+/// Hamming level relative to the hang root (phase-A levels rise along
+/// static links, phase-B levels fall, and no static link leaves phase B
+/// for phase A — so the class graph is a DAG).
+fn cube_class(root: NodeId, q: QueueId) -> QueueClass {
+    match q.kind {
+        QueueKind::Inject => QueueClass::inject(),
+        QueueKind::Deliver => QueueClass::deliver(),
+        QueueKind::Central(c) => QueueClass::central(c, (q.node ^ root).count_ones()),
+    }
+}
+
+/// One destination per Hamming level: `root ^ 0…01…1` with `w` ones. Any
+/// destination maps onto its level representative by a dimension
+/// permutation fixing `root`, which relabels routes to routes and
+/// preserves [`cube_class`].
+fn cube_representatives(dims: usize, root: NodeId) -> Vec<NodeId> {
+    (0..=dims).map(|w| root ^ ((1usize << w) - 1)).collect()
+}
 
 /// Message routing state for the hypercube algorithms: only the
 /// destination — the phase is recomputed from the current node at every
@@ -213,6 +234,27 @@ impl RoutingFunction for HypercubeFullyAdaptive {
     }
 }
 
+impl Symmetry for HypercubeFullyAdaptive {
+    fn queue_class(&self, q: QueueId) -> QueueClass {
+        cube_class(self.root, q)
+    }
+
+    fn dst_representatives(&self) -> Vec<NodeId> {
+        cube_representatives(self.cube.dims(), self.root)
+    }
+
+    fn symmetry(&self) -> String {
+        format!(
+            "dimension permutations fixing root {}: classes by Hamming level, one representative destination per level",
+            self.root
+        )
+    }
+
+    fn is_reduced(&self) -> bool {
+        true
+    }
+}
+
 /// The *underlying* § 3 algorithm without dynamic links: hang the cube
 /// from `0…0` and correct all 0→1 bits (in any order) before any 1→0 bit.
 ///
@@ -325,6 +367,24 @@ impl RoutingFunction for HypercubeStaticHang {
     }
 }
 
+impl Symmetry for HypercubeStaticHang {
+    fn queue_class(&self, q: QueueId) -> QueueClass {
+        cube_class(0, q)
+    }
+
+    fn dst_representatives(&self) -> Vec<NodeId> {
+        cube_representatives(self.cube.dims(), 0)
+    }
+
+    fn symmetry(&self) -> String {
+        "dimension permutations fixing root 0: classes by Hamming level, one representative destination per level".into()
+    }
+
+    fn is_reduced(&self) -> bool {
+        true
+    }
+}
+
 /// Message state of [`EcubeSbp`]: destination plus hops taken (the
 /// structured-buffer-pool class).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -428,6 +488,25 @@ impl RoutingFunction for EcubeSbp {
 
     fn name(&self) -> String {
         format!("hypercube-ecube-sbp(n={})", self.cube.dims())
+    }
+}
+
+impl Symmetry for EcubeSbp {
+    fn queue_class(&self, q: QueueId) -> QueueClass {
+        match q.kind {
+            QueueKind::Inject => QueueClass::inject(),
+            QueueKind::Deliver => QueueClass::deliver(),
+            // The hop counter *is* the level: every link hop increments it.
+            QueueKind::Central(c) => QueueClass::central(c, 0),
+        }
+    }
+
+    fn symmetry(&self) -> String {
+        "structured buffer pool: classes by hop count (node-independent), all destinations".into()
+    }
+
+    fn is_reduced(&self) -> bool {
+        true
     }
 }
 

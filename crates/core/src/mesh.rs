@@ -1,10 +1,31 @@
 //! 2-D mesh routing: the paper's § 4 fully-adaptive algorithm, the
 //! partially-adaptive "hung" scheme it extends, and oblivious XY routing.
 
+use fadr_qdg::sym::{QueueClass, Symmetry};
 use fadr_qdg::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction, Transition};
 use fadr_topology::{Mesh2D, NodeId, Port, Topology};
 
 use crate::{CLASS_A, CLASS_B};
+
+/// Classifier shared by the two-phase mesh schemes: the paper's levels —
+/// phase A hangs the mesh from `(0,0)` (level `x + y` rises along static
+/// links), phase B from `(w-1, h-1)` (its level rises as `x + y` falls),
+/// and no static link returns from phase B to phase A.
+fn mesh_class(mesh: &Mesh2D, q: QueueId) -> QueueClass {
+    match q.kind {
+        QueueKind::Inject => QueueClass::inject(),
+        QueueKind::Deliver => QueueClass::deliver(),
+        QueueKind::Central(c) => {
+            let (x, y) = mesh.coords(q.node);
+            let level = if c == CLASS_A {
+                x + y
+            } else {
+                (mesh.width() - 1 - x) + (mesh.height() - 1 - y)
+            };
+            QueueClass::central(c, u32::try_from(level).expect("mesh level fits u32"))
+        }
+    }
+}
 
 /// Message routing state for the mesh algorithms: only the destination;
 /// the phase is recomputed at every queue entry ("a message changes from
@@ -185,6 +206,20 @@ impl RoutingFunction for MeshFullyAdaptive {
     }
 }
 
+impl Symmetry for MeshFullyAdaptive {
+    fn queue_class(&self, q: QueueId) -> QueueClass {
+        mesh_class(&self.mesh, q)
+    }
+
+    fn symmetry(&self) -> String {
+        "mesh diagonal levels (A: x+y from (0,0); B: from the far corner), all destinations".into()
+    }
+
+    fn is_reduced(&self) -> bool {
+        true
+    }
+}
+
 /// The first § 4 scheme: the mesh hung from `(0,0)` and `(w-1,h-1)` with
 /// *no* dynamic links. Minimal and deadlock-free, but e.g. a message
 /// going `-x`/`+y` has exactly one path (no adaptivity at all).
@@ -290,6 +325,20 @@ impl RoutingFunction for MeshStaticHang {
             self.mesh.width(),
             self.mesh.height()
         )
+    }
+}
+
+impl Symmetry for MeshStaticHang {
+    fn queue_class(&self, q: QueueId) -> QueueClass {
+        mesh_class(&self.mesh, q)
+    }
+
+    fn symmetry(&self) -> String {
+        "mesh diagonal levels (A: x+y from (0,0); B: from the far corner), all destinations".into()
+    }
+
+    fn is_reduced(&self) -> bool {
+        true
     }
 }
 
@@ -436,6 +485,35 @@ impl RoutingFunction for MeshXY {
 
     fn name(&self) -> String {
         format!("mesh-xy({}x{})", self.mesh.width(), self.mesh.height())
+    }
+}
+
+impl Symmetry for MeshXY {
+    fn queue_class(&self, q: QueueId) -> QueueClass {
+        match q.kind {
+            QueueKind::Inject => QueueClass::inject(),
+            QueueKind::Deliver => QueueClass::deliver(),
+            QueueKind::Central(c) => {
+                let (x, y) = self.mesh.coords(q.node);
+                // Distance already travelled in the class's direction:
+                // rises along every link hop that stays in the class.
+                let level = match c {
+                    CX_P => x,
+                    CX_N => self.mesh.width() - 1 - x,
+                    CY_P => y,
+                    _ => self.mesh.height() - 1 - y,
+                };
+                QueueClass::central(c, u32::try_from(level).expect("mesh level fits u32"))
+            }
+        }
+    }
+
+    fn symmetry(&self) -> String {
+        "XY direction classes levelled by distance travelled; X classes feed Y classes only".into()
+    }
+
+    fn is_reduced(&self) -> bool {
+        true
     }
 }
 

@@ -7,6 +7,7 @@
 //! let a phase-A message take *any* minimal move while some `+`
 //! correction remains. Still two central queues per node, for any k.
 
+use fadr_qdg::sym::{QueueClass, Symmetry};
 use fadr_qdg::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction, Transition};
 use fadr_topology::{MeshKD, NodeId, Port, Topology};
 
@@ -160,8 +161,43 @@ impl RoutingFunction for MeshKDFullyAdaptive {
     }
 
     fn name(&self) -> String {
-        let e: Vec<String> = self.mesh.extents().iter().map(|x| x.to_string()).collect();
+        let e: Vec<String> = self
+            .mesh
+            .extents()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         format!("meshkd-fully-adaptive({})", e.join("x"))
+    }
+}
+
+impl Symmetry for MeshKDFullyAdaptive {
+    fn queue_class(&self, q: QueueId) -> QueueClass {
+        match q.kind {
+            QueueKind::Inject => QueueClass::inject(),
+            QueueKind::Deliver => QueueClass::deliver(),
+            QueueKind::Central(c) => {
+                let level: usize = (0..self.mesh.dims())
+                    .map(|d| {
+                        let cu = self.mesh.coord(q.node, d);
+                        if c == CLASS_A {
+                            cu
+                        } else {
+                            self.mesh.extents()[d] - 1 - cu
+                        }
+                    })
+                    .sum();
+                QueueClass::central(c, u32::try_from(level).expect("mesh level fits u32"))
+            }
+        }
+    }
+
+    fn symmetry(&self) -> String {
+        "k-D mesh diagonal levels (A: Σ coords from the origin corner; B: from the far corner), all destinations".into()
+    }
+
+    fn is_reduced(&self) -> bool {
+        true
     }
 }
 

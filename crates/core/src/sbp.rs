@@ -15,6 +15,7 @@
 //! quantifies what the 2-queue construction gives up (nothing, § 7) and
 //! saves (a factor `(diameter+1)/2` in queues).
 
+use fadr_qdg::sym::{QueueClass, Symmetry};
 use fadr_qdg::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction, Transition};
 use fadr_topology::{graph, NodeId, Port, Topology};
 
@@ -167,6 +168,29 @@ impl<T: Topology> RoutingFunction for AdaptiveSbp<T> {
 
     fn name(&self) -> String {
         format!("adaptive-sbp[{}]", self.topo.name())
+    }
+}
+
+impl<T: Topology> Symmetry for AdaptiveSbp<T> {
+    fn queue_class(&self, q: QueueId) -> QueueClass {
+        match q.kind {
+            QueueKind::Inject => QueueClass::inject(),
+            QueueKind::Deliver => QueueClass::deliver(),
+            // The hop counter *is* the rank: every link hop moves
+            // class k to class k+1, node identity is irrelevant.
+            QueueKind::Central(c) => QueueClass::central(c, 0),
+        }
+    }
+
+    fn symmetry(&self) -> String {
+        format!(
+            "hop-indexed classes on {}: class k holds exactly the messages with k hops taken",
+            self.topo.name()
+        )
+    }
+
+    fn is_reduced(&self) -> bool {
+        true
     }
 }
 

@@ -38,6 +38,7 @@
 //! links; a "shuffle" there is modelled as an internal stutter that bumps
 //! the counter without acquiring a new queue slot.
 
+use fadr_qdg::sym::Symmetry;
 use fadr_qdg::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction, Transition};
 use fadr_topology::shuffle_exchange::{PORT_EXCHANGE, PORT_SHUFFLE};
 use fadr_topology::{NodeId, Port, ShuffleExchange, Topology};
@@ -73,6 +74,21 @@ impl ShuffleExchangeRouting {
     /// deferred to phase 2).
     pub fn without_dynamic_links(dims: usize) -> Self {
         Self::with_options(dims, false)
+    }
+
+    /// The paper's *literal* § 5 provisioning: exactly two cycle classes
+    /// per phase ("break the shuffle cycles twice"), regardless of `dims`.
+    ///
+    /// Sound for prime `dims` (where it coincides with [`Self::new`]);
+    /// for composite `dims` the short-necklace re-crossings overflow the
+    /// two classes and the static QDG acquires a cycle — the certifier's
+    /// canonical negative example (see DESIGN.md § 5).
+    pub fn paper_literal(dims: usize) -> Self {
+        Self {
+            se: ShuffleExchange::new(dims),
+            classes_per_phase: 2,
+            dynamic_links: true,
+        }
     }
 
     fn with_options(dims: usize, dynamic_links: bool) -> Self {
@@ -277,12 +293,16 @@ impl ShuffleExchangeRouting {
                 cls: if v == u {
                     msg.cls
                 } else if se.is_cycle_break(u) {
-                    msg.cls + 1
+                    // Saturate instead of overflowing: a no-op under the
+                    // correct provisioning (`classes_per_phase` bounds the
+                    // crossings per residence), but keeps the under-provisioned
+                    // `paper_literal` variant well-defined so the certifier
+                    // can exhibit its static QDG cycle.
+                    (msg.cls + 1).min(self.classes_per_phase - 1)
                 } else {
                     msg.cls
                 },
             };
-            debug_assert!(next.cls < self.classes_per_phase, "cycle class overflow");
             if v == u {
                 // Degenerate one-node cycle: stutter in place.
                 f(Transition {
@@ -319,6 +339,20 @@ impl ShuffleExchangeRouting {
                 msg: next,
             });
         }
+    }
+}
+
+impl Symmetry for ShuffleExchangeRouting {
+    // Identity classifier (the trait defaults): no coarse class map is
+    // sound here — an exchange resets `cls` while a break-crossing shuffle
+    // raises it, so any (phase, cls)-level quotient acquires spurious
+    // back-edges, and necklace rotations do not fix the break nodes.
+    fn symmetry(&self) -> String {
+        format!(
+            "none exploited: exchange resets the cycle class while break crossings raise it, so \
+             no necklace quotient is invariant; concrete queues, all {} destinations",
+            self.se.num_nodes()
+        )
     }
 }
 

@@ -29,6 +29,7 @@
 //! unique) it is *fully* adaptive, while on even rings the half-way tie is
 //! fixed at injection, excluding the opposite-direction minimal paths.
 
+use fadr_qdg::sym::{QueueClass, Symmetry};
 use fadr_qdg::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction, Transition};
 use fadr_topology::{NodeId, Port, Topology, Torus2D};
 
@@ -262,6 +263,35 @@ impl TorusTwoPhase {
             to: QueueId::central(v, next.class()),
             msg: next,
         });
+    }
+}
+
+impl Symmetry for TorusTwoPhase {
+    fn queue_class(&self, q: QueueId) -> QueueClass {
+        match q.kind {
+            QueueKind::Inject => QueueClass::inject(),
+            QueueKind::Deliver => QueueClass::deliver(),
+            QueueKind::Central(c) => {
+                // Within a wrap-count class every static link either keeps
+                // the class and raises the diagonal level, or moves to a
+                // strictly later class (wrap crossing or phase switch).
+                let (x, y) = self.torus.coords(q.node);
+                let level = if c < 3 {
+                    x + y
+                } else {
+                    (self.torus.width() - 1 - x) + (self.torus.height() - 1 - y)
+                };
+                QueueClass::central(c, u32::try_from(level).expect("torus level fits u32"))
+            }
+        }
+    }
+
+    fn symmetry(&self) -> String {
+        "wrap-count classes levelled by diagonal position (A: x+y; B: from the far corner); torus translations do not preserve levels, so all destinations are explored".into()
+    }
+
+    fn is_reduced(&self) -> bool {
+        true
     }
 }
 

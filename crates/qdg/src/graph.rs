@@ -135,6 +135,140 @@ impl Digraph {
         None
     }
 
+    /// Strongly connected components, via Kosaraju's algorithm with
+    /// explicit-stack DFS (no recursion: safe on ~1e6-vertex path graphs;
+    /// see `tests/deep_graphs.rs`). Components are returned in reverse
+    /// topological order of the condensation.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.adj.len();
+        // Pass 1: finish order on the forward graph.
+        let mut finished = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            seen[start] = true;
+            let mut stack = vec![(start, 0usize)];
+            while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+                if *i < self.adj[v].len() {
+                    let u = self.adj[v][*i];
+                    *i += 1;
+                    if !seen[u] {
+                        seen[u] = true;
+                        stack.push((u, 0));
+                    }
+                } else {
+                    finished.push(v);
+                    stack.pop();
+                }
+            }
+        }
+        // Pass 2: reverse-graph DFS in reverse finish order.
+        let mut radj = vec![Vec::new(); n];
+        for (a, succs) in self.adj.iter().enumerate() {
+            for &b in succs {
+                radj[b].push(a);
+            }
+        }
+        let mut comp = vec![usize::MAX; n];
+        let mut comps: Vec<Vec<usize>> = Vec::new();
+        for &start in finished.iter().rev() {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let id = comps.len();
+            comp[start] = id;
+            let mut members = vec![start];
+            let mut stack = vec![start];
+            while let Some(v) = stack.pop() {
+                for &u in &radj[v] {
+                    if comp[u] == usize::MAX {
+                        comp[u] = id;
+                        members.push(u);
+                        stack.push(u);
+                    }
+                }
+            }
+            comps.push(members);
+        }
+        comps.reverse();
+        comps
+    }
+
+    /// A shortest directed cycle (fewest edges), if any: for each vertex
+    /// of each non-trivial SCC, BFS within the component back to the
+    /// start. Intended for diagnostics on failed graphs, where minimal
+    /// counterexamples matter more than asymptotics.
+    pub fn shortest_cycle(&self) -> Option<Vec<usize>> {
+        let n = self.adj.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut nontrivial = Vec::new();
+        for (id, members) in self.sccs().into_iter().enumerate() {
+            let single = members.len() == 1;
+            for &v in &members {
+                comp[v] = id;
+            }
+            if !single {
+                nontrivial.push(members);
+            } else if self.has_edge(members[0], members[0]) {
+                return Some(members); // a self-loop is the minimum possible
+            }
+        }
+        let mut best: Option<Vec<usize>> = None;
+        let mut parent = vec![usize::MAX; n];
+        for members in nontrivial {
+            for &start in &members {
+                if let Some(b) = &best {
+                    if b.len() <= 2 {
+                        return best; // cannot beat a 2-cycle (no self-loops here)
+                    }
+                    // Any cycle through `start` is at least 2 long; only
+                    // BFS while an improvement is possible.
+                }
+                for &v in &members {
+                    parent[v] = usize::MAX;
+                }
+                let mut frontier = vec![start];
+                let mut depth = 1usize;
+                'bfs: while !frontier.is_empty() {
+                    if let Some(b) = &best {
+                        if depth >= b.len() {
+                            break;
+                        }
+                    }
+                    let mut next = Vec::new();
+                    for &v in &frontier {
+                        for &u in &self.adj[v] {
+                            if comp[u] != comp[start] {
+                                continue;
+                            }
+                            if u == start {
+                                // Reconstruct start -> ... -> v.
+                                let mut cycle = vec![v];
+                                let mut w = v;
+                                while w != start {
+                                    w = parent[w];
+                                    cycle.push(w);
+                                }
+                                cycle.reverse();
+                                best = Some(cycle);
+                                break 'bfs;
+                            }
+                            if parent[u] == usize::MAX {
+                                parent[u] = v;
+                                next.push(u);
+                            }
+                        }
+                    }
+                    frontier = next;
+                    depth += 1;
+                }
+            }
+        }
+        best
+    }
+
     /// The paper's `Level(q)`: length of the longest path from any source
     /// (in-degree-0 vertex) to each vertex. Panics if cyclic.
     pub fn levels(&self) -> Vec<usize> {
@@ -212,5 +346,65 @@ mod tests {
         g.add_edge(5, 2);
         assert_eq!(g.num_vertices(), 6);
         assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn sccs_of_a_dag_are_singletons_in_topological_order() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 3);
+        g.add_edge(3, 2);
+        let comps = g.sccs();
+        assert_eq!(comps.len(), 4);
+        assert!(comps.iter().all(|c| c.len() == 1));
+        // Reverse topological order: successors come before predecessors.
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, c) in comps.iter().enumerate() {
+                p[c[0]] = i;
+            }
+            p
+        };
+        assert!(pos[2] < pos[1] && pos[1] < pos[0]);
+        assert!(pos[2] < pos[3] && pos[3] < pos[0]);
+    }
+
+    #[test]
+    fn sccs_group_cycles() {
+        // Two 2-cycles joined by a bridge, plus an isolated vertex.
+        let mut g = Digraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 2);
+        let mut sizes: Vec<usize> = g.sccs().iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn shortest_cycle_prefers_the_short_one() {
+        // A 5-cycle with a chord making a 2-cycle.
+        let mut g = Digraph::new(5);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5);
+        }
+        g.add_edge(1, 0);
+        let c = g.shortest_cycle().unwrap();
+        assert_eq!(c.len(), 2);
+        for i in 0..c.len() {
+            assert!(g.has_edge(c[i], c[(i + 1) % c.len()]));
+        }
+    }
+
+    #[test]
+    fn shortest_cycle_finds_self_loops_and_none_on_dags() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1);
+        assert!(g.shortest_cycle().is_none());
+        g.add_edge(2, 2);
+        assert_eq!(g.shortest_cycle().unwrap(), vec![2]);
     }
 }

@@ -28,6 +28,7 @@
 pub mod dot;
 pub mod explore;
 pub mod graph;
+pub mod sym;
 pub mod verify;
 
 use std::fmt;

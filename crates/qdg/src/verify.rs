@@ -14,15 +14,22 @@ use fadr_topology::graph as tgraph;
 
 use crate::explore::{build_qdg, explore_pair, StateGraph};
 use crate::graph::Digraph;
-use crate::{HopKind, LinkKind, QueueKind, RoutingFunction, Transition};
+use crate::{HopKind, LinkKind, QueueId, QueueKind, RoutingFunction, Transition};
 
-/// A failed check, with a human-readable location.
+/// A failed check, with a human-readable location plus the structured
+/// queue ids involved (a cycle in order, or the queue a state is stuck
+/// at) so tools — e.g. `fadr-verify`'s counterexample extractor — can
+/// consume the location without parsing the message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Name of the failed check.
     pub check: &'static str,
     /// What went wrong and where.
     pub detail: String,
+    /// The queues implicated: the full cycle (in order) for cycle
+    /// violations, the state's queue (and hop target, where relevant)
+    /// otherwise. Empty when no specific queue is implicated.
+    pub queues: Vec<QueueId>,
 }
 
 impl std::fmt::Display for Violation {
@@ -34,7 +41,19 @@ impl std::fmt::Display for Violation {
 impl std::error::Error for Violation {}
 
 fn fail(check: &'static str, detail: String) -> Result<(), Violation> {
-    Err(Violation { check, detail })
+    Err(Violation {
+        check,
+        detail,
+        queues: Vec::new(),
+    })
+}
+
+fn fail_at(check: &'static str, detail: String, queues: Vec<QueueId>) -> Result<(), Violation> {
+    Err(Violation {
+        check,
+        detail,
+        queues,
+    })
 }
 
 /// Structural sanity of the routing function (the paper's "one hop away"
@@ -171,10 +190,11 @@ fn check_transition<R: RoutingFunction + ?Sized>(
 pub fn verify_deadlock_free<R: RoutingFunction + ?Sized>(rf: &R) -> Result<(), Violation> {
     let qdg = build_qdg(rf);
     if let Some(cycle) = qdg.static_cycle() {
-        let pretty: Vec<String> = cycle.iter().map(|q| q.to_string()).collect();
-        return fail(
+        let pretty: Vec<String> = cycle.iter().map(ToString::to_string).collect();
+        return fail_at(
             "deadlock-free",
             format!("static QDG has a cycle: {}", pretty.join(" -> ")),
+            cycle,
         );
     }
     let topo = rf.topology();
@@ -202,12 +222,13 @@ fn check_static_progress<M: Clone + std::fmt::Debug>(
             continue;
         }
         if ts.is_empty() {
-            return fail(
+            return fail_at(
                 "deadlock-free",
                 format!(
                     "dead end: no transitions at {} for {:?}",
                     sg.states[i].0, sg.states[i].1
                 ),
+                vec![sg.states[i].0],
             );
         }
         let mut has_static = false;
@@ -218,34 +239,37 @@ fn check_static_progress<M: Clone + std::fmt::Debug>(
             }
         }
         if !has_static {
-            return fail(
+            return fail_at(
                 "deadlock-free",
                 format!(
                     "condition 3 violated: no static continuation at {} for {:?}",
                     sg.states[i].0, sg.states[i].1
                 ),
+                vec![sg.states[i].0],
             );
         }
     }
     if let Some(cycle) = static_graph.find_cycle() {
-        return fail(
+        return fail_at(
             "deadlock-free",
             format!(
                 "static state cycle through {} (src={}, dst={})",
                 sg.states[cycle[0]].0, sg.src, sg.dst
             ),
+            cycle.iter().map(|&i| sg.states[i].0).collect(),
         );
     }
     // Acyclic + every non-delivered state has a static successor ⇒ every
     // maximal static path ends at a delivered state; verify it is d_dst.
     for (i, (q, msg)) in sg.states.iter().enumerate() {
         if sg.is_delivered(i) && q.node != dst {
-            return fail(
+            return fail_at(
                 "deadlock-free",
                 format!(
                     "delivered at wrong node: {} instead of {dst} ({msg:?})",
                     q.node
                 ),
+                vec![*q],
             );
         }
     }
@@ -272,12 +296,13 @@ pub fn verify_minimal<R: RoutingFunction + ?Sized>(rf: &R) -> Result<(), Violati
                     if matches!(t.hop, HopKind::Link(_))
                         && topo.distance(t.to.node, dst) + 1 != topo.distance(q.node, dst)
                     {
-                        return fail(
+                        return fail_at(
                             "minimal",
                             format!(
                                 "non-minimal hop {} -> {} toward {dst} (msg {msg:?})",
                                 q.node, t.to.node
                             ),
+                            vec![*q, t.to],
                         );
                     }
                 }
@@ -349,14 +374,11 @@ pub fn verify_bounded_paths<R: RoutingFunction + ?Sized>(rf: &R) -> Result<(), V
                     full.add_edge(i, j);
                 }
             }
-            let order = match full.topological_order() {
-                Some(o) => o,
-                None => {
-                    return fail(
-                        "bounded-paths",
-                        format!("state cycle (possible livelock) for src={src}, dst={dst}"),
-                    )
-                }
+            let Some(order) = full.topological_order() else {
+                return fail(
+                    "bounded-paths",
+                    format!("state cycle (possible livelock) for src={src}, dst={dst}"),
+                );
             };
             // Longest link-hop count from the injection state.
             let mut hops: HashMap<usize, usize> = HashMap::new();
@@ -370,12 +392,13 @@ pub fn verify_bounded_paths<R: RoutingFunction + ?Sized>(rf: &R) -> Result<(), V
                 }
             }
             if let Some((&i, &h)) = hops.iter().find(|&(_, &h)| h > bound) {
-                return fail(
+                return fail_at(
                     "bounded-paths",
                     format!(
                         "route of {h} hops exceeds bound {bound} at {} (src={src}, dst={dst})",
                         sg.states[i].0
                     ),
+                    vec![sg.states[i].0],
                 );
             }
         }
@@ -670,6 +693,15 @@ mod tests {
         let err = verify_deadlock_free(&EcubeHypercube::new(3)).unwrap_err();
         assert_eq!(err.check, "deadlock-free");
         assert!(err.detail.contains("cycle"), "{}", err.detail);
+        // Structured location: the cycle itself, all central queues, and
+        // it really is a cycle of the static QDG.
+        assert!(err.queues.len() >= 2, "{:?}", err.queues);
+        let qdg = build_qdg(&EcubeHypercube::new(3));
+        for (i, q) in err.queues.iter().enumerate() {
+            assert!(matches!(q.kind, QueueKind::Central(_)));
+            let next = err.queues[(i + 1) % err.queues.len()];
+            assert!(qdg.static_graph.has_edge(qdg.index[q], qdg.index[&next]));
+        }
     }
 
     #[test]

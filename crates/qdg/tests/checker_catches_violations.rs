@@ -219,6 +219,10 @@ fn condition3_violation_is_caught() {
         "{}",
         err.detail
     );
+    // The structured location names the stuck queue: a q_A with no
+    // pending 0->1 work, reached over the defective dynamic link.
+    assert_eq!(err.queues.len(), 1, "{:?}", err.queues);
+    assert_eq!(err.queues[0].kind, QueueKind::Central(0));
 }
 
 #[test]

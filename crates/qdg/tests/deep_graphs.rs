@@ -1,0 +1,44 @@
+//! Stack-safety regression tests: every `Digraph` traversal is iterative
+//! (explicit stacks), so million-vertex path graphs — which would
+//! overflow the thread stack under naive recursive DFS at default stack
+//! sizes — must be handled. Guards the 10-cube-scale certification use
+//! case of `fadr-verify`.
+
+use fadr_qdg::graph::Digraph;
+
+const DEEP: usize = 1_000_000;
+
+fn deep_path() -> Digraph {
+    let mut g = Digraph::new(DEEP);
+    for v in 0..DEEP - 1 {
+        g.add_edge(v, v + 1);
+    }
+    g
+}
+
+#[test]
+fn deep_path_graph_is_traversed_without_overflow() {
+    let g = deep_path();
+    assert!(g.is_acyclic());
+    assert!(g.find_cycle().is_none());
+    let order = g.topological_order().unwrap();
+    assert_eq!(order.len(), DEEP);
+    let lv = g.levels();
+    assert_eq!(lv[0], 0);
+    assert_eq!(lv[DEEP - 1], DEEP - 1);
+    let comps = g.sccs();
+    assert_eq!(comps.len(), DEEP);
+    assert!(g.shortest_cycle().is_none());
+}
+
+#[test]
+fn deep_cycle_is_detected_without_overflow() {
+    let mut g = deep_path();
+    g.add_edge(DEEP - 1, 0);
+    assert!(!g.is_acyclic());
+    let cycle = g.find_cycle().unwrap();
+    assert_eq!(cycle.len(), DEEP);
+    let comps = g.sccs();
+    assert_eq!(comps.len(), 1);
+    assert_eq!(comps[0].len(), DEEP);
+}

@@ -120,6 +120,9 @@ fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
 macro_rules! impl_sample_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for core::ops::Range<$t> {
+            // The cast is instantiated for every width up to u64/usize,
+            // so `From` is not available uniformly.
+            #[allow(clippy::cast_lossless)]
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "gen_range: empty range");
                 let span = (self.end - self.start) as u64;
@@ -128,6 +131,7 @@ macro_rules! impl_sample_range {
         }
 
         impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[allow(clippy::cast_lossless)]
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "gen_range: empty range");

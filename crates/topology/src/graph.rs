@@ -117,9 +117,8 @@ pub fn num_directed_edges(topo: &dyn Topology) -> usize {
 /// Exponential in path count; intended for verifying full adaptivity on
 /// small instances (e.g. all `n!`-ish minimal paths of a small hypercube).
 pub fn all_shortest_paths(topo: &dyn Topology, from: NodeId, to: NodeId) -> Vec<Vec<NodeId>> {
-    let d = match bfs_distance(topo, from, to) {
-        Some(d) => d,
-        None => return Vec::new(),
+    let Some(d) = bfs_distance(topo, from, to) else {
+        return Vec::new();
     };
     let mut out = Vec::new();
     let mut stack = vec![from];

@@ -74,7 +74,7 @@ pub trait Topology {
     /// with a closed form. Panics if `to` is unreachable from `from`.
     fn distance(&self, from: NodeId, to: NodeId) -> usize {
         graph::bfs_distance(self.as_dyn(), from, to)
-            .unwrap_or_else(|| panic!("{} unreachable from {}", to, from))
+            .unwrap_or_else(|| panic!("{to} unreachable from {from}"))
     }
 
     /// Number of outgoing ports that exist at `node`.

@@ -204,7 +204,7 @@ impl Topology for MeshKD {
     }
 
     fn name(&self) -> String {
-        let e: Vec<String> = self.extents.iter().map(|e| e.to_string()).collect();
+        let e: Vec<String> = self.extents.iter().map(ToString::to_string).collect();
         format!("meshkd({})", e.join("x"))
     }
 

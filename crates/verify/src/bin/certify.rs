@@ -1,0 +1,7 @@
+//! Certify a routing scheme's deadlock freedom — see `fadr_verify::cli`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    fadr_verify::cli::main()
+}

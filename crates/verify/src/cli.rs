@@ -1,0 +1,229 @@
+//! The `certify` command-line front end (shared by the `certify` bin
+//! targets of `fadr-verify` and the root `fadroute` facade).
+//!
+//! ```text
+//! certify --family hypercube --n 10
+//! certify --family mesh --width 32 --height 32 --algo static-hang
+//! certify --family torus --width 16 --height 16
+//! certify --family se --n 12
+//! certify --family se --n 4 --algo paper-literal --expect-reject --dot cycle.dot
+//! ```
+//!
+//! On acceptance the emitted certificate is immediately re-validated by
+//! the independent checker, printed as a summary, and (with `--out` /
+//! `--out-dir`) written as `fadr-verify/1` JSON. On rejection the
+//! violation, the counterexample cycle with its route witnesses, and
+//! (with `--dot`) a Graphviz rendering are produced; exit status 1
+//! unless `--expect-reject`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use crate::{certify, check_certificate, ClassifierMode, Outcome};
+use fadr_core::{
+    EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang, MeshFullyAdaptive, MeshStaticHang,
+    MeshXY, ShuffleExchangeRouting, TorusTwoPhase,
+};
+use fadr_qdg::sym::Symmetry;
+
+struct Opts {
+    family: String,
+    algo: String,
+    n: usize,
+    width: usize,
+    height: usize,
+    out: Option<PathBuf>,
+    out_dir: Option<PathBuf>,
+    dot: Option<PathBuf>,
+    expect_reject: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: certify --family <hypercube|mesh|torus|se> [options]\n\
+     \n\
+     --family hypercube  --n DIMS   --algo fully-adaptive|static-hang|ecube-sbp\n\
+     --family mesh       --width W --height H (or --n for square)\n\
+     \x20                           --algo fully-adaptive|static-hang|xy\n\
+     --family torus      --width W --height H (or --n for square)\n\
+     --family se         --n DIMS   --algo adaptive|static|paper-literal\n\
+     \n\
+     --out FILE        write the certificate JSON to FILE\n\
+     --out-dir DIR     write the certificate JSON to DIR/<scheme>.json\n\
+     --dot FILE        write the counterexample cycle as Graphviz on rejection\n\
+     --expect-reject   exit 0 iff the scheme is rejected"
+}
+
+fn parse(mut args: impl Iterator<Item = String>) -> Result<Opts, String> {
+    let mut o = Opts {
+        family: String::new(),
+        algo: "fully-adaptive".into(),
+        n: 0,
+        width: 0,
+        height: 0,
+        out: None,
+        out_dir: None,
+        dot: None,
+        expect_reject: false,
+    };
+    let want = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--family" => o.family = want(&mut args, "--family")?,
+            "--algo" => o.algo = want(&mut args, "--algo")?,
+            "--n" => o.n = parse_num(&want(&mut args, "--n")?)?,
+            "--width" => o.width = parse_num(&want(&mut args, "--width")?)?,
+            "--height" => o.height = parse_num(&want(&mut args, "--height")?)?,
+            "--out" => o.out = Some(PathBuf::from(want(&mut args, "--out")?)),
+            "--out-dir" => o.out_dir = Some(PathBuf::from(want(&mut args, "--out-dir")?)),
+            "--dot" => o.dot = Some(PathBuf::from(want(&mut args, "--dot")?)),
+            "--expect-reject" => o.expect_reject = true,
+            "--help" | "-h" => return Err(usage().into()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if o.width == 0 {
+        o.width = o.n;
+    }
+    if o.height == 0 {
+        o.height = o.width;
+    }
+    Ok(o)
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("not a number: {s}"))
+}
+
+/// Parse `std::env::args`, certify the requested instance, and return
+/// the process exit code.
+pub fn main() -> ExitCode {
+    let opts = match parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            // `--help` surfaces the usage text through the same path but
+            // is not an error.
+            return ExitCode::from(u8::from(e != usage()) * 2);
+        }
+    };
+    let code = match (opts.family.as_str(), opts.algo.as_str()) {
+        ("hypercube", "fully-adaptive") => run(&HypercubeFullyAdaptive::new(opts.n), &opts),
+        ("hypercube", "static-hang") => run(&HypercubeStaticHang::new(opts.n), &opts),
+        ("hypercube", "ecube-sbp") => run(&EcubeSbp::new(opts.n), &opts),
+        ("mesh", "fully-adaptive") => run(&MeshFullyAdaptive::new(opts.width, opts.height), &opts),
+        ("mesh", "static-hang") => run(&MeshStaticHang::new(opts.width, opts.height), &opts),
+        ("mesh", "xy") => run(&MeshXY::new(opts.width, opts.height), &opts),
+        ("torus", "fully-adaptive") => run(&TorusTwoPhase::new(opts.width, opts.height), &opts),
+        ("se", "adaptive" | "fully-adaptive") => run(&ShuffleExchangeRouting::new(opts.n), &opts),
+        ("se", "static") => run(
+            &ShuffleExchangeRouting::without_dynamic_links(opts.n),
+            &opts,
+        ),
+        ("se", "paper-literal") => run(&ShuffleExchangeRouting::paper_literal(opts.n), &opts),
+        (fam, algo) => {
+            eprintln!("unsupported family/algo: {fam}/{algo}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    ExitCode::from(code)
+}
+
+fn run<R: Symmetry>(rf: &R, opts: &Opts) -> u8 {
+    let started = std::time::Instant::now();
+    let outcome = certify(rf);
+    let elapsed = started.elapsed();
+    match outcome {
+        Outcome::Certified(cert) => {
+            if let Err(e) = check_certificate(rf, &cert) {
+                eprintln!("INTERNAL ERROR: emitted certificate fails validation: {e}");
+                return 1;
+            }
+            let mode = match &cert.classifier {
+                ClassifierMode::Scheme { description } => {
+                    format!("scheme symmetry ({description})")
+                }
+                ClassifierMode::Concrete => "concrete (identity classifier)".into(),
+            };
+            println!("CERTIFIED  {} on {}", cert.algorithm, cert.topology);
+            println!("  classifier:      {mode}");
+            println!(
+                "  destinations:    {}",
+                if cert.all_dsts {
+                    format!("all {}", cert.nodes)
+                } else {
+                    format!("{} representatives of {}", cert.dsts.len(), cert.nodes)
+                }
+            );
+            println!(
+                "  classes/queues:  {} ranked classes over {} concrete queues",
+                cert.ranks.len(),
+                cert.queues_seen
+            );
+            println!(
+                "  class edges:     {} static, {} dynamic",
+                cert.static_class_edges, cert.dynamic_class_edges
+            );
+            println!(
+                "  wormhole scope:  adaptive {}, static-VC in scope",
+                if cert.adaptive_wormhole_in_scope() {
+                    "in scope"
+                } else {
+                    "OUT of scope (dynamic links add indirect dependencies)"
+                }
+            );
+            println!(
+                "  explored:        {} states in {:.2?} (certificate re-validated)",
+                cert.states_explored, elapsed
+            );
+            let json = cert.to_json();
+            for path in out_paths(opts, &cert.algorithm) {
+                if let Err(e) = std::fs::write(&path, &json) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return 1;
+                }
+                println!("  certificate:     {}", path.display());
+            }
+            u8::from(opts.expect_reject)
+        }
+        Outcome::Rejected(rej) => {
+            println!("REJECTED   {}", rf.name());
+            println!("  violation: {}", rej.violation);
+            if let Some(cx) = &rej.counterexample {
+                println!("  counterexample cycle ({} queues):", cx.cycle.len());
+                for e in &cx.edges {
+                    println!(
+                        "    {} -> {}  [route to dst {} in state {}]",
+                        e.from, e.to, e.dst, e.msg
+                    );
+                }
+                if let Some(path) = &opts.dot {
+                    if let Err(e) = std::fs::write(path, &cx.dot) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return 1;
+                    }
+                    println!("  rendered: {}", path.display());
+                }
+            }
+            u8::from(!opts.expect_reject)
+        }
+    }
+}
+
+/// Where to write the certificate: `--out` verbatim, and/or
+/// `--out-dir/<sanitized scheme name>.json`.
+fn out_paths(opts: &Opts, algorithm: &str) -> Vec<PathBuf> {
+    let mut v = Vec::new();
+    if let Some(p) = &opts.out {
+        v.push(p.clone());
+    }
+    if let Some(dir) = &opts.out_dir {
+        let safe: String = algorithm
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        v.push(dir.join(format!("{safe}.json")));
+    }
+    v
+}

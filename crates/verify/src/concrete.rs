@@ -1,0 +1,66 @@
+//! Identity-classifier wrapper used for the concrete fallback pass.
+//!
+//! A cyclic *class* graph does not imply a cyclic concrete QDG — the
+//! quotient may merge queues that no actual route connects in a cycle.
+//! Before rejecting a reduced scheme, the certifier re-runs construction
+//! through [`Concrete`], which forwards the routing function untouched
+//! but replaces its [`Symmetry`] declaration with the trivially-sound
+//! defaults (every queue its own class, every destination explored).
+
+use fadr_qdg::sym::Symmetry;
+use fadr_qdg::{BufferClass, QueueId, RoutingFunction, Transition};
+use fadr_topology::{NodeId, Port, Topology};
+
+/// Forwards a routing function with the identity [`Symmetry`] defaults.
+pub struct Concrete<'a, R: RoutingFunction + ?Sized>(pub &'a R);
+
+impl<R: RoutingFunction + ?Sized> RoutingFunction for Concrete<'_, R> {
+    type Msg = R::Msg;
+
+    fn topology(&self) -> &dyn Topology {
+        self.0.topology()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.0.num_classes()
+    }
+
+    fn initial_msg(&self, src: NodeId, dst: NodeId) -> Self::Msg {
+        self.0.initial_msg(src, dst)
+    }
+
+    fn destination(&self, msg: &Self::Msg) -> NodeId {
+        self.0.destination(msg)
+    }
+
+    fn deliverable(&self, node: NodeId, msg: &Self::Msg) -> bool {
+        self.0.deliverable(node, msg)
+    }
+
+    fn for_each_transition(
+        &self,
+        at: QueueId,
+        msg: &Self::Msg,
+        f: &mut dyn FnMut(Transition<Self::Msg>),
+    ) {
+        self.0.for_each_transition(at, msg, f);
+    }
+
+    fn buffer_classes(&self, node: NodeId, port: Port) -> Vec<BufferClass> {
+        self.0.buffer_classes(node, port)
+    }
+
+    fn is_minimal(&self) -> bool {
+        self.0.is_minimal()
+    }
+
+    fn max_hops(&self) -> usize {
+        self.0.max_hops()
+    }
+
+    fn name(&self) -> String {
+        self.0.name()
+    }
+}
+
+impl<R: RoutingFunction + ?Sized> Symmetry for Concrete<'_, R> {}

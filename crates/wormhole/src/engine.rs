@@ -198,7 +198,7 @@ impl<R: RoutingFunction, Rec: Recorder> WormholeSim<R, Rec> {
         let chan = self.chan_of[node * self.max_ports + port];
         debug_assert_ne!(chan, NONE);
         let (start, len, _) = self.chans[chan as usize];
-        for i in 0..len as u32 {
+        for i in 0..u32::from(len) {
             if self.vc_class[(start + i) as usize] == class {
                 return start + i;
             }
@@ -213,7 +213,7 @@ impl<R: RoutingFunction, Rec: Recorder> WormholeSim<R, Rec> {
             .chans
             .partition_point(|&(start, _, _)| start <= vc)
             .saturating_sub(1);
-        debug_assert!(vc < self.chans[i].0 + self.chans[i].1 as u32);
+        debug_assert!(vc < self.chans[i].0 + u32::from(self.chans[i].1));
         self.chans[i].2 as usize
     }
 

@@ -60,8 +60,8 @@ fn main() {
             bar(static_prof[lvl])
         );
     }
-    let peak_s = static_prof.iter().cloned().fold(0.0, f64::max);
-    let peak_a = adaptive_prof.iter().cloned().fold(0.0, f64::max);
+    let peak_s = static_prof.iter().copied().fold(0.0, f64::max);
+    let peak_a = adaptive_prof.iter().copied().fold(0.0, f64::max);
     println!(
         "\npeak level-mean occupancy: {name_s} = {peak_s:.3}, {name_a} = {peak_a:.3} \
          ({}x reduction from dynamic links)",

@@ -11,6 +11,8 @@
 //!
 //! * [`topology`] — hypercube, mesh, torus, shuffle-exchange networks;
 //! * [`qdg`] — queue dependency graphs and the § 2 model checker;
+//! * [`verify`] — symmetry-reduced deadlock-freedom certifier with
+//!   machine-checkable certificates and counterexample extraction;
 //! * [`routing`] — the paper's algorithms (§§ 3–5) and baselines;
 //! * [`sim`] — the § 6/§ 7.1 node model and simulator;
 //! * [`workloads`] — § 7 traffic patterns and injection models;
@@ -48,6 +50,7 @@ pub use fadr_metrics as metrics;
 pub use fadr_qdg as qdg;
 pub use fadr_sim as sim;
 pub use fadr_topology as topology;
+pub use fadr_verify as verify;
 pub use fadr_workloads as workloads;
 pub use fadr_wormhole as wormhole;
 
@@ -63,6 +66,7 @@ pub mod prelude {
     pub use fadr_topology::{
         Hypercube, Mesh2D, MeshKD, NodeId, Port, ShuffleExchange, Topology, Torus2D,
     };
+    pub use fadr_verify::{certify, check_certificate, Certificate, Outcome};
     pub use fadr_workloads::{static_backlog, InjectionModel, Pattern};
     pub use fadr_wormhole::{WormConfig, WormholeResult, WormholeSim};
 }

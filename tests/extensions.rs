@@ -147,8 +147,8 @@ fn occupancy_probe_shows_hotspot_relief() {
     };
     let hang = profile(false);
     let adaptive = profile(true);
-    let peak_hang = hang.iter().cloned().fold(0.0, f64::max);
-    let peak_adaptive = adaptive.iter().cloned().fold(0.0, f64::max);
+    let peak_hang = hang.iter().copied().fold(0.0, f64::max);
+    let peak_adaptive = adaptive.iter().copied().fold(0.0, f64::max);
     // The static hang concentrates near 1…1 (top level among the most
     // occupied), the adaptive algorithm flattens the profile.
     assert!(
