@@ -1,22 +1,31 @@
 //! Wall-clock perf baseline over the canonical workloads.
 //!
 //! ```text
-//! perf [--samples S] [--jobs J] [--out PATH] [--quick]
+//! perf [--samples S] [--jobs J] [--shards S] [--out PATH] [--quick | --large]
 //! ```
 //!
 //! Times Table 1 and Table 6 rows at n = 10–12 plus one dynamic row
-//! (Table 9, n = 10), and the Table-6 row fan-out at `--jobs 1` vs
-//! `--jobs J`, then writes a `BENCH_<stamp>.json` report (stamp = Unix
-//! seconds) for before/after comparisons across PRs; see EXPERIMENTS.md
-//! for the recorded history.
+//! (Table 9, n = 10), the Table-6 row fan-out at `--jobs 1` vs
+//! `--jobs J`, and (when `--shards > 1`) a Table 9 row on the sequential
+//! vs the sharded engine, then writes a `BENCH_<stamp>.json` report
+//! (stamp = Unix seconds) for before/after comparisons across PRs; see
+//! EXPERIMENTS.md for the recorded history.
 //!
 //! * `--samples S` — timed samples per workload (default 3; plus one
 //!   warm-up each).
 //! * `--jobs J` — worker threads for the parallel fan-out measurement
 //!   (default: available parallelism).
+//! * `--shards S` — shard threads for the intra-simulation speedup
+//!   measurements (default 4).
 //! * `--out PATH` — report path (default `BENCH_<stamp>.json` in the
 //!   current directory).
 //! * `--quick` — n = 10 only (fast smoke run).
+//! * `--large` — *instead of* the table workloads, run the
+//!   million-packet scale scenarios: a hypercube(16) and a 256×256 mesh
+//!   dynamic run (λ = 1, ≥10⁶ delivered packets each) on the sequential
+//!   engine vs `--shards S` shard threads, recording delivered-packet
+//!   counts and the sharded speedup in the report's metadata. These
+//!   minutes-long runs are timed cold (no warm-up iteration).
 //! * `--trace PATH` / `--metrics-out PATH` / `--watchdog K` — after the
 //!   timed (recorder-free) measurements, re-run one Table 6 and one
 //!   Table 9 row with recording sinks and print a metrics summary
@@ -28,14 +37,72 @@ use std::time::{SystemTime, UNIX_EPOCH};
 
 use fadr_bench::exec;
 use fadr_bench::obs::{self, MetricsRow, ObsArgs};
-use fadr_bench::perf::{report_line, time, to_json};
+use fadr_bench::perf::{report_line, time, time_cold, to_json, Measurement};
 use fadr_bench::runner::{run_row, run_rows_recorded, run_table_jobs, spec, RunOptions};
+use fadr_core::{HypercubeFullyAdaptive, MeshFullyAdaptive};
+use fadr_qdg::RoutingFunction;
+use fadr_sim::{ShardedSimulator, SimConfig, Simulator};
+use fadr_workloads::Pattern;
+
+/// One `--large` scenario: a dynamic λ = 1 run on the sequential engine
+/// vs `shards` shard threads. The horizon is sized so each run delivers
+/// well over 10⁶ packets (asserted); sequential and sharded deliver the
+/// *bit-identical* packet set, which doubles as an at-scale equivalence
+/// check. Returns `(delivered, speedup)` for the report metadata.
+fn large_scenario<R>(
+    label: &str,
+    rf: R,
+    cycles: u64,
+    samples: usize,
+    shards: usize,
+    measurements: &mut Vec<Measurement>,
+) -> (u64, f64)
+where
+    R: RoutingFunction + Clone + Send,
+    R::Msg: Send,
+{
+    let cfg = SimConfig::default();
+    let size = rf.topology().num_nodes();
+    let dest = move |s: usize, rng: &mut _| Pattern::Random.draw(s, size, rng);
+
+    let mut seq_sim = Simulator::new(rf.clone(), cfg);
+    let mut seq_delivered = 0u64;
+    let m_seq = time_cold(&format!("{label}_seq"), samples, || {
+        seq_delivered = seq_sim.run_dynamic(1.0, dest, cycles).delivered;
+        seq_delivered
+    });
+    println!("{}", report_line(&m_seq));
+
+    let mut shr_sim = ShardedSimulator::new(rf, cfg, shards);
+    let mut shr_delivered = 0u64;
+    let m_shr = time_cold(&format!("{label}_shards{shards}"), samples, || {
+        shr_delivered = shr_sim.run_dynamic(1.0, dest, cycles).delivered;
+        shr_delivered
+    });
+    println!("{}", report_line(&m_shr));
+
+    assert_eq!(
+        seq_delivered, shr_delivered,
+        "{label}: sharded delivered count diverged from sequential"
+    );
+    assert!(
+        seq_delivered >= 1_000_000,
+        "{label}: only {seq_delivered} packets delivered; raise the horizon"
+    );
+    let speedup = m_seq.min() / m_shr.min();
+    println!("# {label}: {seq_delivered} delivered, {speedup:.2}x speedup at {shards} shards");
+    measurements.push(m_seq);
+    measurements.push(m_shr);
+    (seq_delivered, speedup)
+}
 
 fn main() -> ExitCode {
     let mut samples = 3usize;
     let mut jobs = exec::default_jobs();
+    let mut shards = 4usize;
     let mut out: Option<String> = None;
     let mut quick = false;
+    let mut large = false;
     let mut obs_args = ObsArgs::default();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -62,6 +129,14 @@ fn main() -> ExitCode {
                 }
             },
             "--quick" => quick = true,
+            "--large" => large = true,
+            "--shards" => match it.next().map(|v| exec::parse_shards(&v)) {
+                Some(Ok(s)) => shards = s,
+                _ => {
+                    eprintln!("--shards needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 let mut next =
                     |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -70,7 +145,7 @@ fn main() -> ExitCode {
                     Ok(false) => {
                         eprintln!("unknown argument {other}");
                         eprintln!(
-                            "usage: perf [--samples S] [--jobs J] [--out PATH] [--quick] {}",
+                            "usage: perf [--samples S] [--jobs J] [--shards S] [--out PATH] [--quick | --large] {}",
                             ObsArgs::USAGE
                         );
                         return ExitCode::FAILURE;
@@ -90,41 +165,90 @@ fn main() -> ExitCode {
     let opts = RunOptions::default();
     let dims: &[usize] = if quick { &[10] } else { &[10, 11, 12] };
     let mut measurements = Vec::new();
+    // Shard threads time-slice whatever the host exposes, so a speedup
+    // number is only interpretable next to the core count it ran on
+    // (a 1-core container caps any --shards N at parity minus overhead).
+    let host_threads = std::thread::available_parallelism().map_or(0, std::num::NonZero::get);
+    let mut meta = vec![
+        ("stamp", stamp.to_string()),
+        ("samples", samples.to_string()),
+        ("jobs", jobs.to_string()),
+        ("quick", quick.to_string()),
+        ("large", large.to_string()),
+        ("shards", shards.to_string()),
+        ("host_threads", host_threads.to_string()),
+    ];
 
-    // Static rows: Table 1 (random, 1 packet) and Table 6 (complement,
-    // n packets) — the light and heavy ends of the static workloads.
-    for &table in &[1usize, 6] {
-        for &n in dims {
-            let m = time(&format!("table{table}_n{n}"), samples, || {
-                run_row(spec(table), n, opts)
+    if large {
+        // Million-packet scale scenarios: dynamic λ = 1 runs sized so
+        // each delivers over 10⁶ packets, sequential vs sharded engine.
+        let (d, s) = large_scenario(
+            "hypercube16_dynamic",
+            HypercubeFullyAdaptive::new(16),
+            60,
+            samples,
+            shards,
+            &mut measurements,
+        );
+        meta.push(("hypercube16_delivered", d.to_string()));
+        meta.push(("hypercube16_speedup", format!("{s:.2}")));
+        // 12000 cycles: the saturated 256x256 mesh delivers ever more
+        // slowly as its buffers fill toward global saturation
+        // (measured cumulative: 281k by cycle 700, 518k by 1800, 830k
+        // by 5000 — marginal rate decaying 216 -> 97 packets/cycle),
+        // so the horizon carries a large margin: even if the rate
+        // quarters again, 12000 cycles clear 10^6 delivered.
+        let (d, s) = large_scenario(
+            "mesh256_dynamic",
+            MeshFullyAdaptive::new(256, 256),
+            12_000,
+            samples,
+            shards,
+            &mut measurements,
+        );
+        meta.push(("mesh256_delivered", d.to_string()));
+        meta.push(("mesh256_speedup", format!("{s:.2}")));
+    } else {
+        // Static rows: Table 1 (random, 1 packet) and Table 6 (complement,
+        // n packets) — the light and heavy ends of the static workloads.
+        for &table in &[1usize, 6] {
+            for &n in dims {
+                let m = time(&format!("table{table}_n{n}"), samples, || {
+                    run_row(spec(table), n, opts)
+                });
+                println!("{}", report_line(&m));
+                measurements.push(m);
+            }
+        }
+        // One dynamic row (Table 9: random, λ = 1).
+        let m = time("table9_n10_dynamic", samples, || run_row(spec(9), 10, opts));
+        println!("{}", report_line(&m));
+        measurements.push(m);
+        // The full Table-6 row fan-out, sequential vs parallel, for the
+        // harness speedup trend.
+        let m = time("table6_rows_jobs1", samples, || {
+            run_table_jobs(6, false, opts, 1)
+        });
+        println!("{}", report_line(&m));
+        measurements.push(m);
+        let m = time(&format!("table6_rows_jobs{jobs}"), samples, || {
+            run_table_jobs(6, false, opts, jobs)
+        });
+        println!("{}", report_line(&m));
+        measurements.push(m);
+        // One sharded-engine point for the intra-run speedup trend.
+        if shards > 1 {
+            let shard_opts = RunOptions {
+                shards,
+                ..RunOptions::default()
+            };
+            let m = time(&format!("table9_n10_shards{shards}"), samples, || {
+                run_row(spec(9), 10, shard_opts)
             });
             println!("{}", report_line(&m));
             measurements.push(m);
         }
     }
-    // One dynamic row (Table 9: random, λ = 1).
-    let m = time("table9_n10_dynamic", samples, || run_row(spec(9), 10, opts));
-    println!("{}", report_line(&m));
-    measurements.push(m);
-    // The full Table-6 row fan-out, sequential vs parallel, for the
-    // harness speedup trend.
-    let m = time("table6_rows_jobs1", samples, || {
-        run_table_jobs(6, false, opts, 1)
-    });
-    println!("{}", report_line(&m));
-    measurements.push(m);
-    let m = time(&format!("table6_rows_jobs{jobs}"), samples, || {
-        run_table_jobs(6, false, opts, jobs)
-    });
-    println!("{}", report_line(&m));
-    measurements.push(m);
-
-    let meta = [
-        ("stamp", stamp.to_string()),
-        ("samples", samples.to_string()),
-        ("jobs", jobs.to_string()),
-        ("quick", quick.to_string()),
-    ];
     let path = out.unwrap_or_else(|| format!("BENCH_{stamp}.json"));
     if let Err(e) = std::fs::write(&path, to_json(&meta, &measurements)) {
         eprintln!("failed to write {path}: {e}");

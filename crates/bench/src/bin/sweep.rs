@@ -2,8 +2,8 @@
 //! the paper's fixed operating points).
 //!
 //! ```text
-//! sweep lambda [--n N] [--cycles C] [--jobs J]    # offered load vs throughput/latency/I_r
-//! sweep capacity [--n N] [--table K] [--jobs J]   # central-queue capacity vs latency
+//! sweep lambda [--n N] [--cycles C] [--jobs J] [--shards S]    # offered load vs throughput/latency/I_r
+//! sweep capacity [--n N] [--table K] [--jobs J] [--shards S]   # central-queue capacity vs latency
 //! ```
 //!
 //! Each sweep runs the fully-adaptive algorithm, the static hang, and
@@ -11,6 +11,8 @@
 //! so they fan out over `--jobs` worker threads (default: available
 //! parallelism); rows are computed into slots and printed in sweep
 //! order, so the CSV is bit-identical for any `--jobs` value.
+//! `--shards S` additionally runs each simulation on `S` shard threads
+//! (bit-identical for any `S`; composes with `--jobs`).
 //!
 //! Observability: `--trace PATH`, `--metrics-out PATH`, and
 //! `--watchdog K` attach recording sinks to every sweep point; metrics
@@ -21,11 +23,9 @@ use std::process::ExitCode;
 
 use fadr_bench::exec;
 use fadr_bench::obs::{self, MetricsRow, ObsArgs, RecordConfig};
-use fadr_bench::runner::{run_rows_recorded, spec, Algo, RunOptions};
+use fadr_bench::runner::{dynamic_random_recorded, run_rows_recorded, spec, Algo, RunOptions};
 use fadr_core::{EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang};
-use fadr_qdg::RoutingFunction;
-use fadr_sim::{Recorder, SimConfig, Simulator};
-use fadr_workloads::Pattern;
+use fadr_sim::SimConfig;
 
 const ALGOS: [(&str, Algo); 3] = [
     ("fully-adaptive", Algo::FullyAdaptive),
@@ -33,46 +33,40 @@ const ALGOS: [(&str, Algo); 3] = [
     ("ecube-sbp", Algo::EcubeSbp),
 ];
 
-fn lambda_sweep(n: usize, cycles: u64, jobs: usize, rc: RecordConfig) -> Vec<MetricsRow> {
+fn lambda_sweep(
+    n: usize,
+    cycles: u64,
+    jobs: usize,
+    shards: usize,
+    rc: RecordConfig,
+) -> Vec<MetricsRow> {
     const LAMBDAS: [f64; 11] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
     let size = 1usize << n;
     let points = exec::run_indexed(LAMBDAS.len() * ALGOS.len(), jobs, |i| {
         let lambda = LAMBDAS[i / ALGOS.len()];
         let (name, algo) = ALGOS[i % ALGOS.len()];
         let cfg = SimConfig::default();
-        let (res, mut sinks) = match algo {
-            Algo::FullyAdaptive => {
-                let rf = HypercubeFullyAdaptive::new(n);
-                let sinks = rc.build(size, rf.num_classes());
-                dynamic(
-                    Simulator::with_recorder(rf, cfg, sinks),
-                    lambda,
-                    size,
-                    cycles,
-                )
-            }
-            Algo::StaticHang => {
-                let rf = HypercubeStaticHang::new(n);
-                let sinks = rc.build(size, rf.num_classes());
-                dynamic(
-                    Simulator::with_recorder(rf, cfg, sinks),
-                    lambda,
-                    size,
-                    cycles,
-                )
-            }
+        let (res, sinks) = match algo {
+            Algo::FullyAdaptive => dynamic_random_recorded(
+                HypercubeFullyAdaptive::new(n),
+                cfg,
+                lambda,
+                cycles,
+                rc,
+                shards,
+            ),
+            Algo::StaticHang => dynamic_random_recorded(
+                HypercubeStaticHang::new(n),
+                cfg,
+                lambda,
+                cycles,
+                rc,
+                shards,
+            ),
             Algo::EcubeSbp => {
-                let rf = EcubeSbp::new(n);
-                let sinks = rc.build(size, rf.num_classes());
-                dynamic(
-                    Simulator::with_recorder(rf, cfg, sinks),
-                    lambda,
-                    size,
-                    cycles,
-                )
+                dynamic_random_recorded(EcubeSbp::new(n), cfg, lambda, cycles, rc, shards)
             }
         };
-        sinks.flush();
         let thr = res.delivered as f64 / (size as f64 * cycles as f64);
         let line = format!(
             "{lambda},{name},{thr:.4},{:.2},{},{:.3}",
@@ -96,21 +90,13 @@ fn lambda_sweep(n: usize, cycles: u64, jobs: usize, rc: RecordConfig) -> Vec<Met
     metrics
 }
 
-fn dynamic<R: RoutingFunction, Rec: Recorder>(
-    mut sim: Simulator<R, Rec>,
-    lambda: f64,
-    size: usize,
-    cycles: u64,
-) -> (fadr_sim::DynamicResult, Rec) {
-    let res = sim.run_dynamic(
-        lambda,
-        move |s, rng| Pattern::Random.draw(s, size, rng),
-        cycles,
-    );
-    (res, sim.into_recorder())
-}
-
-fn capacity_sweep(n: usize, table: usize, jobs: usize, rc: RecordConfig) -> Vec<MetricsRow> {
+fn capacity_sweep(
+    n: usize,
+    table: usize,
+    jobs: usize,
+    shards: usize,
+    rc: RecordConfig,
+) -> Vec<MetricsRow> {
     const CAPS: [usize; 8] = [1, 2, 3, 5, 8, 10, 12, 16];
     let points = exec::run_indexed(CAPS.len() * ALGOS.len(), jobs, |i| {
         let cap = CAPS[i / ALGOS.len()];
@@ -118,6 +104,7 @@ fn capacity_sweep(n: usize, table: usize, jobs: usize, rc: RecordConfig) -> Vec<
         let opts = RunOptions {
             queue_capacity: cap,
             algo,
+            shards,
             ..RunOptions::default()
         };
         // One dimension, one rep: the recorded row is the sweep point.
@@ -151,6 +138,7 @@ fn main() -> ExitCode {
     let mut cycles = 300u64;
     let mut table = 6usize;
     let mut jobs = exec::default_jobs();
+    let mut shards = 1usize;
     let mut obs_args = ObsArgs::default();
     let rest: Vec<String> = args.collect();
     let mut it = rest.iter();
@@ -163,6 +151,13 @@ fn main() -> ExitCode {
                 Some(Ok(j)) => jobs = j,
                 _ => {
                     eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shards" => match it.next().map(|v| exec::parse_shards(v)) {
+                Some(Ok(s)) => shards = s,
+                _ => {
+                    eprintln!("--shards needs a positive integer");
                     return ExitCode::FAILURE;
                 }
             },
@@ -188,11 +183,11 @@ fn main() -> ExitCode {
     }
     let rc = obs_args.record_config();
     let metrics = match mode.as_str() {
-        "lambda" => lambda_sweep(n, cycles, jobs, rc),
-        "capacity" => capacity_sweep(n, table, jobs, rc),
+        "lambda" => lambda_sweep(n, cycles, jobs, shards, rc),
+        "capacity" => capacity_sweep(n, table, jobs, shards, rc),
         _ => {
             eprintln!(
-                "usage: sweep <lambda|capacity> [--n N] [--cycles C] [--table K] [--jobs J] {}",
+                "usage: sweep <lambda|capacity> [--n N] [--cycles C] [--table K] [--jobs J] [--shards S] {}",
                 ObsArgs::USAGE
             );
             return ExitCode::FAILURE;

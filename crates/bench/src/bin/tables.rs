@@ -1,8 +1,8 @@
 //! Regenerate the paper's Tables 1–12.
 //!
 //! ```text
-//! tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--jobs J] [--csv]
-//!        [--trace PATH] [--metrics-out PATH] [--watchdog K]
+//! tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--jobs J] [--shards S]
+//!        [--csv] [--trace PATH] [--metrics-out PATH] [--watchdog K]
 //! ```
 //!
 //! * `--table K` — regenerate only table K (repeatable); default: all 12.
@@ -14,6 +14,10 @@
 //! * `--jobs J` — worker threads for the row × replication fan-out
 //!   (default: available parallelism). Output is bit-identical for any
 //!   value of `J`.
+//! * `--shards S` — threads *inside* each simulation (sharded engine;
+//!   default 1 = sequential). Composes with `--jobs`: each of the `J`
+//!   concurrent runs uses `S` shard threads. Output is bit-identical
+//!   for any value of `S`.
 //! * `--csv` — emit CSV instead of aligned text.
 //! * `--trace PATH` — write JSONL packet lifecycles (first 256 packets
 //!   per run).
@@ -90,9 +94,12 @@ fn parse_args() -> Result<Args, String> {
             "--jobs" => {
                 args.jobs = exec::parse_jobs(&next("--jobs")?)?;
             }
+            "--shards" => {
+                args.opts.shards = exec::parse_shards(&next("--shards")?)?;
+            }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--reps R] [--algo A] [--jobs J] [--csv] {}",
+                    "usage: tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--reps R] [--algo A] [--jobs J] [--shards S] [--csv] {}",
                     ObsArgs::USAGE
                 ));
             }
@@ -121,10 +128,11 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "# fully-adaptive hypercube routing (SPAA'91), queue capacity {}, dynamic horizon {} cycles, {} jobs{}",
+        "# fully-adaptive hypercube routing (SPAA'91), queue capacity {}, dynamic horizon {} cycles, {} jobs, {} shards{}",
         args.opts.queue_capacity,
         args.opts.dynamic_cycles,
         args.jobs,
+        args.opts.shards,
         if args.full { ", full n=10..14 sweep" } else { "" }
     );
     let mut metrics: Vec<MetricsRow> = Vec::new();

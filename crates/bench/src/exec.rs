@@ -88,6 +88,16 @@ pub fn parse_jobs(s: &str) -> Result<usize, String> {
     }
 }
 
+/// Parse a `--shards` value: a positive intra-simulation shard count
+/// (threads *inside* one simulation; composes with `--jobs`, which
+/// spreads independent simulations across workers).
+pub fn parse_shards(s: &str) -> Result<usize, String> {
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("--shards must be a positive integer, got {s:?}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -59,6 +59,26 @@ pub fn time<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Measurem
     }
 }
 
+/// Time `f` with `samples` timed iterations and **no** warm-up.
+///
+/// For the minutes-long `--large` scenarios a warm-up run doubles the
+/// wall clock for nothing: one run touches far more memory than any
+/// cache that a warm-up could prime.
+pub fn time_cold<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Measurement {
+    assert!(samples >= 1, "need at least one sample");
+    let secs = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    Measurement {
+        name: name.to_string(),
+        secs,
+    }
+}
+
 /// Print a measurement in a compact, stable one-line format.
 pub fn report_line(m: &Measurement) -> String {
     format!(
@@ -116,6 +136,14 @@ mod tests {
         assert_eq!(calls, 4, "warm-up plus three samples");
         assert!(m.min() <= m.median() && m.median() <= m.secs.iter().copied().fold(0.0, f64::max));
         assert!(report_line(&m).starts_with("noop"));
+    }
+
+    #[test]
+    fn time_cold_skips_warm_up() {
+        let mut calls = 0;
+        let m = time_cold("noop", 2, || calls += 1);
+        assert_eq!(m.secs.len(), 2);
+        assert_eq!(calls, 2, "no warm-up iteration");
     }
 
     #[test]

@@ -4,9 +4,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fadr_core::{EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang};
-use fadr_metrics::{table::fmt2, Recorder, SinkSet, Table};
+use fadr_metrics::{
+    table::fmt2, Recorder, ShardRecorder, SinkSet, StallReport, Table, WatchdogSink,
+};
 use fadr_qdg::RoutingFunction;
-use fadr_sim::{SimConfig, Simulator};
+use fadr_sim::{DynamicResult, ShardedSimulator, SimConfig, Simulator, StopReason};
 use fadr_workloads::{static_backlog, Pattern};
 
 use crate::obs::RecordConfig;
@@ -177,6 +179,10 @@ pub struct RunOptions {
     pub reps: u32,
     /// Routing algorithm under test.
     pub algo: Algo,
+    /// Intra-simulation shards (threads *inside* one run; composes with
+    /// `--jobs`, which parallelizes *across* runs). 1 = the sequential
+    /// engine; any value yields bit-identical results.
+    pub shards: usize,
 }
 
 impl Default for RunOptions {
@@ -187,6 +193,7 @@ impl Default for RunOptions {
             seed: 0xFAD2,
             reps: 1,
             algo: Algo::FullyAdaptive,
+            shards: 1,
         }
     }
 }
@@ -202,6 +209,10 @@ pub struct RowResult {
     pub l_max: u64,
     /// Effective injection rate (dynamic tables only).
     pub injection_rate: Option<f64>,
+    /// Any replication of this row was aborted (watchdog stall): its
+    /// statistics cover only the packets delivered before the abort, so
+    /// rendered tables flag it instead of passing it off as a clean run.
+    pub aborted: bool,
 }
 
 /// Run one row (one hypercube dimension) of one table on the § 3
@@ -225,9 +236,11 @@ fn reduce_reps(n: usize, results: &[RowResult]) -> RowResult {
     let mut max = 0u64;
     let mut ir_sum = 0.0;
     let mut ir_any = false;
+    let mut aborted = false;
     for r in results {
         avg += r.l_avg;
         max = max.max(r.l_max);
+        aborted |= r.aborted;
         if let Some(ir) = r.injection_rate {
             ir_sum += ir;
             ir_any = true;
@@ -238,6 +251,7 @@ fn reduce_reps(n: usize, results: &[RowResult]) -> RowResult {
         l_avg: avg / f64::from(reps),
         l_max: max,
         injection_rate: ir_any.then(|| ir_sum / f64::from(reps)),
+        aborted,
     }
 }
 
@@ -311,39 +325,31 @@ pub fn run_rows_recorded(
 fn run_row_once(spec: TableSpec, n: usize, opts: RunOptions, rep: u64) -> RowResult {
     let cfg = row_cfg(spec, n, opts, rep);
     match opts.algo {
-        Algo::FullyAdaptive => {
-            drive(
-                Simulator::new(HypercubeFullyAdaptive::new(n), cfg),
-                spec,
-                n,
-                opts,
-                cfg.seed,
-                true,
-            )
-            .0
-        }
-        Algo::StaticHang => {
-            drive(
-                Simulator::new(HypercubeStaticHang::new(n), cfg),
-                spec,
-                n,
-                opts,
-                cfg.seed,
-                true,
-            )
-            .0
-        }
-        Algo::EcubeSbp => {
-            drive(
-                Simulator::new(EcubeSbp::new(n), cfg),
-                spec,
-                n,
-                opts,
-                cfg.seed,
-                true,
-            )
-            .0
-        }
+        Algo::FullyAdaptive => row_with(HypercubeFullyAdaptive::new(n), spec, n, opts, cfg),
+        Algo::StaticHang => row_with(HypercubeStaticHang::new(n), spec, n, opts, cfg),
+        Algo::EcubeSbp => row_with(EcubeSbp::new(n), spec, n, opts, cfg),
+    }
+}
+
+/// One unrecorded replication on whichever engine `opts.shards` selects
+/// (the sharded engine is bit-identical, so this is purely a perf knob).
+fn row_with<R>(rf: R, spec: TableSpec, n: usize, opts: RunOptions, cfg: SimConfig) -> RowResult
+where
+    R: RoutingFunction + Clone + Send,
+    R::Msg: Send,
+{
+    if opts.shards > 1 {
+        drive_sharded(
+            ShardedSimulator::new(rf, cfg, opts.shards),
+            spec,
+            n,
+            opts,
+            cfg.seed,
+            true,
+        )
+        .0
+    } else {
+        drive(Simulator::new(rf, cfg), spec, n, opts, cfg.seed, true).0
     }
 }
 
@@ -368,48 +374,69 @@ fn run_row_once_recorded(
     rc: RecordConfig,
 ) -> (RowResult, SinkSet) {
     let cfg = row_cfg(spec, n, opts, rep);
-    // A watchdogged run may abort instead of draining; report, don't panic.
-    let require_drain = rc.watchdog.is_none();
     let (row, mut sinks) = match opts.algo {
         Algo::FullyAdaptive => {
-            let rf = HypercubeFullyAdaptive::new(n);
-            let sinks = rc.build(1 << n, rf.num_classes());
-            drive(
-                Simulator::with_recorder(rf, cfg, sinks),
-                spec,
-                n,
-                opts,
-                cfg.seed,
-                require_drain,
-            )
+            recorded_with(HypercubeFullyAdaptive::new(n), spec, n, opts, cfg, rc)
         }
-        Algo::StaticHang => {
-            let rf = HypercubeStaticHang::new(n);
-            let sinks = rc.build(1 << n, rf.num_classes());
-            drive(
-                Simulator::with_recorder(rf, cfg, sinks),
-                spec,
-                n,
-                opts,
-                cfg.seed,
-                require_drain,
-            )
-        }
-        Algo::EcubeSbp => {
-            let rf = EcubeSbp::new(n);
-            let sinks = rc.build(1 << n, rf.num_classes());
-            drive(
-                Simulator::with_recorder(rf, cfg, sinks),
-                spec,
-                n,
-                opts,
-                cfg.seed,
-                require_drain,
-            )
-        }
+        Algo::StaticHang => recorded_with(HypercubeStaticHang::new(n), spec, n, opts, cfg, rc),
+        Algo::EcubeSbp => recorded_with(EcubeSbp::new(n), spec, n, opts, cfg, rc),
     };
     sinks.flush();
     (row, sinks)
+}
+
+/// One recorded replication on whichever engine `opts.shards` selects.
+///
+/// Sharded runs build one watchdog-free [`SinkSet`] per shard (a
+/// per-shard [`WatchdogSink`] would see only its shard's deliveries and
+/// misfire) and move the `--watchdog` window to the sharded engine's
+/// global watchdog; after the run the engine's [`StallReport`], if any,
+/// is re-installed into the merged sink set so downstream reporting
+/// (`obs::report`, metrics JSON) is oblivious to which engine ran.
+fn recorded_with<R>(
+    rf: R,
+    spec: TableSpec,
+    n: usize,
+    opts: RunOptions,
+    cfg: SimConfig,
+    rc: RecordConfig,
+) -> (RowResult, SinkSet)
+where
+    R: RoutingFunction + Clone + Send,
+    R::Msg: Send,
+{
+    // A watchdogged run may abort instead of draining; report, don't panic.
+    let require_drain = rc.watchdog.is_none();
+    if opts.shards > 1 {
+        let shard_rc = RecordConfig {
+            watchdog: None,
+            ..rc
+        };
+        let classes = rf.num_classes();
+        let mut sim = ShardedSimulator::with_recorders(rf, cfg, opts.shards, |_| {
+            shard_rc.build(1 << n, classes)
+        });
+        if let Some(k) = rc.watchdog {
+            sim = sim.with_watchdog(k);
+        }
+        let (row, stall, mut sinks) = drive_sharded(sim, spec, n, opts, cfg.seed, require_drain);
+        if let Some(k) = rc.watchdog {
+            let mut wd = WatchdogSink::new(k);
+            wd.report = stall;
+            sinks.watchdog = Some(wd);
+        }
+        (row, sinks)
+    } else {
+        let sinks = rc.build(1 << n, rf.num_classes());
+        drive(
+            Simulator::with_recorder(rf, cfg, sinks),
+            spec,
+            n,
+            opts,
+            cfg.seed,
+            require_drain,
+        )
+    }
 }
 
 fn drive<R: RoutingFunction, Rec: Recorder>(
@@ -439,6 +466,7 @@ fn drive<R: RoutingFunction, Rec: Recorder>(
                 l_avg: res.stats.mean(),
                 l_max: res.stats.max(),
                 injection_rate: None,
+                aborted: res.stop == StopReason::Aborted,
             }
         }
         None => {
@@ -452,10 +480,127 @@ fn drive<R: RoutingFunction, Rec: Recorder>(
                 l_avg: res.stats.mean(),
                 l_max: res.stats.max(),
                 injection_rate: Some(res.injection_rate()),
+                aborted: res.stop == StopReason::Aborted,
             }
         }
     };
     (row, sim.into_recorder())
+}
+
+/// [`drive`] on the sharded engine: identical workload construction and
+/// row extraction, so rows are bit-identical to the sequential path for
+/// any shard count (`tests/sharded_identity.rs` enforces this over all
+/// twelve tables). Also returns the engine watchdog's stall report so
+/// the recorded path can surface it.
+fn drive_sharded<R, Rec>(
+    mut sim: ShardedSimulator<R, Rec>,
+    spec: TableSpec,
+    n: usize,
+    opts: RunOptions,
+    seed: u64,
+    require_drain: bool,
+) -> (RowResult, Option<StallReport>, Rec)
+where
+    R: RoutingFunction + Clone + Send,
+    R::Msg: Send,
+    Rec: ShardRecorder + Send,
+{
+    let size = 1usize << n;
+    let pattern = spec.pattern.compile(n, seed ^ 0x1e7e1);
+    let row = match spec.packets {
+        Some(per_node) => {
+            let k = match per_node {
+                PacketsPerNode::One => 1,
+                PacketsPerNode::LogN => n,
+            };
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xbac1);
+            let backlog = static_backlog(&pattern, size, k, &mut rng);
+            let res = sim.run_static(&backlog);
+            if require_drain {
+                assert!(res.drained, "table {} n={n} failed to drain", spec.number);
+            }
+            RowResult {
+                n,
+                l_avg: res.stats.mean(),
+                l_max: res.stats.max(),
+                injection_rate: None,
+                aborted: res.stop == StopReason::Aborted,
+            }
+        }
+        None => {
+            let res = sim.run_dynamic(
+                1.0,
+                move |s, rng| pattern.draw(s, size, rng),
+                opts.dynamic_cycles,
+            );
+            RowResult {
+                n,
+                l_avg: res.stats.mean(),
+                l_max: res.stats.max(),
+                injection_rate: Some(res.injection_rate()),
+                aborted: res.stop == StopReason::Aborted,
+            }
+        }
+    };
+    let stall = sim.stall_report().cloned();
+    (row, stall, sim.into_recorder())
+}
+
+/// One recorded dynamic run with uniform-random destinations on
+/// whichever engine `shards` selects — the sweep binary's work unit.
+/// Results and sinks are bit-identical for any `shards` value; the
+/// watchdog handling matches `recorded_with` (per-shard sink sets carry
+/// no watchdog, the engine-level one's stall report is re-installed
+/// into the merged set).
+pub fn dynamic_random_recorded<R>(
+    rf: R,
+    cfg: SimConfig,
+    lambda: f64,
+    cycles: u64,
+    rc: RecordConfig,
+    shards: usize,
+) -> (DynamicResult, SinkSet)
+where
+    R: RoutingFunction + Clone + Send,
+    R::Msg: Send,
+{
+    let size = rf.topology().num_nodes();
+    let classes = rf.num_classes();
+    if shards > 1 {
+        let shard_rc = RecordConfig {
+            watchdog: None,
+            ..rc
+        };
+        let mut sim =
+            ShardedSimulator::with_recorders(rf, cfg, shards, |_| shard_rc.build(size, classes));
+        if let Some(k) = rc.watchdog {
+            sim = sim.with_watchdog(k);
+        }
+        let res = sim.run_dynamic(
+            lambda,
+            move |s, rng| Pattern::Random.draw(s, size, rng),
+            cycles,
+        );
+        let stall = sim.stall_report().cloned();
+        let mut sinks = sim.into_recorder();
+        if let Some(k) = rc.watchdog {
+            let mut wd = WatchdogSink::new(k);
+            wd.report = stall;
+            sinks.watchdog = Some(wd);
+        }
+        sinks.flush();
+        (res, sinks)
+    } else {
+        let mut sim = Simulator::with_recorder(rf, cfg, rc.build(size, classes));
+        let res = sim.run_dynamic(
+            lambda,
+            move |s, rng| Pattern::Random.draw(s, size, rng),
+            cycles,
+        );
+        let mut sinks = sim.into_recorder();
+        sinks.flush();
+        (res, sinks)
+    }
 }
 
 /// Dimensions a table covers: the paper's full sweep or a reduced default.
@@ -533,16 +678,32 @@ pub fn render_table(number: usize, rows: &[RowResult]) -> Table {
     } else {
         vec!["n", "N", "L_avg", "L_max", "paper L_avg", "paper L_max"]
     };
+    // Flag aborted rows in place of passing them off as clean runs:
+    // their statistics cover only the packets delivered before the
+    // watchdog stopped the simulation.
+    let aborted_note = if rows.iter().any(|r| r.aborted) {
+        " [* = aborted by watchdog; stats cover delivered packets only]"
+    } else {
+        ""
+    };
     let mut table = Table::new(
-        format!("Table {number}: {}, {injection}", s.pattern.label()),
+        format!(
+            "Table {number}: {}, {injection}{aborted_note}",
+            s.pattern.label()
+        ),
         &headers,
     );
     for row in rows {
         let n = row.n;
+        let l_avg = fmt2(row.l_avg);
         let mut cells = vec![
             n.to_string(),
             (1usize << n).to_string(),
-            fmt2(row.l_avg),
+            if row.aborted {
+                format!("{l_avg}*")
+            } else {
+                l_avg
+            },
             row.l_max.to_string(),
         ];
         if dynamic {

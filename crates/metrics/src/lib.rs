@@ -17,7 +17,8 @@ pub mod table;
 pub mod timeseries;
 
 pub use record::{
-    Control, CounterSink, NoRecorder, Recorder, SinkSet, StallReport, TraceSink, WatchdogSink,
+    Control, CounterSink, NoRecorder, Recorder, ShardRecorder, SinkSet, StallReport, TraceSink,
+    TraceState, WatchdogSink,
 };
 pub use stats::{Histogram, LatencyStats};
 pub use table::Table;

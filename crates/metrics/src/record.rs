@@ -122,6 +122,55 @@ impl Recorder for NoRecorder {
     const ENABLED: bool = false;
 }
 
+/// Extension of [`Recorder`] for shard-parallel simulation: one recorder
+/// instance runs per shard, observing only that shard's events, and the
+/// engine (a) moves a traced packet's in-flight state *with* the packet
+/// when it crosses a shard boundary and (b) merges the per-shard
+/// recorders in fixed shard order after the run. Implemented correctly,
+/// the merged recorder is bit-identical to the one a sequential run
+/// would have produced.
+///
+/// The trace-state hooks default to no-ops (only trace-collecting
+/// recorders carry per-packet state); `merge_shard` has no sensible
+/// default and must be provided.
+#[allow(unused_variables)]
+pub trait ShardRecorder: Recorder {
+    /// Whether this recorder may run one-instance-per-shard. Recorders
+    /// whose semantics are global — the [`WatchdogSink`], which would
+    /// declare a stall on any shard that happens to be locally idle —
+    /// must return `false`; a sharded engine refuses them up front.
+    fn shardable(&self) -> bool {
+        true
+    }
+
+    /// Clone the in-flight trace state of `pkt`, if any (called on the
+    /// sending shard when it *offers* a packet across a boundary; the
+    /// packet may not move, so local state is kept until
+    /// [`ShardRecorder::discard_trace`]).
+    fn snapshot_trace(&self, pkt: u64) -> Option<TraceState> {
+        None
+    }
+
+    /// Install trace state transferred from the sending shard (called on
+    /// the receiving shard when it takes an offered packet, *before* the
+    /// link-traversal event is recorded).
+    fn adopt_trace(&mut self, pkt: u64, state: TraceState) {}
+
+    /// Drop local trace state for `pkt` (called on the sending shard
+    /// when the receiver's acknowledgement confirms the packet left).
+    fn discard_trace(&mut self, pkt: u64) {}
+
+    /// Merge a sibling shard's recorder from the same run. Called in
+    /// fixed shard order; counters add, per-run totals (cycle counts)
+    /// take the max, trace lifecycles union (slots are disjoint across
+    /// shards).
+    fn merge_shard(&mut self, other: &Self);
+}
+
+impl ShardRecorder for NoRecorder {
+    fn merge_shard(&mut self, _other: &Self) {}
+}
+
 // ---------------------------------------------------------------------
 // CounterSink
 // ---------------------------------------------------------------------
@@ -132,7 +181,7 @@ impl Recorder for NoRecorder {
 /// stutters, blocked cycles, class transitions, injections, and
 /// deliveries; tracks per-queue current/peak occupancy from the
 /// enter/leave event stream and samples per-queue means once per cycle.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CounterSink {
     num_classes: usize,
     /// Packets injected.
@@ -256,6 +305,30 @@ impl CounterSink {
             *a = (*a).max(b);
         }
         for (a, &b) in self.sum.iter_mut().zip(&other.sum) {
+            *a += b;
+        }
+    }
+
+    /// Merge a sibling shard's sink from the *same* run (fixed shard
+    /// order). Identical to [`CounterSink::merge`] except that `cycles`
+    /// takes the max instead of adding: every shard of one run observes
+    /// the same cycles, so adding would inflate the occupancy-sampling
+    /// denominator shard-fold. Event counters still add (each event is
+    /// seen by exactly one shard) and per-queue peaks/sums combine
+    /// exactly (each queue is owned by exactly one shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes (queue counts) differ.
+    pub fn merge_shard(&mut self, other: &CounterSink) {
+        let cycles = self.cycles.max(other.cycles);
+        self.merge(other);
+        self.cycles = cycles;
+        // Every queue is observed by exactly one shard, so the end-of-run
+        // current occupancies live in disjoint segments and add exactly.
+        // ([`CounterSink::merge`] deliberately skips this: across
+        // *replications* the leftover occupancies are unrelated runs.)
+        for (a, &b) in self.occupancy.iter_mut().zip(&other.occupancy) {
             *a += b;
         }
     }
@@ -394,8 +467,14 @@ impl Recorder for CounterSink {
 // ---------------------------------------------------------------------
 
 /// One in-flight packet lifecycle being assembled by [`TraceSink`].
+///
+/// Opaque outside this module; it exists publicly so a shard-parallel
+/// simulator can move a traced packet's partial lifecycle *with* the
+/// packet when it crosses a shard boundary
+/// ([`TraceSink::snapshot_state`] / [`TraceSink::adopt_state`]), keeping
+/// the rendered trace byte-identical to a sequential run's.
 #[derive(Debug, Clone)]
-struct PacketTrace {
+pub struct TraceState {
     src: u32,
     dst: u32,
     inject_cycle: u64,
@@ -414,7 +493,7 @@ struct PacketTrace {
 #[derive(Debug, Clone)]
 pub struct TraceSink {
     limit: u64,
-    active: Vec<Option<PacketTrace>>,
+    active: Vec<Option<TraceState>>,
     /// Completed (or flushed) lifecycles, one JSON object per line.
     lines: Vec<String>,
     /// Packets beyond the trace bound (not traced).
@@ -439,7 +518,13 @@ impl TraceSink {
     }
 
     /// Render still-in-flight packets as undelivered lifecycles and move
-    /// them into [`TraceSink::lines`]. Call once after the run.
+    /// them into [`TraceSink::lines`], then sort all lines into canonical
+    /// packet-id order. Call once after the run.
+    ///
+    /// The sort makes the rendered output independent of *delivery*
+    /// order, which is what lets a shard-merged sink reproduce the
+    /// sequential sink byte-for-byte (shards complete deliveries in
+    /// shard-local order).
     pub fn flush(&mut self) {
         for slot in 0..self.active.len() {
             if let Some(t) = self.active[slot].take() {
@@ -450,16 +535,71 @@ impl TraceSink {
                 self.lines.push(line);
             }
         }
+        self.lines.sort_by_key(|l| Self::line_pkt(l));
+    }
+
+    /// The `pkt` id a rendered line starts with (every line is produced
+    /// by this sink with the `{"pkt": N, …}` prefix).
+    fn line_pkt(line: &str) -> u64 {
+        line.strip_prefix("{\"pkt\": ")
+            .unwrap_or("")
+            .bytes()
+            .take_while(u8::is_ascii_digit)
+            .fold(0u64, |acc, b| acc * 10 + u64::from(b - b'0'))
     }
 
     /// Append another sink's lines (parallel-merge path); `skipped`
-    /// counts add.
+    /// counts add. In-flight lifecycles transfer too (first writer wins
+    /// on a slot collision), so merging *unflushed* per-shard sinks of
+    /// one run — where each packet is in flight at exactly one shard —
+    /// loses nothing; the post-run [`TraceSink::flush`] then renders
+    /// them as usual.
     pub fn merge(&mut self, other: &TraceSink) {
         self.lines.extend(other.lines.iter().cloned());
         self.skipped += other.skipped;
+        for (slot, st) in other.active.iter().enumerate() {
+            let Some(st) = st else { continue };
+            if slot >= self.active.len() {
+                self.active.resize(slot + 1, None);
+            }
+            if self.active[slot].is_none() {
+                self.active[slot] = Some(st.clone());
+            }
+        }
     }
 
-    fn slot(&mut self, pkt: u64) -> Option<&mut PacketTrace> {
+    /// Clone the in-flight lifecycle of `pkt`, if traced — the shard
+    /// handoff's "offer" side (the packet may not move this cycle, so
+    /// the local state stays put until [`TraceSink::discard_state`]).
+    pub fn snapshot_state(&self, pkt: u64) -> Option<TraceState> {
+        if pkt >= self.limit {
+            return None;
+        }
+        self.active.get(pkt as usize)?.clone()
+    }
+
+    /// Install a lifecycle transferred from another shard's sink.
+    pub fn adopt_state(&mut self, pkt: u64, state: TraceState) {
+        if pkt >= self.limit {
+            return;
+        }
+        let slot = pkt as usize;
+        if slot >= self.active.len() {
+            self.active.resize(slot + 1, None);
+        }
+        self.active[slot] = Some(state);
+    }
+
+    /// Drop the local lifecycle of `pkt` (it moved to another shard).
+    pub fn discard_state(&mut self, pkt: u64) {
+        if pkt < self.limit {
+            if let Some(s) = self.active.get_mut(pkt as usize) {
+                *s = None;
+            }
+        }
+    }
+
+    fn slot(&mut self, pkt: u64) -> Option<&mut TraceState> {
         if pkt >= self.limit {
             return None;
         }
@@ -477,7 +617,7 @@ impl Recorder for TraceSink {
         if slot >= self.active.len() {
             self.active.resize(slot + 1, None);
         }
-        self.active[slot] = Some(PacketTrace {
+        self.active[slot] = Some(TraceState {
             src,
             dst,
             inject_cycle: cycle,
@@ -539,7 +679,7 @@ impl Recorder for TraceSink {
 
 /// Evidence captured by [`WatchdogSink`] when a no-progress window
 /// elapses: the empirical deadlock/livelock report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StallReport {
     /// Cycle at which the stall was declared.
     pub cycle: u64,
@@ -775,6 +915,30 @@ impl SinkSet {
         }
     }
 
+    /// Merge a sibling shard's set from the *same* run (fixed shard
+    /// order): counters via [`CounterSink::merge_shard`] (cycle counts
+    /// take the max), traces via [`TraceSink::merge`] (in-flight
+    /// lifecycles transfer; slots are disjoint across shards), watchdogs
+    /// via [`WatchdogSink::merge`] (earliest report wins — present only
+    /// when a sharded engine installed a synthesized global report).
+    pub fn merge_shard(&mut self, other: &SinkSet) {
+        match (&mut self.counters, &other.counters) {
+            (Some(a), Some(b)) => a.merge_shard(b),
+            (slot @ None, Some(b)) => *slot = Some(b.clone()),
+            _ => {}
+        }
+        match (&mut self.trace, &other.trace) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(b.clone()),
+            _ => {}
+        }
+        match (&mut self.watchdog, &other.watchdog) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(b.clone()),
+            _ => {}
+        }
+    }
+
     /// Flush the trace sink (renders still-in-flight packets).
     pub fn flush(&mut self) {
         if let Some(t) = &mut self.trace {
@@ -785,6 +949,35 @@ impl SinkSet {
     /// The watchdog's stall report, if any.
     pub fn stall(&self) -> Option<&StallReport> {
         self.watchdog.as_ref().and_then(|w| w.report.as_ref())
+    }
+}
+
+impl ShardRecorder for SinkSet {
+    fn shardable(&self) -> bool {
+        // A per-shard watchdog would see only its shard's deliveries and
+        // stall-report a healthy network; sharded engines must run the
+        // watchdog globally and install the report post-run.
+        self.watchdog.is_none()
+    }
+
+    fn snapshot_trace(&self, pkt: u64) -> Option<TraceState> {
+        self.trace.as_ref().and_then(|t| t.snapshot_state(pkt))
+    }
+
+    fn adopt_trace(&mut self, pkt: u64, state: TraceState) {
+        if let Some(t) = &mut self.trace {
+            t.adopt_state(pkt, state);
+        }
+    }
+
+    fn discard_trace(&mut self, pkt: u64) {
+        if let Some(t) = &mut self.trace {
+            t.discard_state(pkt);
+        }
+    }
+
+    fn merge_shard(&mut self, other: &Self) {
+        SinkSet::merge_shard(self, other);
     }
 }
 
@@ -1029,5 +1222,81 @@ mod tests {
         let mut n = NoRecorder;
         feed(&mut n);
         assert_eq!(n.on_cycle_end(0), Control::Continue);
+    }
+
+    #[test]
+    fn counter_merge_shard_maxes_cycles() {
+        // Two shards of the same 3-cycle run: event counters add, but
+        // the cycle count must stay 3, not double to 6.
+        let mut a = CounterSink::new(4, 2);
+        let mut b = CounterSink::new(4, 2);
+        for c in 0..3 {
+            let _ = a.on_cycle_end(c);
+            let _ = b.on_cycle_end(c);
+        }
+        a.on_deliver(2, 0, 5, 1);
+        b.on_deliver(2, 1, 7, 2);
+        a.merge_shard(&b);
+        assert_eq!(a.cycles, 3);
+        assert_eq!(a.delivered, 2);
+    }
+
+    #[test]
+    fn trace_state_transfers_between_sinks() {
+        // Shard 0 traces the first hop, hands the packet to shard 1,
+        // which records the rest; the merged output must equal a single
+        // sink that saw every event.
+        let mut whole = TraceSink::new(4);
+        whole.on_inject(0, 0, 1, 2);
+        whole.on_link(1, 0, 1, 2, false, 0, 0);
+        whole.on_link(2, 0, 2, 3, true, 0, 1);
+        whole.on_deliver(3, 0, 7, 2);
+        whole.flush();
+
+        let mut s0 = TraceSink::new(4);
+        let mut s1 = TraceSink::new(4);
+        s0.on_inject(0, 0, 1, 2);
+        s0.on_link(1, 0, 1, 2, false, 0, 0);
+        // The packet crosses the shard boundary: snapshot on offer,
+        // adopt at the receiver, discard at the sender on ack.
+        let st = s0.snapshot_state(0).expect("traced");
+        s1.adopt_state(0, st);
+        s1.on_link(2, 0, 2, 3, true, 0, 1);
+        s0.discard_state(0);
+        s1.on_deliver(3, 0, 7, 2);
+        s0.merge(&s1);
+        s0.flush();
+        assert_eq!(s0.lines(), whole.lines());
+    }
+
+    #[test]
+    fn flush_sorts_lines_into_packet_order() {
+        let mut t = TraceSink::new(4);
+        t.on_inject(0, 0, 1, 2);
+        t.on_inject(0, 1, 2, 3);
+        // Packet 1 delivers before packet 0.
+        t.on_deliver(1, 1, 3, 1);
+        t.on_deliver(2, 0, 5, 1);
+        t.flush();
+        assert!(t.lines()[0].starts_with("{\"pkt\": 0,"));
+        assert!(t.lines()[1].starts_with("{\"pkt\": 1,"));
+    }
+
+    #[test]
+    fn merge_transfers_inflight_lifecycles() {
+        let mut a = TraceSink::new(4);
+        let mut b = TraceSink::new(4);
+        b.on_inject(0, 2, 5, 6);
+        a.merge(&b);
+        a.flush();
+        assert_eq!(a.lines().len(), 1);
+        assert!(a.lines()[0].contains("\"delivered\": false"));
+    }
+
+    #[test]
+    fn sink_set_shardability_follows_watchdog() {
+        assert!(SinkSet::new().with_counters(4, 2).shardable());
+        assert!(!SinkSet::new().with_watchdog(10).shardable());
+        assert!(NoRecorder.shardable());
     }
 }

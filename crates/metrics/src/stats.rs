@@ -6,7 +6,14 @@
 /// The histogram is indexed by value, which is appropriate here: latencies
 /// in the paper's experiments are small integers (tens to hundreds of
 /// time cycles).
-#[derive(Debug, Clone, Default)]
+///
+/// All state is integer (`u128` sum, exact histogram), so
+/// [`LatencyStats::merge`] is *exact* and order-insensitive — merging
+/// per-shard accumulators in any order reproduces the sequential
+/// accumulator bit-for-bit, which is what lets the sharded engine claim
+/// bit-identical statistics (`PartialEq` exists to state exactly that in
+/// tests).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LatencyStats {
     count: u64,
     sum: u128,
@@ -82,7 +89,12 @@ impl LatencyStats {
 }
 
 /// Exact integer histogram (bucket per value).
-#[derive(Debug, Clone, Default)]
+///
+/// Bucket storage always ends at the largest recorded value (`record`
+/// and `merge` both resize exactly), so equal observation multisets
+/// compare equal under the derived `PartialEq` regardless of how they
+/// were accumulated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     total: u64,

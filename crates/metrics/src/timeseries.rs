@@ -14,7 +14,7 @@
 /// events from different times, so callers should treat a saturated
 /// series' tail as unreliable and check the flag before trusting
 /// [`TimeSeries::steady_state_rate`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     window: u64,
     sums: Vec<f64>,
@@ -74,6 +74,29 @@ impl TimeSeries {
         self.sums.iter().map(|s| s / self.window as f64).collect()
     }
 
+    /// Merge another series of the same window length: per-window sums
+    /// add elementwise. When the summed values are integer event counts
+    /// (the simulator records `1.0` per delivery), the addition is exact
+    /// below 2^53 events per window, so merging disjoint per-shard series
+    /// in any order reproduces the sequential series bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window lengths differ.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.window, other.window,
+            "merging time series of different window lengths"
+        );
+        if other.sums.len() > self.sums.len() {
+            self.sums.resize(other.sums.len(), 0.0);
+        }
+        for (a, &b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += b;
+        }
+        self.saturated |= other.saturated;
+    }
+
     /// Mean of the last `k` window rates (steady-state estimate), or of
     /// all windows if fewer exist.
     pub fn steady_state_rate(&self, k: usize) -> f64 {
@@ -124,6 +147,45 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_rejected() {
         let _ = TimeSeries::new(0);
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut a = TimeSeries::new(10);
+        a.record(0, 1.0);
+        a.record(25, 2.0);
+        let mut b = TimeSeries::new(10);
+        b.record(5, 3.0);
+        b.record(39, 1.0);
+        a.merge(&b);
+        assert_eq!(a.windows(), &[4.0, 0.0, 2.0, 1.0]);
+        assert!(!a.saturated());
+    }
+
+    #[test]
+    fn merge_of_disjoint_shards_matches_sequential() {
+        // Integer event counts merge exactly: splitting a recording by
+        // source and re-merging reproduces the combined series.
+        let mut seq = TimeSeries::new(4);
+        let mut s0 = TimeSeries::new(4);
+        let mut s1 = TimeSeries::new(4);
+        for t in 0..100u64 {
+            seq.record(t, 1.0);
+            if t % 2 == 0 {
+                s0.record(t, 1.0);
+            } else {
+                s1.record(t, 1.0);
+            }
+        }
+        s0.merge(&s1);
+        assert_eq!(s0, seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "different window lengths")]
+    fn merge_rejects_mismatched_windows() {
+        let mut a = TimeSeries::new(10);
+        a.merge(&TimeSeries::new(5));
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! The simulation engine: packet slab, queue state, and the three-step
 //! routing cycle (fill, link, read).
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use fadr_metrics::{Control, LatencyStats, NoRecorder, Recorder, TimeSeries};
+use fadr_metrics::{
+    Control, LatencyStats, NoRecorder, Recorder, ShardRecorder, TimeSeries, TraceState,
+};
 use fadr_qdg::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction};
 use fadr_topology::NodeId;
 
@@ -20,7 +24,7 @@ struct MoveOpt<M> {
     next: M,
 }
 
-struct Packet<M> {
+pub(crate) struct Packet<M> {
     src: u32,
     dst: u32,
     /// Run-unique id in injection order (slab slots are recycled, ids
@@ -51,8 +55,28 @@ struct Packet<M> {
     options: Vec<MoveOpt<M>>,
 }
 
+/// Why a simulation run ended.
+///
+/// `StaticResult::drained` alone cannot tell a watchdog abort from a
+/// `max_cycles` timeout — both used to surface as `drained: false`, so a
+/// table row produced by an aborted (stalled) run was indistinguishable
+/// from one that merely ran out of its cycle budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Static run: every injected packet was delivered.
+    Drained,
+    /// Dynamic run: the requested cycle horizon elapsed.
+    HorizonReached,
+    /// Static run: the [`crate::SimConfig::max_cycles`] safety cap was
+    /// hit before the network drained.
+    MaxCycles,
+    /// An attached [`Recorder`] returned [`Control::Stop`] — e.g. a
+    /// watchdog sink declared a no-progress stall.
+    Aborted,
+}
+
 /// Result of a static-injection run (§ 7, Tables 1–8).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StaticResult {
     /// Latency statistics over all delivered packets (in time cycles,
     /// `2 · routing cycles + 1`).
@@ -64,14 +88,17 @@ pub struct StaticResult {
     /// Packets that were to be injected.
     pub total: u64,
     /// Whether the network fully drained (always true for a deadlock-free
-    /// algorithm within the cycle cap). `false` when the cycle cap was
-    /// hit — or when an attached [`Recorder`] (e.g. a watchdog sink)
-    /// aborted the run early.
+    /// algorithm within the cycle cap). Equivalent to
+    /// `stop == StopReason::Drained`; kept alongside [`StopReason`] for
+    /// callers that only care about success.
     pub drained: bool,
+    /// Why the run ended (distinguishes a watchdog abort from a
+    /// `max_cycles` timeout, which `drained` alone cannot).
+    pub stop: StopReason,
 }
 
 /// Result of a dynamic-injection run (§ 7, Tables 9–12).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DynamicResult {
     /// Latency statistics over packets delivered during the run.
     pub stats: LatencyStats,
@@ -83,12 +110,19 @@ pub struct DynamicResult {
     pub delivered: u64,
     /// Routing cycles executed.
     pub cycles: u64,
+    /// Why the run ended ([`StopReason::HorizonReached`] unless a
+    /// recorder aborted it).
+    pub stop: StopReason,
 }
 
 /// Per-central-queue occupancy statistics, sampled once per routing
 /// cycle when [`crate::SimConfig::track_occupancy`] is set. Queues are
 /// indexed `node * num_classes + class`.
-#[derive(Debug, Clone, Default)]
+///
+/// All state is integer, so [`OccupancyProbe::merge_shard`] is exact and
+/// `PartialEq` can assert bit-identity between a sequential probe and a
+/// merged sharded one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OccupancyProbe {
     /// Peak occupancy per queue.
     pub max: Vec<u16>,
@@ -146,6 +180,25 @@ impl OccupancyProbe {
     pub fn total_peak(&self) -> u16 {
         self.max.iter().copied().max().unwrap_or(0)
     }
+
+    /// Merge a sibling shard's probe from the same run. Each queue is
+    /// sampled by exactly one shard (the other shards leave it at zero),
+    /// so peaks combine by elementwise max and sums by elementwise add;
+    /// the sample count — one per cycle on every shard — takes the max
+    /// rather than the sum.
+    pub fn merge_shard(&mut self, other: &OccupancyProbe) {
+        if other.max.len() > self.max.len() {
+            self.max.resize(other.max.len(), 0);
+            self.sum.resize(other.sum.len(), 0);
+        }
+        for (a, &b) in self.max.iter_mut().zip(&other.max) {
+            *a = (*a).max(b);
+        }
+        for (a, &b) in self.sum.iter_mut().zip(&other.sum) {
+            *a += b;
+        }
+        self.samples = self.samples.max(other.samples);
+    }
 }
 
 impl DynamicResult {
@@ -173,7 +226,9 @@ pub struct Simulator<R: RoutingFunction, Rec: Recorder = NoRecorder> {
     /// Next packet uid (injection order; never recycled).
     next_uid: u64,
     cfg: SimConfig,
-    layout: Layout,
+    /// Shared with sibling shard simulators in sharded runs (the layout
+    /// is immutable after construction).
+    layout: Arc<Layout>,
     num_classes: usize,
     /// Central-queue occupancy, indexed `node * num_classes + class`.
     /// Queue *membership* lives in `node_fifo`; only the per-class counts
@@ -201,7 +256,6 @@ pub struct Simulator<R: RoutingFunction, Rec: Recorder = NoRecorder> {
     inj_buf: Vec<u32>,
     packets: Vec<Packet<R::Msg>>,
     free: Vec<u32>,
-    rng: StdRng,
     cycle: u64,
     stats: LatencyStats,
     delivered: u64,
@@ -230,7 +284,14 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// packet can ever enter a central queue), which is useful for
     /// exercising watchdog sinks against a guaranteed stall.
     pub fn with_recorder(rf: R, cfg: SimConfig, rec: Rec) -> Self {
-        let layout = Layout::new(&rf);
+        let layout = Arc::new(Layout::new(&rf));
+        Self::with_shared_layout(rf, cfg, rec, layout)
+    }
+
+    /// Build a simulator on an already-computed layout (shared between
+    /// the per-shard simulators of a [`crate::ShardedSimulator`], which
+    /// would otherwise recompute it once per shard).
+    pub(crate) fn with_shared_layout(rf: R, cfg: SimConfig, rec: Rec, layout: Arc<Layout>) -> Self {
         let n = layout.num_nodes;
         let num_classes = rf.num_classes();
         let max_out = layout.node_out_bufs.iter().map(Vec::len).max().unwrap_or(0);
@@ -256,7 +317,6 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             inj_buf: vec![NONE; n],
             packets: Vec::new(),
             free: Vec::new(),
-            rng: StdRng::seed_from_u64(cfg.seed),
             cycle: 0,
             stats: LatencyStats::new(),
             delivered: 0,
@@ -315,7 +375,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         self.layout.num_nodes
     }
 
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.queue_len.fill(0);
         for f in &mut self.node_fifo {
             f.clear();
@@ -329,7 +389,6 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         self.packets.clear();
         self.free.clear();
         self.next_uid = 0;
-        self.rng = StdRng::seed_from_u64(self.cfg.seed);
         self.cycle = 0;
         self.stats = LatencyStats::new();
         self.delivered = 0;
@@ -351,6 +410,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         self.reset();
         let mut next_idx = vec![0usize; backlog.len()];
         let total: u64 = backlog.iter().map(|b| b.len() as u64).sum();
+        let mut aborted = false;
         while self.delivered < total && self.cycle < self.cfg.max_cycles {
             for v in 0..backlog.len() {
                 if self.inj_buf[v] == NONE && next_idx[v] < backlog[v].len() {
@@ -360,21 +420,42 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
                 }
             }
             if self.step() == Control::Stop {
+                aborted = true;
                 break;
             }
         }
+        let drained = self.delivered == total;
+        let stop = if drained {
+            StopReason::Drained
+        } else if aborted {
+            StopReason::Aborted
+        } else {
+            StopReason::MaxCycles
+        };
         StaticResult {
             stats: self.stats.clone(),
             cycles: self.cycle,
             delivered: self.delivered,
             total,
-            drained: self.delivered == total,
+            drained,
+            stop,
         }
     }
 
     /// Run a dynamic-injection experiment for `cycles` routing cycles:
     /// each node attempts an injection each cycle with probability
     /// `lambda`, drawing destinations from `dest`.
+    ///
+    /// Each node draws its Bernoulli trials and destinations from its
+    /// *own* deterministic RNG stream (seeded from
+    /// [`crate::SimConfig::seed`] and the node id), and the destination
+    /// is drawn on every attempt whether or not the injection buffer is
+    /// free. Together these make the offered workload a pure function of
+    /// `(seed, λ, cycles)`: it no longer depends on buffer occupancy
+    /// (i.e. on the routing algorithm, queue capacity, or fill order), so
+    /// latency numbers from different configurations answer the same
+    /// question — and a sharded run injects the exact same packets as a
+    /// sequential one regardless of how nodes are partitioned.
     pub fn run_dynamic(
         &mut self,
         lambda: f64,
@@ -383,21 +464,28 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     ) -> DynamicResult {
         assert!((0.0..=1.0).contains(&lambda));
         self.reset();
+        let seed = self.cfg.seed;
+        let mut rngs: Vec<StdRng> = (0..self.num_nodes()).map(|v| node_rng(seed, v)).collect();
         let mut attempts = 0u64;
         let mut injected = 0u64;
+        let mut stop = StopReason::HorizonReached;
         for _ in 0..cycles {
-            for v in 0..self.num_nodes() {
-                if lambda < 1.0 && !self.rng.gen_bool(lambda) {
+            for (v, rng) in rngs.iter_mut().enumerate() {
+                if lambda < 1.0 && !rng.gen_bool(lambda) {
                     continue;
                 }
                 attempts += 1;
+                // Drawn unconditionally: a blocked attempt discards the
+                // destination instead of deferring the draw, keeping the
+                // per-node stream independent of buffer occupancy.
+                let dst = dest(v, rng);
                 if self.inj_buf[v] == NONE {
-                    let dst = dest(v, &mut self.rng);
                     self.inj_buf[v] = self.alloc_packet(v, dst);
                     injected += 1;
                 }
             }
             if self.step() == Control::Stop {
+                stop = StopReason::Aborted;
                 break;
             }
         }
@@ -407,6 +495,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             injected,
             delivered: self.delivered,
             cycles: self.cycle,
+            stop,
         }
     }
 
@@ -431,6 +520,11 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             class: 0,
             options: Vec::new(),
         };
+        self.insert_packet(pkt)
+    }
+
+    /// Place a packet into the slab, recycling a free slot if available.
+    fn insert_packet(&mut self, pkt: Packet<R::Msg>) -> u32 {
         if let Some(i) = self.free.pop() {
             // Keep the recycled slot's `options` allocation: replacing it
             // with the fresh empty Vec would force every reused packet to
@@ -456,20 +550,32 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         self.link_phase();
         self.read_phase();
         if self.cfg.track_occupancy {
-            for (i, &len) in self.queue_len.iter().enumerate() {
-                let len = len as u16;
-                self.occupancy.max[i] = self.occupancy.max[i].max(len);
-                self.occupancy.sum[i] += u64::from(len);
-            }
-            self.occupancy.samples += 1;
+            self.sample_occupancy(0..self.layout.num_nodes);
         }
-        let ctl = if Rec::ENABLED {
+        let ctl = self.end_cycle();
+        self.cycle += 1;
+        ctl
+    }
+
+    /// Record one occupancy sample over the queues of `nodes` (a shard
+    /// samples only the node range it owns).
+    pub(crate) fn sample_occupancy(&mut self, nodes: std::ops::Range<usize>) {
+        for q in nodes.start * self.num_classes..nodes.end * self.num_classes {
+            let len = self.queue_len[q] as u16;
+            self.occupancy.max[q] = self.occupancy.max[q].max(len);
+            self.occupancy.sum[q] += u64::from(len);
+        }
+        self.occupancy.samples += 1;
+    }
+
+    /// Fire the recorder's end-of-cycle hook (without advancing the
+    /// cycle counter) and return its verdict.
+    pub(crate) fn end_cycle(&mut self) -> Control {
+        if Rec::ENABLED {
             self.rec.on_cycle_end(self.cycle)
         } else {
             Control::Continue
-        };
-        self.cycle += 1;
-        ctl
+        }
     }
 
     /// Node cycle, part 1 (§ 7.1): "each node fills its output buffers
@@ -484,158 +590,159 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// across classes.
     fn fill_phase(&mut self) {
         for node in 0..self.layout.num_nodes {
-            if self.node_fifo[node].is_empty() {
+            self.fill_node(node);
+        }
+    }
+
+    /// Fill pass for a single node (a shard runs this over the node
+    /// range it owns; the node's queues, output buffers, and packet
+    /// state are all shard-local).
+    pub(crate) fn fill_node(&mut self, node: usize) {
+        if self.node_fifo[node].is_empty() {
+            return;
+        }
+        let n_out = self.layout.node_out_bufs[node].len();
+        // Build per-buffer "wanting" lists in FIFO order.
+        for w in self.wanting.iter_mut().take(n_out) {
+            w.clear();
+        }
+        self.stutters.clear();
+        for &p in &self.node_fifo[node] {
+            let pkt = &self.packets[p as usize];
+            for opt in &pkt.options {
+                if opt.buf == NONE {
+                    self.stutters.push(p);
+                } else {
+                    let pos = self.layout.buf_out_pos[opt.buf as usize] as usize;
+                    self.wanting[pos].push(p);
+                }
+            }
+        }
+        // Buffer-major assignment in the configured fill order.
+        let start = match self.cfg.fill_order {
+            FillOrder::LowToHigh | FillOrder::HighToLow => 0,
+            FillOrder::Rotating => rotating_start(self.cycle, node, n_out),
+        };
+        let mut staged_any = false;
+        for i in 0..n_out {
+            let pos = match self.cfg.fill_order {
+                FillOrder::LowToHigh => i,
+                FillOrder::HighToLow => n_out - 1 - i,
+                FillOrder::Rotating => (start + i) % n_out,
+            };
+            let buf = self.layout.node_out_bufs[node][pos] as usize;
+            if self.outbuf[buf] != NONE {
                 continue;
             }
-            let n_out = self.layout.node_out_bufs[node].len();
-            // Build per-buffer "wanting" lists in FIFO order.
-            for w in self.wanting.iter_mut().take(n_out) {
-                w.clear();
-            }
-            self.stutters.clear();
-            for &p in &self.node_fifo[node] {
-                let pkt = &self.packets[p as usize];
-                for opt in &pkt.options {
-                    if opt.buf == NONE {
-                        self.stutters.push(p);
-                    } else {
-                        let pos = self.layout.buf_out_pos[opt.buf as usize] as usize;
-                        self.wanting[pos].push(p);
-                    }
-                }
-            }
-            // Buffer-major assignment in the configured fill order.
-            let start = match self.cfg.fill_order {
-                FillOrder::LowToHigh | FillOrder::HighToLow => 0,
-                FillOrder::Rotating => (self.cycle as usize) % n_out.max(1),
+            let Some(&p) = self.wanting[pos]
+                .iter()
+                .find(|&&p| self.packets[p as usize].moved_at != self.cycle)
+            else {
+                continue;
             };
-            let mut staged_any = false;
-            for i in 0..n_out {
-                let pos = match self.cfg.fill_order {
-                    FillOrder::LowToHigh => i,
-                    FillOrder::HighToLow => n_out - 1 - i,
-                    FillOrder::Rotating => (start + i) % n_out,
-                };
-                let buf = self.layout.node_out_bufs[node][pos] as usize;
-                if self.outbuf[buf] != NONE {
-                    continue;
-                }
-                let Some(&p) = self.wanting[pos]
-                    .iter()
-                    .find(|&&p| self.packets[p as usize].moved_at != self.cycle)
-                else {
-                    continue;
-                };
-                let pkt = &mut self.packets[p as usize];
-                let opt = pkt
-                    .options
-                    .iter()
-                    .find(|o| o.buf as usize == buf)
-                    .expect("wanting list entry has the option");
-                pkt.msg = opt.next.clone();
-                pkt.next_class = opt.to_class;
-                pkt.moved_at = self.cycle;
-                pkt.staged = true;
-                staged_any = true;
-                self.outbuf[buf] = p;
-                self.chan_pending[self.buf_chan[buf] as usize] += 1;
-            }
-            // Remove staged packets from the node's FIFO (order preserved).
-            if staged_any {
-                let packets = &mut self.packets;
-                let queue_len = &mut self.queue_len;
-                let num_classes = self.num_classes;
-                let rec = &mut self.rec;
-                let cycle = self.cycle;
-                self.node_fifo[node].retain(|&p| {
-                    let pkt = &mut packets[p as usize];
-                    if pkt.staged {
-                        pkt.staged = false;
-                        let q = node * num_classes + usize::from(pkt.class);
-                        queue_len[q] -= 1;
-                        if Rec::ENABLED {
-                            rec.on_queue_leave(
-                                cycle,
-                                pkt.uid,
-                                node as u32,
-                                pkt.class,
-                                queue_len[q],
-                            );
-                        }
-                        false
-                    } else {
-                        true
-                    }
-                });
-            }
-            // Internal stutters (e.g. the shuffle-exchange's degenerate
-            // one-node cycles): advance state without crossing a link,
-            // costing one cycle. A stutter whose target class differs
-            // from the current residence physically migrates the packet,
-            // subject to the target queue's capacity — a full target
-            // blocks the stutter this cycle exactly like a full output
-            // buffer blocks a link move.
-            for i in 0..self.stutters.len() {
-                let p = self.stutters[i];
-                let pkt = &self.packets[p as usize];
-                if pkt.moved_at == self.cycle {
-                    continue;
-                }
-                let opt = pkt
-                    .options
-                    .iter()
-                    .find(|o| o.buf == NONE)
-                    .expect("stutter option");
-                let (next, to_class) = (opt.next.clone(), opt.to_class);
-                let from_class = pkt.class;
-                if to_class != from_class
-                    && self.queue_len[node * self.num_classes + usize::from(to_class)] as usize
-                        >= self.cfg.queue_capacity
-                {
-                    continue;
-                }
-                let pkt = &mut self.packets[p as usize];
-                pkt.msg = next;
-                pkt.moved_at = self.cycle;
-                pkt.enqueued_at = self.cycle;
-                let uid = pkt.uid;
-                if Rec::ENABLED {
-                    self.rec
-                        .on_stutter(self.cycle, uid, node as u32, from_class, to_class);
-                }
-                if to_class != from_class {
-                    self.packets[p as usize].class = to_class;
-                    let qf = node * self.num_classes + usize::from(from_class);
-                    let qt = node * self.num_classes + usize::from(to_class);
-                    self.queue_len[qf] -= 1;
-                    self.queue_len[qt] += 1;
+            let pkt = &mut self.packets[p as usize];
+            let opt = pkt
+                .options
+                .iter()
+                .find(|o| o.buf as usize == buf)
+                .expect("wanting list entry has the option");
+            pkt.msg = opt.next.clone();
+            pkt.next_class = opt.to_class;
+            pkt.moved_at = self.cycle;
+            pkt.staged = true;
+            staged_any = true;
+            self.outbuf[buf] = p;
+            self.chan_pending[self.buf_chan[buf] as usize] += 1;
+        }
+        // Remove staged packets from the node's FIFO (order preserved).
+        if staged_any {
+            let packets = &mut self.packets;
+            let queue_len = &mut self.queue_len;
+            let num_classes = self.num_classes;
+            let rec = &mut self.rec;
+            let cycle = self.cycle;
+            self.node_fifo[node].retain(|&p| {
+                let pkt = &mut packets[p as usize];
+                if pkt.staged {
+                    pkt.staged = false;
+                    let q = node * num_classes + usize::from(pkt.class);
+                    queue_len[q] -= 1;
                     if Rec::ENABLED {
-                        self.rec.on_queue_leave(
-                            self.cycle,
-                            uid,
-                            node as u32,
-                            from_class,
-                            self.queue_len[qf],
-                        );
-                        self.rec.on_queue_enter(
-                            self.cycle,
-                            uid,
-                            node as u32,
-                            to_class,
-                            self.queue_len[qt],
-                        );
+                        rec.on_queue_leave(cycle, pkt.uid, node as u32, pkt.class, queue_len[q]);
                     }
+                    false
+                } else {
+                    true
                 }
-                // Re-enqueued now: move to the back of the arrival order.
-                let fifo = &mut self.node_fifo[node];
-                let pos = fifo
-                    .iter()
-                    .position(|&x| x == p)
-                    .expect("stuttering packet is queued at its node");
-                fifo.remove(pos);
-                fifo.push(p);
-                self.compute_options(p, node, to_class);
+            });
+        }
+        // Internal stutters (e.g. the shuffle-exchange's degenerate
+        // one-node cycles): advance state without crossing a link,
+        // costing one cycle. A stutter whose target class differs
+        // from the current residence physically migrates the packet,
+        // subject to the target queue's capacity — a full target
+        // blocks the stutter this cycle exactly like a full output
+        // buffer blocks a link move.
+        for i in 0..self.stutters.len() {
+            let p = self.stutters[i];
+            let pkt = &self.packets[p as usize];
+            if pkt.moved_at == self.cycle {
+                continue;
             }
+            let opt = pkt
+                .options
+                .iter()
+                .find(|o| o.buf == NONE)
+                .expect("stutter option");
+            let (next, to_class) = (opt.next.clone(), opt.to_class);
+            let from_class = pkt.class;
+            if to_class != from_class
+                && self.queue_len[node * self.num_classes + usize::from(to_class)] as usize
+                    >= self.cfg.queue_capacity
+            {
+                continue;
+            }
+            let pkt = &mut self.packets[p as usize];
+            pkt.msg = next;
+            pkt.moved_at = self.cycle;
+            pkt.enqueued_at = self.cycle;
+            let uid = pkt.uid;
+            if Rec::ENABLED {
+                self.rec
+                    .on_stutter(self.cycle, uid, node as u32, from_class, to_class);
+            }
+            if to_class != from_class {
+                self.packets[p as usize].class = to_class;
+                let qf = node * self.num_classes + usize::from(from_class);
+                let qt = node * self.num_classes + usize::from(to_class);
+                self.queue_len[qf] -= 1;
+                self.queue_len[qt] += 1;
+                if Rec::ENABLED {
+                    self.rec.on_queue_leave(
+                        self.cycle,
+                        uid,
+                        node as u32,
+                        from_class,
+                        self.queue_len[qf],
+                    );
+                    self.rec.on_queue_enter(
+                        self.cycle,
+                        uid,
+                        node as u32,
+                        to_class,
+                        self.queue_len[qt],
+                    );
+                }
+            }
+            // Re-enqueued now: move to the back of the arrival order.
+            let fifo = &mut self.node_fifo[node];
+            let pos = fifo
+                .iter()
+                .position(|&x| x == p)
+                .expect("stuttering packet is queued at its node");
+            fifo.remove(pos);
+            fifo.push(p);
+            self.compute_options(p, node, to_class);
         }
     }
 
@@ -644,38 +751,46 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// only into an empty input buffer on the far side.
     fn link_phase(&mut self) {
         for chan in 0..self.layout.num_channels() {
-            if self.chan_pending[chan] == 0 {
-                continue;
-            }
-            let start = self.layout.chan_buf_start[chan] as usize;
-            let len = self.layout.chan_buf_len[chan] as usize;
-            let rr = self.chan_rr[chan] as usize;
-            for i in 0..len {
-                let b = start + (rr + i) % len;
-                if self.outbuf[b] != NONE && self.inbuf[b] == NONE {
-                    let p = self.outbuf[b];
-                    self.inbuf[b] = p;
-                    let pkt = &mut self.packets[p as usize];
-                    pkt.hops += 1;
-                    if Rec::ENABLED {
-                        self.rec.on_link(
-                            self.cycle,
-                            pkt.uid,
-                            self.layout.chan_from[chan],
-                            self.layout.chan_to[chan],
-                            matches!(self.layout.buf_class[b], BufferClass::Dynamic),
-                            pkt.class,
-                            pkt.next_class,
-                        );
-                    }
-                    self.outbuf[b] = NONE;
-                    self.chan_pending[chan] -= 1;
-                    self.in_occupied[self.layout.chan_to[chan] as usize] += 1;
-                    self.chan_rr[chan] = ((rr + i + 1) % len) as u8;
-                    break;
+            self.link_chan(chan);
+        }
+    }
+
+    /// Link pass for one channel whose endpoints are both local; returns
+    /// whether a packet crossed (a shard's per-cycle link count feeds the
+    /// replicated watchdog state in sharded runs).
+    pub(crate) fn link_chan(&mut self, chan: usize) -> bool {
+        if self.chan_pending[chan] == 0 {
+            return false;
+        }
+        let start = self.layout.chan_buf_start[chan] as usize;
+        let len = self.layout.chan_buf_len[chan] as usize;
+        let rr = self.chan_rr[chan] as usize;
+        for i in 0..len {
+            let b = start + (rr + i) % len;
+            if self.outbuf[b] != NONE && self.inbuf[b] == NONE {
+                let p = self.outbuf[b];
+                self.inbuf[b] = p;
+                let pkt = &mut self.packets[p as usize];
+                pkt.hops += 1;
+                if Rec::ENABLED {
+                    self.rec.on_link(
+                        self.cycle,
+                        pkt.uid,
+                        self.layout.chan_from[chan],
+                        self.layout.chan_to[chan],
+                        matches!(self.layout.buf_class[b], BufferClass::Dynamic),
+                        pkt.class,
+                        pkt.next_class,
+                    );
                 }
+                self.outbuf[b] = NONE;
+                self.chan_pending[chan] -= 1;
+                self.in_occupied[self.layout.chan_to[chan] as usize] += 1;
+                self.chan_rr[chan] = ((rr + i + 1) % len) as u8;
+                return true;
             }
         }
+        false
     }
 
     /// Node cycle, part 2 (§ 7.1): "the node reads its input buffers and
@@ -683,29 +798,36 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// queues, if there is place to do so … in a fair way."
     fn read_phase(&mut self) {
         for node in 0..self.layout.num_nodes {
-            if self.in_occupied[node] == 0 && self.inj_buf[node] == NONE {
-                continue;
-            }
-            let n_in = self.layout.node_in_bufs[node].len();
-            let slots = n_in + 1; // input buffers plus the injection buffer
-            let start = (self.cycle as usize) % slots;
-            for i in 0..slots {
-                let slot = (start + i) % slots;
-                if slot < n_in {
-                    let b = self.layout.node_in_bufs[node][slot] as usize;
-                    let p = self.inbuf[b];
-                    if p == NONE {
-                        continue;
-                    }
-                    if self.accept_arrival(node, p) {
-                        self.inbuf[b] = NONE;
-                        self.in_occupied[node] -= 1;
-                    }
-                } else if self.inj_buf[node] != NONE {
-                    let p = self.inj_buf[node];
-                    if self.accept_injection(node, p) {
-                        self.inj_buf[node] = NONE;
-                    }
+            self.read_node(node);
+        }
+    }
+
+    /// Read pass for a single node (shard-local: a node's input buffers
+    /// are filled by the link pass of the shard that *owns the node*, so
+    /// no cross-shard state is touched here).
+    pub(crate) fn read_node(&mut self, node: usize) {
+        if self.in_occupied[node] == 0 && self.inj_buf[node] == NONE {
+            return;
+        }
+        let n_in = self.layout.node_in_bufs[node].len();
+        let slots = n_in + 1; // input buffers plus the injection buffer
+        let start = (self.cycle as usize) % slots;
+        for i in 0..slots {
+            let slot = (start + i) % slots;
+            if slot < n_in {
+                let b = self.layout.node_in_bufs[node][slot] as usize;
+                let p = self.inbuf[b];
+                if p == NONE {
+                    continue;
+                }
+                if self.accept_arrival(node, p) {
+                    self.inbuf[b] = NONE;
+                    self.in_occupied[node] -= 1;
+                }
+            } else if self.inj_buf[node] != NONE {
+                let p = self.inj_buf[node];
+                if self.accept_injection(node, p) {
+                    self.inj_buf[node] = NONE;
                 }
             }
         }
@@ -843,5 +965,312 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             });
         debug_assert!(!opts.is_empty(), "queued packet with no moves (dead end)");
         self.packets[p as usize].options = opts;
+    }
+
+    // --- Sharding support (used by `crate::sharded`) -------------------
+    //
+    // A sharded run drives a set of full-size `Simulator`s, each touching
+    // only the node range it owns; the methods below expose exactly the
+    // per-node/per-channel state transitions the shard workers need.
+
+    /// Current routing cycle.
+    pub(crate) fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advance the cycle counter (the sharded driver's analog of the
+    /// increment at the end of [`Simulator::step`]).
+    pub(crate) fn advance_cycle(&mut self) {
+        self.cycle += 1;
+    }
+
+    /// Packets delivered so far.
+    pub(crate) fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Latency statistics accumulated so far.
+    pub(crate) fn latency_stats(&self) -> &LatencyStats {
+        &self.stats
+    }
+
+    /// Whether node `v`'s injection buffer is free.
+    pub(crate) fn inj_free(&self, v: usize) -> bool {
+        self.inj_buf[v] == NONE
+    }
+
+    /// Inject a packet at `src` (the injection buffer must be free).
+    pub(crate) fn inject(&mut self, src: NodeId, dst: NodeId) {
+        debug_assert_eq!(self.inj_buf[src], NONE, "injection buffer occupied");
+        self.inj_buf[src] = self.alloc_packet(src, dst);
+    }
+
+    /// Set the next packet uid (the sharded driver hands each shard its
+    /// slice of the global injection order so uids stay dense and match
+    /// the sequential engine's).
+    pub(crate) fn set_next_uid(&mut self, uid: u64) {
+        self.next_uid = uid;
+    }
+
+    /// Non-empty central queues over `nodes` as `(node, class, occupancy)`
+    /// in (node, class) order — the watchdog stall report's snapshot.
+    pub(crate) fn nonempty_queues(&self, nodes: std::ops::Range<usize>) -> Vec<(u32, u8, u32)> {
+        let mut out = Vec::new();
+        for node in nodes {
+            for class in 0..self.num_classes {
+                let len = self.queue_len[node * self.num_classes + class];
+                if len > 0 {
+                    out.push((node as u32, class as u8, len));
+                }
+            }
+        }
+        out
+    }
+
+    /// The live (undelivered, unfreed) packet with the smallest uid, as
+    /// `(uid, src, dst, inject_cycle)`. In a sharded run the sender-side
+    /// copy of a cross-shard packet stays live until its ack is
+    /// processed, but a duplicate shares its uid, so the minimum is
+    /// unaffected.
+    pub(crate) fn oldest_live(&self) -> Option<(u64, u32, u32, u64)> {
+        let mut dead = vec![false; self.packets.len()];
+        for &f in &self.free {
+            dead[f as usize] = true;
+        }
+        self.packets
+            .iter()
+            .zip(&dead)
+            .filter(|(_, &d)| !d)
+            .map(|(p, _)| (p.uid, p.src, p.dst, p.inject_cycle))
+            .min_by_key(|&(uid, ..)| uid)
+    }
+}
+
+/// A packet in flight across a shard boundary: everything the receiving
+/// shard needs to reconstruct the sender's packet, including the
+/// in-flight trace state when a [`TraceSink`](fadr_metrics::TraceSink)
+/// is attached (the receiver adopts it so the packet's event history
+/// stays contiguous in one sink).
+pub(crate) struct Transfer<M> {
+    src: u32,
+    dst: u32,
+    uid: u64,
+    hops: u16,
+    inject_cycle: u64,
+    enqueued_at: u64,
+    moved_at: u64,
+    class: u8,
+    next_class: u8,
+    msg: M,
+    trace: Option<TraceState>,
+}
+
+/// One cross-shard offer: the packet staged in output buffer `buf` of
+/// channel `chan`. Offers in a mailbox are flat (no per-channel nesting)
+/// and ascending by `(chan, buf)` — senders emit channels in ascending
+/// id order, so receivers can consume with a single cursor per sender.
+pub(crate) struct OfferItem<M> {
+    pub(crate) chan: u32,
+    buf: u32,
+    payload: Option<Transfer<M>>,
+}
+
+impl<R: RoutingFunction, Rec: ShardRecorder> Simulator<R, Rec> {
+    /// Snapshot the packets staged on cross-shard channel `chan` as
+    /// transfer offers, in ascending buffer order. Offers are re-issued
+    /// every cycle until the receiver takes them (mirroring how the
+    /// sequential link pass retries a staged packet whose input buffer
+    /// is full).
+    pub(crate) fn collect_offers(&self, chan: usize, out: &mut Vec<OfferItem<R::Msg>>) {
+        if self.chan_pending[chan] == 0 {
+            return;
+        }
+        let start = self.layout.chan_buf_start[chan] as usize;
+        let len = self.layout.chan_buf_len[chan] as usize;
+        for b in start..start + len {
+            let p = self.outbuf[b];
+            if p == NONE {
+                continue;
+            }
+            let pkt = &self.packets[p as usize];
+            out.push(OfferItem {
+                chan: chan as u32,
+                buf: b as u32,
+                payload: Some(Transfer {
+                    src: pkt.src,
+                    dst: pkt.dst,
+                    uid: pkt.uid,
+                    hops: pkt.hops,
+                    inject_cycle: pkt.inject_cycle,
+                    enqueued_at: pkt.enqueued_at,
+                    moved_at: pkt.moved_at,
+                    class: pkt.class,
+                    next_class: pkt.next_class,
+                    msg: pkt.msg.clone(),
+                    trace: if Rec::ENABLED {
+                        self.rec.snapshot_trace(pkt.uid)
+                    } else {
+                        None
+                    },
+                }),
+            });
+        }
+    }
+
+    /// Link pass for a cross-shard channel, executed by the shard that
+    /// owns the receiving endpoint. `offered` holds the sender's offers
+    /// for this channel; the round-robin scan is identical to
+    /// [`Simulator::link_chan`] with "output buffer occupied" replaced by
+    /// "offer present". Returns the taken buffer (to acknowledge to the
+    /// sender) if a packet crossed.
+    pub(crate) fn take_cross(
+        &mut self,
+        chan: usize,
+        offered: &mut [OfferItem<R::Msg>],
+    ) -> Option<u32> {
+        let start = self.layout.chan_buf_start[chan] as usize;
+        let len = self.layout.chan_buf_len[chan] as usize;
+        let rr = self.chan_rr[chan] as usize;
+        for i in 0..len {
+            let b = start + (rr + i) % len;
+            if self.inbuf[b] != NONE {
+                continue;
+            }
+            let Some(entry) = offered
+                .iter_mut()
+                .find(|o| o.buf as usize == b && o.payload.is_some())
+            else {
+                continue;
+            };
+            let t = entry.payload.take().expect("offer present");
+            self.accept_transfer(chan, b, t);
+            self.chan_rr[chan] = ((rr + i + 1) % len) as u8;
+            return Some(b as u32);
+        }
+        None
+    }
+
+    /// Materialize a transferred packet in this shard's slab and input
+    /// buffer, firing the same link event the sequential engine would.
+    fn accept_transfer(&mut self, chan: usize, buf: usize, t: Transfer<R::Msg>) {
+        if Rec::ENABLED {
+            if let Some(state) = t.trace {
+                self.rec.adopt_trace(t.uid, state);
+            }
+            self.rec.on_link(
+                self.cycle,
+                t.uid,
+                self.layout.chan_from[chan],
+                self.layout.chan_to[chan],
+                matches!(self.layout.buf_class[buf], BufferClass::Dynamic),
+                t.class,
+                t.next_class,
+            );
+        }
+        let pkt = Packet {
+            src: t.src,
+            dst: t.dst,
+            uid: t.uid,
+            hops: t.hops + 1,
+            inject_cycle: t.inject_cycle,
+            enqueued_at: t.enqueued_at,
+            moved_at: t.moved_at,
+            staged: false,
+            msg: t.msg,
+            next_class: t.next_class,
+            class: t.class,
+            options: Vec::new(),
+        };
+        let slot = self.insert_packet(pkt);
+        self.inbuf[buf] = slot;
+        self.in_occupied[self.layout.chan_to[chan] as usize] += 1;
+    }
+
+    /// Process a cross-shard acknowledgement: the receiver took the
+    /// packet staged in output buffer `buf`, so free the sender-side
+    /// copy (and its trace state, which the receiver adopted).
+    pub(crate) fn apply_ack(&mut self, buf: usize) {
+        let slot = self.outbuf[buf];
+        debug_assert_ne!(slot, NONE, "ack for an empty output buffer");
+        if Rec::ENABLED {
+            self.rec.discard_trace(self.packets[slot as usize].uid);
+        }
+        self.outbuf[buf] = NONE;
+        self.chan_pending[self.buf_chan[buf] as usize] -= 1;
+        self.free.push(slot);
+    }
+}
+
+/// Start position for [`FillOrder::Rotating`] at `node` on `cycle`.
+///
+/// The rotation advances by one buffer per cycle (every buffer still
+/// leads exactly once per `n_out` cycles at every node), but each node's
+/// phase is offset by a golden-ratio hash of its id: without the offset,
+/// every node in a symmetric network prefers the *same* dimension on the
+/// same cycle — a lockstep pattern, not the per-node fairness the fill
+/// order advertises.
+pub(crate) fn rotating_start(cycle: u64, node: usize, n_out: usize) -> usize {
+    if n_out == 0 {
+        return 0;
+    }
+    let salt = (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+    (cycle.wrapping_add(salt) % n_out as u64) as usize
+}
+
+/// Deterministic per-node RNG stream for dynamic injection: node `v`'s
+/// Bernoulli trials and destination draws come from its own generator,
+/// so the offered workload is independent of the order nodes are visited
+/// in — the property that lets a sharded run reproduce the sequential
+/// injection sequence exactly.
+pub(crate) fn node_rng(seed: u64, v: usize) -> StdRng {
+    // Golden-ratio multiply decorrelates consecutive node ids before
+    // `seed_from_u64`'s SplitMix64 scrambling.
+    StdRng::seed_from_u64(seed ^ (v as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotating_start_covers_every_position_at_each_node() {
+        // Over n_out consecutive cycles each node leads with each buffer
+        // exactly once (the rotation is a full cycle, just phase-shifted).
+        for node in [0usize, 1, 7, 1000] {
+            let mut seen = [false; 5];
+            for cycle in 100..105u64 {
+                seen[rotating_start(cycle, node, 5)] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "node {node} missed a position");
+        }
+    }
+
+    #[test]
+    fn rotating_start_is_not_lockstep_across_nodes() {
+        // On any single cycle, different nodes lead with different
+        // buffers; the pre-fix implementation had every node start at
+        // `cycle % n_out` simultaneously.
+        let starts: Vec<usize> = (0..16).map(|node| rotating_start(42, node, 4)).collect();
+        let distinct = starts
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(
+            distinct > 1,
+            "all 16 nodes rotated in lockstep: starts {starts:?}"
+        );
+    }
+
+    #[test]
+    fn node_rng_streams_are_distinct() {
+        let mut a = node_rng(7, 0);
+        let mut b = node_rng(7, 1);
+        let va: Vec<u64> = (0..4).map(|_| a.gen_range(0..1u64 << 60)).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.gen_range(0..1u64 << 60)).collect();
+        assert_ne!(va, vb);
+        // Same (seed, node) reproduces the stream.
+        let mut a2 = node_rng(7, 0);
+        let va2: Vec<u64> = (0..4).map(|_| a2.gen_range(0..1u64 << 60)).collect();
+        assert_eq!(va, va2);
     }
 }

@@ -53,12 +53,15 @@
 mod engine;
 mod layout;
 pub mod node_design;
+mod sharded;
 
-pub use engine::{DynamicResult, OccupancyProbe, Simulator, StaticResult};
+pub use engine::{DynamicResult, OccupancyProbe, Simulator, StaticResult, StopReason};
 pub use fadr_metrics::{
-    Control, CounterSink, NoRecorder, Recorder, SinkSet, StallReport, TraceSink, WatchdogSink,
+    Control, CounterSink, NoRecorder, Recorder, ShardRecorder, SinkSet, StallReport, TraceSink,
+    TraceState, WatchdogSink,
 };
 pub use layout::Layout;
+pub use sharded::ShardedSimulator;
 
 /// Simulator configuration (§ 7.1 defaults).
 #[derive(Debug, Clone, Copy)]
@@ -111,6 +114,8 @@ pub enum FillOrder {
     LowToHigh,
     /// High dimensions first.
     HighToLow,
-    /// Start position rotates by one each cycle.
+    /// Start position rotates by one each cycle, phase-offset per node
+    /// (a hash of the node id) so the network doesn't prefer one
+    /// dimension in lockstep.
     Rotating,
 }

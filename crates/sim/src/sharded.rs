@@ -1,0 +1,851 @@
+//! Intra-simulation sharding: one simulation, many threads, bit-identical
+//! results.
+//!
+//! [`ShardedSimulator`] partitions the nodes into contiguous ranges over
+//! the layout's node order and runs the fill/link/read cycle of § 7.1
+//! shard-locally, one thread per shard. The only state a cycle moves
+//! between nodes is a packet crossing a directed channel, so the shards
+//! exchange exactly that — **offers** (packets staged on a cross-shard
+//! channel) and **acks** (the receiver took the packet) — through
+//! per-pair mailboxes, with a barrier on each side of the link pass.
+//!
+//! # Why the result is bit-identical to [`Simulator`]
+//!
+//! Every phase of the sequential engine decomposes into per-node or
+//! per-channel transitions that touch disjoint state:
+//!
+//! * **fill** reads and writes only the node's queues and output
+//!   buffers — shard-local by the node partition;
+//! * **link** moves at most one packet per channel from its output
+//!   buffer (sender side) to its input buffer (receiver side); the
+//!   receiving shard executes it, seeing intra-shard channels directly
+//!   and cross-shard ones through the sender's offers. The round-robin
+//!   scan over a channel's class buffers is the same code either way;
+//! * **read** reads only the node's input/injection buffers and queues —
+//!   shard-local again (input buffers of node `v` are filled by the
+//!   link pass of `v`'s own shard).
+//!
+//! Cross-cycle global state is reduced to three replicated scalars
+//! (delivered count, next packet uid, watchdog progress), which every
+//! worker recomputes identically from the per-cycle summaries all
+//! shards publish — no shard waits on another's decision. Packet uids
+//! stay dense and equal to the sequential injection order because each
+//! shard pre-plans its next cycle's injections a phase early and the
+//! workers prefix-sum the planned counts. Dynamic-injection draws come
+//! from per-node RNG streams ([`crate::SimConfig::seed`] ⊕ node id), so
+//! partitioning the node loop across threads cannot reorder anyone's
+//! stream. Statistics merge exactly (integer accumulators), and
+//! recorders merge in fixed shard order via
+//! [`ShardRecorder`](fadr_metrics::ShardRecorder).
+//!
+//! # Watchdog
+//!
+//! A per-shard [`WatchdogSink`](fadr_metrics::WatchdogSink) would see
+//! only its shard's deliveries and misfire, so sharded runs use
+//! [`ShardedSimulator::with_watchdog`]: the same `k`-cycle no-progress
+//! rule evaluated on the replicated global counters, with the
+//! [`StallReport`] synthesized from all shards after the run.
+
+use std::ops::Range;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use fadr_metrics::{Control, LatencyStats, NoRecorder, ShardRecorder, StallReport, TimeSeries};
+use fadr_qdg::RoutingFunction;
+use fadr_topology::NodeId;
+
+use crate::engine::{node_rng, OfferItem, Simulator};
+use crate::layout::Layout;
+use crate::{DynamicResult, OccupancyProbe, SimConfig, StaticResult, StopReason};
+
+/// Locks a mutex, ignoring poisoning: mailbox state is phase-owned (a
+/// panicking sibling is surfaced through the barrier instead).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Held guards on the remote mailbox slots for one phase (`None` at the
+/// worker's own index).
+type HeldBoxes<'a, T> = Vec<Option<MutexGuard<'a, Vec<T>>>>;
+
+/// Node partition and channel ownership, precomputed from the layout.
+struct ShardPlan {
+    /// Contiguous node range per shard.
+    ranges: Vec<Range<usize>>,
+    /// Node → owning shard.
+    node_shard: Vec<u32>,
+    /// Per shard: the channels it executes in the link pass — every
+    /// channel whose *target* node it owns — as `(chan, source_shard)`
+    /// in ascending channel order.
+    exec: Vec<Vec<(u32, u32)>>,
+    /// Per shard: its outgoing cross-shard channels (source owned here,
+    /// target elsewhere), ascending.
+    cross_out: Vec<Vec<u32>>,
+}
+
+impl ShardPlan {
+    fn new(layout: &Layout, shards: usize) -> Self {
+        let n = layout.num_nodes;
+        let ranges: Vec<Range<usize>> = (0..shards)
+            .map(|s| (s * n / shards)..((s + 1) * n / shards))
+            .collect();
+        let mut node_shard = vec![0u32; n];
+        for (s, r) in ranges.iter().enumerate() {
+            for v in r.clone() {
+                node_shard[v] = s as u32;
+            }
+        }
+        let mut exec = vec![Vec::new(); shards];
+        let mut cross_out = vec![Vec::new(); shards];
+        for chan in 0..layout.num_channels() {
+            let sf = node_shard[layout.chan_from[chan] as usize];
+            let st = node_shard[layout.chan_to[chan] as usize];
+            exec[st as usize].push((chan as u32, sf));
+            if sf != st {
+                cross_out[sf as usize].push(chan as u32);
+            }
+        }
+        Self {
+            ranges,
+            node_shard,
+            exec,
+            cross_out,
+        }
+    }
+}
+
+/// What each shard publishes at the end of its link/read phase; every
+/// worker folds all summaries into the same replicated global state.
+#[derive(Clone, Copy, Default)]
+struct CycleSummary {
+    /// Packets this shard delivered this cycle.
+    delivered: u64,
+    /// Link traversals this shard executed this cycle.
+    links: u64,
+    /// Injections this shard will perform next cycle (pre-planned, so
+    /// uid ranges can be prefix-summed before anyone injects).
+    inj_next: u64,
+    /// This shard's recorder voted to stop.
+    stop: bool,
+}
+
+/// Stall evidence captured by the replicated watchdog (identical on
+/// every worker); the full [`StallReport`] is synthesized after join.
+#[derive(Clone, Copy)]
+struct StallInfo {
+    cycle: u64,
+    window: u64,
+    links_in_window: u64,
+    in_flight: u64,
+}
+
+struct WorkerOut {
+    attempts: u64,
+    injected: u64,
+    aborted: bool,
+    stall: Option<StallInfo>,
+}
+
+/// A barrier that propagates panics: a worker that unwinds poisons it
+/// (via [`PoisonGuard`]), waking every sibling into a panic instead of
+/// leaving them blocked forever.
+struct PoisonBarrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct BarrierState {
+    count: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl PoisonBarrier {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            state: Mutex::new(BarrierState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut s = lock(&self.state);
+        assert!(!s.poisoned, "sibling shard worker panicked");
+        let generation = s.generation;
+        s.count += 1;
+        if s.count == self.n {
+            s.count = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return;
+        }
+        while s.generation == generation && !s.poisoned {
+            s = self
+                .cv
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        assert!(!s.poisoned, "sibling shard worker panicked");
+    }
+
+    fn poison(&self) {
+        lock(&self.state).poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+struct PoisonGuard<'a>(&'a PoisonBarrier);
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// Per-pair mailboxes (`[from][to]`) plus the phase barrier. Each slot
+/// has exactly one writer phase and one reader phase per cycle, strictly
+/// ordered by the barrier, so every lock below is uncontended; readers
+/// `clear()` instead of taking the buffer, preserving its capacity
+/// across cycles.
+struct Mailboxes<M> {
+    offers: Vec<Vec<Mutex<Vec<OfferItem<M>>>>>,
+    acks: Vec<Vec<Mutex<Vec<u32>>>>,
+    summaries: Vec<Mutex<CycleSummary>>,
+    barrier: PoisonBarrier,
+}
+
+impl<M> Mailboxes<M> {
+    fn new(shards: usize) -> Self {
+        let grid = |_| {
+            (0..shards)
+                .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
+                .collect()
+        };
+        Self {
+            offers: grid(0),
+            acks: (0..shards)
+                .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+            summaries: (0..shards).map(|_| Mutex::default()).collect(),
+            barrier: PoisonBarrier::new(shards),
+        }
+    }
+}
+
+/// How a run decides it is finished (the sequential engine's loop
+/// condition, evaluated on replicated global state).
+#[derive(Clone, Copy)]
+enum Horizon {
+    /// Static run: until all `total` packets are delivered (or the
+    /// `max_cycles` cap).
+    Drain { total: u64 },
+    /// Dynamic run: a fixed number of cycles.
+    Cycles(u64),
+}
+
+/// The per-shard worker: runs the full simulation loop on its node
+/// range, synchronizing with siblings twice per cycle. Control flow
+/// mirrors `Simulator::run_static`/`run_dynamic` exactly — same loop
+/// conditions, evaluated on identically-replicated state.
+#[allow(clippy::too_many_arguments)]
+fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
+    sim: &mut Simulator<R, Rec>,
+    sid: usize,
+    plan: &ShardPlan,
+    layout: &Layout,
+    mb: &Mailboxes<R::Msg>,
+    horizon: Horizon,
+    watchdog: Option<u64>,
+    max_cycles: u64,
+    track_occupancy: bool,
+    mut planner: impl FnMut(&Simulator<R, Rec>, &mut Vec<(u32, u32)>) -> u64,
+) -> WorkerOut {
+    let _guard = PoisonGuard(&mb.barrier);
+    let shards = plan.ranges.len();
+    let range = plan.ranges[sid].clone();
+    let mut pending: Vec<(u32, u32)> = Vec::new();
+
+    // Plan cycle 0's injections and agree on uid bases before starting.
+    let mut att_next = planner(sim, &mut pending);
+    lock(&mb.summaries[sid]).inj_next = pending.len() as u64;
+    mb.barrier.wait();
+    let counts: Vec<u64> = mb.summaries.iter().map(|m| lock(m).inj_next).collect();
+    let mut uid_base: u64 = counts[..sid].iter().sum();
+    // Replicated global state (every worker computes the same values).
+    let mut next_uid_global: u64 = counts.iter().sum();
+    let mut delivered_global: u64 = 0;
+    let mut last_delivery: u64 = 0;
+    let mut links_since_delivery: u64 = 0;
+
+    let mut attempts = 0u64;
+    let mut injected = 0u64;
+    let mut prev_delivered = 0u64;
+    let mut iter = 0u64;
+    let mut aborted = false;
+    let mut stall: Option<StallInfo> = None;
+
+    loop {
+        match horizon {
+            Horizon::Drain { total } => {
+                if delivered_global >= total || sim.cycle() >= max_cycles {
+                    break;
+                }
+            }
+            Horizon::Cycles(n) => {
+                if iter >= n {
+                    break;
+                }
+            }
+        }
+
+        // --- Phase 1: acks, inject, fill, publish offers -------------
+        for f in 0..shards {
+            if f == sid {
+                continue;
+            }
+            let mut inbox = lock(&mb.acks[f][sid]);
+            for &buf in inbox.iter() {
+                sim.apply_ack(buf as usize);
+            }
+            inbox.clear();
+        }
+        sim.set_next_uid(uid_base);
+        attempts += att_next;
+        injected += pending.len() as u64;
+        for &(v, dst) in &pending {
+            sim.inject(v as usize, dst as usize);
+        }
+        pending.clear();
+        for v in range.clone() {
+            sim.fill_node(v);
+        }
+        {
+            let mut outboxes: HeldBoxes<'_, OfferItem<R::Msg>> = (0..shards)
+                .map(|t| (t != sid).then(|| lock(&mb.offers[sid][t])))
+                .collect();
+            for &chan in &plan.cross_out[sid] {
+                let t = plan.node_shard[layout.chan_to[chan as usize] as usize] as usize;
+                sim.collect_offers(
+                    chan as usize,
+                    outboxes[t].as_mut().expect("cross target is remote"),
+                );
+            }
+        }
+        mb.barrier.wait();
+
+        // --- Phase 2: link (intra + cross), read, publish summary ----
+        let mut links_cycle = 0u64;
+        {
+            let mut inboxes: HeldBoxes<'_, OfferItem<R::Msg>> = (0..shards)
+                .map(|f| (f != sid).then(|| lock(&mb.offers[f][sid])))
+                .collect();
+            let mut ack_out: HeldBoxes<'_, u32> = (0..shards)
+                .map(|f| (f != sid).then(|| lock(&mb.acks[sid][f])))
+                .collect();
+            let mut cursor = vec![0usize; shards];
+            for &(chan, sf) in &plan.exec[sid] {
+                if sf as usize == sid {
+                    if sim.link_chan(chan as usize) {
+                        links_cycle += 1;
+                    }
+                    continue;
+                }
+                let f = sf as usize;
+                let items = inboxes[f].as_mut().expect("cross source is remote");
+                // Offers arrive in ascending channel order, as does the
+                // exec list: a single cursor pairs them up.
+                let start = cursor[f];
+                if start >= items.len() || items[start].chan != chan {
+                    continue;
+                }
+                let mut end = start + 1;
+                while end < items.len() && items[end].chan == chan {
+                    end += 1;
+                }
+                cursor[f] = end;
+                if let Some(buf) = sim.take_cross(chan as usize, &mut items[start..end]) {
+                    links_cycle += 1;
+                    ack_out[f].as_mut().expect("ack target is remote").push(buf);
+                }
+            }
+            for inbox in inboxes.iter_mut().flatten() {
+                inbox.clear();
+            }
+        }
+        for v in range.clone() {
+            sim.read_node(v);
+        }
+        if track_occupancy {
+            sim.sample_occupancy(range.clone());
+        }
+        let delivered_cycle = sim.delivered_count() - prev_delivered;
+        prev_delivered = sim.delivered_count();
+        let ctl = sim.end_cycle();
+        att_next = planner(sim, &mut pending);
+        *lock(&mb.summaries[sid]) = CycleSummary {
+            delivered: delivered_cycle,
+            links: links_cycle,
+            inj_next: pending.len() as u64,
+            stop: ctl == Control::Stop,
+        };
+        mb.barrier.wait();
+
+        // --- Phase 3: fold summaries into replicated global state ----
+        let sums: Vec<CycleSummary> = mb.summaries.iter().map(|m| *lock(m)).collect();
+        let d: u64 = sums.iter().map(|s| s.delivered).sum();
+        delivered_global += d;
+        let cycle = sim.cycle();
+        if d > 0 {
+            last_delivery = cycle;
+            links_since_delivery = 0;
+        } else {
+            links_since_delivery += sums.iter().map(|s| s.links).sum::<u64>();
+        }
+        if let Some(k) = watchdog {
+            // Same rule as `WatchdogSink::on_cycle_end`: all link
+            // traversals of a cycle precede its deliveries, so the
+            // per-cycle folding above is exact.
+            let in_flight = next_uid_global - delivered_global;
+            if stall.is_none() && in_flight > 0 && cycle - last_delivery >= k {
+                stall = Some(StallInfo {
+                    cycle,
+                    window: cycle - last_delivery,
+                    links_in_window: links_since_delivery,
+                    in_flight,
+                });
+                aborted = true;
+            }
+        }
+        if sums.iter().any(|s| s.stop) {
+            aborted = true;
+        }
+        uid_base = next_uid_global + sums[..sid].iter().map(|s| s.inj_next).sum::<u64>();
+        next_uid_global += sums.iter().map(|s| s.inj_next).sum::<u64>();
+        sim.advance_cycle();
+        iter += 1;
+        if aborted {
+            break;
+        }
+    }
+
+    // Final cycle's acks were published before the last barrier but
+    // never drained (the loop exited first); apply them so sender-side
+    // slabs and trace state match the sequential engine's.
+    for f in 0..shards {
+        if f == sid {
+            continue;
+        }
+        let mut inbox = lock(&mb.acks[f][sid]);
+        for &buf in inbox.iter() {
+            sim.apply_ack(buf as usize);
+        }
+        inbox.clear();
+    }
+
+    WorkerOut {
+        attempts,
+        injected,
+        aborted,
+        stall,
+    }
+}
+
+/// A sharded drop-in for [`Simulator`]: same experiments, same results,
+/// one thread per shard. See the module docs for the equivalence
+/// argument; the shard-equivalence test suite asserts bit-identity of
+/// statistics, traces, occupancy, and throughput against the sequential
+/// engine for every routing family in the table set.
+///
+/// ```
+/// use fadr_core::HypercubeFullyAdaptive;
+/// use fadr_sim::{ShardedSimulator, SimConfig, Simulator};
+///
+/// let cfg = SimConfig::default();
+/// let backlog: Vec<Vec<usize>> = (0..16).map(|v| vec![v ^ 0xF]).collect();
+/// let seq = Simulator::new(HypercubeFullyAdaptive::new(4), cfg).run_static(&backlog);
+/// let shr = ShardedSimulator::new(HypercubeFullyAdaptive::new(4), cfg, 3).run_static(&backlog);
+/// assert_eq!(seq.stats, shr.stats);
+/// assert_eq!(seq.cycles, shr.cycles);
+/// ```
+pub struct ShardedSimulator<R: RoutingFunction, Rec: ShardRecorder = NoRecorder> {
+    cfg: SimConfig,
+    layout: Arc<Layout>,
+    plan: ShardPlan,
+    shards: Vec<Simulator<R, Rec>>,
+    watchdog: Option<u64>,
+    stall: Option<StallReport>,
+}
+
+impl<R: RoutingFunction + Clone> ShardedSimulator<R> {
+    /// Build a sharded simulator with `shards` worker shards (clamped to
+    /// `1..=num_nodes`) and no recorder.
+    pub fn new(rf: R, cfg: SimConfig, shards: usize) -> Self {
+        Self::with_recorders(rf, cfg, shards, |_| NoRecorder)
+    }
+}
+
+impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
+    /// Build a sharded simulator with one recorder per shard (`mk` is
+    /// called with each shard index). Recorders must be shardable —
+    /// see [`ShardRecorder::shardable`]; notably a
+    /// [`fadr_metrics::SinkSet`] carrying a watchdog is not (use
+    /// [`ShardedSimulator::with_watchdog`] instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mk` yields a non-shardable recorder.
+    pub fn with_recorders(
+        rf: R,
+        cfg: SimConfig,
+        shards: usize,
+        mut mk: impl FnMut(usize) -> Rec,
+    ) -> Self {
+        let layout = Arc::new(Layout::new(&rf));
+        let shards = shards.clamp(1, layout.num_nodes.max(1));
+        let plan = ShardPlan::new(&layout, shards);
+        let shards: Vec<Simulator<R, Rec>> = (0..shards)
+            .map(|s| {
+                let rec = mk(s);
+                assert!(
+                    rec.shardable(),
+                    "recorder for shard {s} is not shardable (per-shard watchdogs \
+                     would misfire; use ShardedSimulator::with_watchdog)"
+                );
+                Simulator::with_shared_layout(rf.clone(), cfg, rec, Arc::clone(&layout))
+            })
+            .collect();
+        Self {
+            cfg,
+            layout,
+            plan,
+            shards,
+            watchdog: None,
+            stall: None,
+        }
+    }
+
+    /// Abort runs after `k` consecutive cycles without a delivery while
+    /// packets are in flight — the engine-level equivalent of attaching
+    /// a [`fadr_metrics::WatchdogSink`], evaluated on global (all-shard)
+    /// progress. The resulting [`StallReport`] is available from
+    /// [`ShardedSimulator::stall_report`] after the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0.
+    #[must_use]
+    pub fn with_watchdog(mut self, k: u64) -> Self {
+        assert!(k >= 1, "watchdog window must be at least 1 cycle");
+        self.watchdog = Some(k);
+        self
+    }
+
+    /// Number of shards (threads) the simulation runs on.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.layout.num_nodes
+    }
+
+    /// Sharded equivalent of [`Simulator::run_static`]: node `v` injects
+    /// the packets of `backlog[v]` (in order) as fast as its injection
+    /// buffer frees up, until the network drains.
+    pub fn run_static(&mut self, backlog: &[Vec<NodeId>]) -> StaticResult
+    where
+        R: Send,
+        R::Msg: Send,
+        Rec: Send,
+    {
+        assert_eq!(backlog.len(), self.num_nodes());
+        let total: u64 = backlog.iter().map(|b| b.len() as u64).sum();
+        let outs = self.run_shards(Horizon::Drain { total }, |sid, plan| {
+            let range = plan.ranges[sid].clone();
+            let mut next_idx = vec![0usize; range.len()];
+            move |sim: &Simulator<R, Rec>, pending: &mut Vec<(u32, u32)>| {
+                for v in range.clone() {
+                    let i = v - range.start;
+                    if next_idx[i] < backlog[v].len() && sim.inj_free(v) {
+                        pending.push((v as u32, backlog[v][next_idx[i]] as u32));
+                        next_idx[i] += 1;
+                    }
+                }
+                0
+            }
+        });
+        let delivered = self.delivered();
+        let drained = delivered == total;
+        let stop = if drained {
+            StopReason::Drained
+        } else if outs.iter().any(|o| o.aborted) {
+            StopReason::Aborted
+        } else {
+            StopReason::MaxCycles
+        };
+        self.stall = outs[0].stall.map(|info| self.build_stall_report(info));
+        StaticResult {
+            stats: self.merged_stats(),
+            cycles: self.shards[0].cycle(),
+            delivered,
+            total,
+            drained,
+            stop,
+        }
+    }
+
+    /// Sharded equivalent of [`Simulator::run_dynamic`]: each node
+    /// attempts an injection each cycle with probability `lambda`,
+    /// drawing destinations from `dest` with its per-node RNG stream.
+    /// `dest` is shared across shard threads, hence `Fn + Sync` rather
+    /// than the sequential engine's `FnMut`.
+    pub fn run_dynamic(
+        &mut self,
+        lambda: f64,
+        dest: impl Fn(NodeId, &mut StdRng) -> NodeId + Sync,
+        cycles: u64,
+    ) -> DynamicResult
+    where
+        R: Send,
+        R::Msg: Send,
+        Rec: Send,
+    {
+        assert!((0.0..=1.0).contains(&lambda));
+        let seed = self.cfg.seed;
+        let dest = &dest;
+        let outs = self.run_shards(Horizon::Cycles(cycles), |sid, plan| {
+            let range = plan.ranges[sid].clone();
+            let mut rngs: Vec<StdRng> = range.clone().map(|v| node_rng(seed, v)).collect();
+            move |sim: &Simulator<R, Rec>, pending: &mut Vec<(u32, u32)>| {
+                let mut att = 0u64;
+                for v in range.clone() {
+                    let rng = &mut rngs[v - range.start];
+                    if lambda < 1.0 && !rng.gen_bool(lambda) {
+                        continue;
+                    }
+                    att += 1;
+                    let dst = dest(v, rng);
+                    if sim.inj_free(v) {
+                        pending.push((v as u32, dst as u32));
+                    }
+                }
+                att
+            }
+        });
+        self.stall = outs[0].stall.map(|info| self.build_stall_report(info));
+        let stop = if outs.iter().any(|o| o.aborted) {
+            StopReason::Aborted
+        } else {
+            StopReason::HorizonReached
+        };
+        DynamicResult {
+            stats: self.merged_stats(),
+            attempts: outs.iter().map(|o| o.attempts).sum(),
+            injected: outs.iter().map(|o| o.injected).sum(),
+            delivered: self.delivered(),
+            cycles: self.shards[0].cycle(),
+            stop,
+        }
+    }
+
+    /// Spawn one worker per shard and run the common cycle loop;
+    /// `mk_planner` builds each shard's injection planner.
+    fn run_shards<'a, P>(
+        &mut self,
+        horizon: Horizon,
+        mk_planner: impl Fn(usize, &ShardPlan) -> P + Sync,
+        // The planner borrows per-worker state created inside the scope.
+    ) -> Vec<WorkerOut>
+    where
+        R: Send,
+        R::Msg: Send,
+        Rec: Send,
+        P: FnMut(&Simulator<R, Rec>, &mut Vec<(u32, u32)>) -> u64 + 'a,
+    {
+        for sim in &mut self.shards {
+            sim.reset();
+        }
+        self.stall = None;
+        let mb: Mailboxes<R::Msg> = Mailboxes::new(self.shards.len());
+        let plan = &self.plan;
+        let layout = &self.layout;
+        let (watchdog, max_cycles, track) =
+            (self.watchdog, self.cfg.max_cycles, self.cfg.track_occupancy);
+        let mk_planner = &mk_planner;
+        let mb_ref = &mb;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(sid, sim)| {
+                    scope.spawn(move || {
+                        let planner = mk_planner(sid, plan);
+                        run_worker(
+                            sim, sid, plan, layout, mb_ref, horizon, watchdog, max_cycles, track,
+                            planner,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+    }
+
+    fn delivered(&self) -> u64 {
+        self.shards.iter().map(Simulator::delivered_count).sum()
+    }
+
+    fn merged_stats(&self) -> LatencyStats {
+        let mut stats = self.shards[0].latency_stats().clone();
+        for sim in &self.shards[1..] {
+            stats.merge(sim.latency_stats());
+        }
+        stats
+    }
+
+    fn build_stall_report(&self, info: StallInfo) -> StallReport {
+        let mut queues = Vec::new();
+        for (sid, sim) in self.shards.iter().enumerate() {
+            queues.extend(sim.nonempty_queues(self.plan.ranges[sid].clone()));
+        }
+        let oldest = self
+            .shards
+            .iter()
+            .filter_map(Simulator::oldest_live)
+            .min_by_key(|&(uid, ..)| uid);
+        StallReport {
+            cycle: info.cycle,
+            in_flight: info.in_flight,
+            window: info.window,
+            links_in_window: info.links_in_window,
+            oldest,
+            queues,
+        }
+    }
+
+    /// The stall report of the last run, if the engine-level watchdog
+    /// ([`ShardedSimulator::with_watchdog`]) aborted it.
+    pub fn stall_report(&self) -> Option<&StallReport> {
+        self.stall.as_ref()
+    }
+
+    /// Merged occupancy statistics of the last run (empty unless
+    /// [`crate::SimConfig::track_occupancy`] was set). Each queue is
+    /// sampled by exactly one shard, so the merge is exact.
+    pub fn occupancy(&self) -> OccupancyProbe {
+        let mut probe = self.shards[0].occupancy().clone();
+        for sim in &self.shards[1..] {
+            probe.merge_shard(sim.occupancy());
+        }
+        probe
+    }
+
+    /// Total minimality violations across shards (only counted when
+    /// [`crate::SimConfig::check_minimality`] is set).
+    pub fn minimality_violations(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(Simulator::minimality_violations)
+            .sum()
+    }
+
+    /// Merged delivered-packets time series of the last run, if
+    /// [`crate::SimConfig::throughput_window`] was non-zero. Per-shard
+    /// windows hold integer delivery counts, so the merge is exact.
+    pub fn throughput(&self) -> Option<TimeSeries> {
+        let mut merged: Option<TimeSeries> = None;
+        for sim in &self.shards {
+            if let Some(ts) = sim.throughput() {
+                match &mut merged {
+                    Some(m) => m.merge(ts),
+                    None => merged = Some(ts.clone()),
+                }
+            }
+        }
+        merged
+    }
+
+    /// Consume the simulator and merge the per-shard recorders in fixed
+    /// shard order (ascending node ranges), yielding deterministic
+    /// merged sinks — equal to the sequential engine's single recorder
+    /// for order-insensitive sinks (counters) and for sorted trace
+    /// output.
+    pub fn into_recorder(self) -> Rec {
+        let mut sims = self.shards.into_iter();
+        let mut rec = sims.next().expect("at least one shard").into_recorder();
+        for sim in sims {
+            rec.merge_shard(&sim.into_recorder());
+        }
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fadr_core::HypercubeFullyAdaptive;
+
+    #[test]
+    fn plan_partitions_nodes_and_channels() {
+        let rf = HypercubeFullyAdaptive::new(3);
+        let layout = Layout::new(&rf);
+        let plan = ShardPlan::new(&layout, 3);
+        // Ranges tile 0..8 contiguously.
+        assert_eq!(plan.ranges[0], 0..2);
+        assert_eq!(plan.ranges[1], 2..5);
+        assert_eq!(plan.ranges[2], 5..8);
+        // Every channel is executed by exactly one shard (its target's).
+        let execs: usize = plan.exec.iter().map(Vec::len).sum();
+        assert_eq!(execs, layout.num_channels());
+        // Cross lists agree with the exec lists' remote entries.
+        let cross: usize = plan.cross_out.iter().map(Vec::len).sum();
+        let remote: usize = plan
+            .exec
+            .iter()
+            .enumerate()
+            .map(|(s, v)| v.iter().filter(|&&(_, sf)| sf as usize != s).count())
+            .sum();
+        assert_eq!(cross, remote);
+        // Exec and cross lists are ascending (the mailbox cursor relies
+        // on it).
+        for v in &plan.exec {
+            assert!(v.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+        for c in &plan.cross_out {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        let sim = ShardedSimulator::new(HypercubeFullyAdaptive::new(2), SimConfig::default(), 64);
+        assert_eq!(sim.num_shards(), 4); // clamped to num_nodes
+        let sim = ShardedSimulator::new(HypercubeFullyAdaptive::new(2), SimConfig::default(), 0);
+        assert_eq!(sim.num_shards(), 1);
+    }
+
+    #[test]
+    fn poison_barrier_wakes_waiters_on_panic() {
+        let barrier = Arc::new(PoisonBarrier::new(2));
+        let b = Arc::clone(&barrier);
+        let waiter = std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.wait()));
+            result.is_err()
+        });
+        // Simulate a sibling panicking before reaching the barrier.
+        barrier.poison();
+        assert!(waiter.join().expect("waiter thread itself must not die"));
+    }
+}

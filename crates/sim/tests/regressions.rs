@@ -1,0 +1,187 @@
+//! Regression tests for engine-accounting bugs:
+//!
+//! 1. the dynamic-injection RNG stream depended on buffer occupancy
+//!    (destinations were drawn only when the injection buffer was free,
+//!    so the *offered workload* changed with the routing algorithm and
+//!    queue capacity under test);
+//! 2. `StaticResult`/`DynamicResult` could not distinguish a watchdog
+//!    abort from running into the `max_cycles` horizon;
+//! 3. `FillOrder::Rotating` rotated all nodes in lockstep (covered by
+//!    unit tests on `rotating_start` in the engine; the end-to-end
+//!    symmetric-workload check lives here).
+
+use std::cell::RefCell;
+
+use fadr_core::HypercubeFullyAdaptive;
+use fadr_sim::{FillOrder, SimConfig, Simulator, SinkSet, StopReason};
+use fadr_workloads::{static_backlog, Pattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// --- satellite 1: injection draws are occupancy-independent --------------
+
+/// The destination stream offered to the network must be a pure function
+/// of `(seed, λ, cycles)` — identical no matter how congested the
+/// network is. Pre-fix, the destination was drawn only when the
+/// injection buffer happened to be free, so squeezing the queue capacity
+/// (different congestion → different buffer occupancy) changed *which
+/// packets were offered*, not just how they fared.
+#[test]
+fn dynamic_destination_stream_is_occupancy_independent() {
+    let draws = |queue_capacity: usize| -> (Vec<(usize, usize)>, u64, u64) {
+        let cfg = SimConfig {
+            queue_capacity,
+            ..SimConfig::default()
+        };
+        let log = RefCell::new(Vec::new());
+        let mut sim = Simulator::new(HypercubeFullyAdaptive::new(4), cfg);
+        let res = sim.run_dynamic(
+            1.0,
+            |s, rng| {
+                let d = Pattern::Random.draw(s, 16, rng);
+                log.borrow_mut().push((s, d));
+                d
+            },
+            100,
+        );
+        (log.into_inner(), res.attempts, res.injected)
+    };
+    let (seq_5, att_5, inj_5) = draws(5);
+    let (seq_1, att_1, inj_1) = draws(1);
+    // The two runs congest very differently...
+    assert_ne!(
+        inj_5, inj_1,
+        "capacities 5 and 1 should congest differently"
+    );
+    // ...yet attempt for attempt, the offered destinations are identical.
+    assert_eq!(att_5, att_1);
+    assert_eq!(seq_5, seq_1, "offered workload depended on occupancy");
+}
+
+/// Bernoulli sub-unit λ too: each node's trial/draw stream comes from
+/// its own RNG, so the per-node decision sequence cannot shift when
+/// another node's buffer state changes.
+#[test]
+fn bernoulli_stream_is_occupancy_independent() {
+    let draws = |queue_capacity: usize| -> Vec<(usize, usize)> {
+        let cfg = SimConfig {
+            queue_capacity,
+            ..SimConfig::default()
+        };
+        let log = RefCell::new(Vec::new());
+        let mut sim = Simulator::new(HypercubeFullyAdaptive::new(4), cfg);
+        sim.run_dynamic(
+            0.6,
+            |s, rng| {
+                let d = Pattern::Random.draw(s, 16, rng);
+                log.borrow_mut().push((s, d));
+                d
+            },
+            150,
+        );
+        log.into_inner()
+    };
+    assert_eq!(draws(5), draws(2), "offered workload depended on occupancy");
+}
+
+// --- satellite 2: stop reasons are distinguishable -----------------------
+
+/// A clean drain reports `Drained`.
+#[test]
+fn static_drain_reports_drained() {
+    let backlog: Vec<Vec<usize>> = (0..16).map(|v| vec![v ^ 0xF]).collect();
+    let mut sim = Simulator::new(HypercubeFullyAdaptive::new(4), SimConfig::default());
+    let res = sim.run_static(&backlog);
+    assert!(res.drained);
+    assert_eq!(res.stop, StopReason::Drained);
+}
+
+/// Running into the safety horizon reports `MaxCycles` — NOT an abort.
+#[test]
+fn static_horizon_reports_max_cycles() {
+    let cfg = SimConfig {
+        max_cycles: 3,
+        ..SimConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let backlog = static_backlog(&Pattern::Random, 16, 4, &mut rng);
+    let mut sim = Simulator::new(HypercubeFullyAdaptive::new(4), cfg);
+    let res = sim.run_static(&backlog);
+    assert!(!res.drained);
+    assert_eq!(res.stop, StopReason::MaxCycles);
+    assert_eq!(res.cycles, 3);
+}
+
+/// A watchdog abort reports `Aborted` — distinguishable from both the
+/// horizon and a drain even though `drained` is false in both failure
+/// modes. Pre-fix, a watchdogged static run that stalled looked exactly
+/// like one that ran out its cycle budget.
+#[test]
+fn static_watchdog_abort_reports_aborted() {
+    // Capacity 0 wedges the network: packets never leave the injection
+    // buffers, so the watchdog is guaranteed to fire.
+    let cfg = SimConfig {
+        queue_capacity: 0,
+        ..SimConfig::default()
+    };
+    let backlog: Vec<Vec<usize>> = (0..16).map(|v| vec![v ^ 0xF]).collect();
+    let mut sim = Simulator::with_recorder(
+        HypercubeFullyAdaptive::new(4),
+        cfg,
+        SinkSet::new().with_watchdog(20),
+    );
+    let res = sim.run_static(&backlog);
+    assert!(!res.drained);
+    assert_eq!(res.stop, StopReason::Aborted);
+    assert!(res.cycles < 100, "abort should beat the 10M-cycle horizon");
+}
+
+/// Dynamic runs: a full horizon reports `HorizonReached`, a watchdogged
+/// wedge reports `Aborted`.
+#[test]
+fn dynamic_stop_reasons() {
+    let mut sim = Simulator::new(HypercubeFullyAdaptive::new(4), SimConfig::default());
+    let res = sim.run_dynamic(1.0, |s, rng| Pattern::Random.draw(s, 16, rng), 50);
+    assert_eq!(res.stop, StopReason::HorizonReached);
+
+    let cfg = SimConfig {
+        queue_capacity: 0,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::with_recorder(
+        HypercubeFullyAdaptive::new(4),
+        cfg,
+        SinkSet::new().with_watchdog(20),
+    );
+    let res = sim.run_dynamic(1.0, |s, rng| Pattern::Random.draw(s, 16, rng), 500);
+    assert_eq!(res.stop, StopReason::Aborted);
+    assert!(res.cycles < 500);
+}
+
+// --- satellite 3: rotating fill order end-to-end -------------------------
+
+/// On a fully symmetric workload (Complement: every node plays the same
+/// role), the rotating fill order must deliver every packet, and its
+/// latency statistics must match `LowToHigh`'s packet count exactly —
+/// rotation redistributes arbitration wins, it must not lose or dup
+/// anything. (The per-node phase offset itself is pinned by unit tests
+/// on `rotating_start`; lockstep rotation fails those.)
+#[test]
+fn rotating_fill_preserves_symmetric_workload() {
+    let run = |fill_order: FillOrder| {
+        let cfg = SimConfig {
+            fill_order,
+            ..SimConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let backlog = static_backlog(&Pattern::complement(5), 32, 5, &mut rng);
+        let mut sim = Simulator::new(HypercubeFullyAdaptive::new(5), cfg);
+        sim.run_static(&backlog)
+    };
+    let rot = run(FillOrder::Rotating);
+    let low = run(FillOrder::LowToHigh);
+    assert!(rot.drained && low.drained);
+    assert_eq!(rot.stop, StopReason::Drained);
+    assert_eq!(rot.delivered, low.delivered);
+    assert_eq!(rot.stats.count(), low.stats.count());
+}

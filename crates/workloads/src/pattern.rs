@@ -19,7 +19,8 @@ pub enum Pattern {
     /// A fixed destination map `src -> map[src]`.
     Map(Vec<NodeId>),
     /// Every node sends to one hotspot node (the hotspot itself sends
-    /// uniformly at random).
+    /// uniformly at random over the *other* nodes, exactly like
+    /// [`Pattern::Random`] — it never draws itself).
     Hotspot(NodeId),
 }
 
@@ -180,6 +181,28 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(p.draw(0, 8, &mut rng), 2);
         assert_ne!(p.draw(2, 8, &mut rng), 2);
+    }
+
+    #[test]
+    fn hotspot_self_draw_matches_random_excluding_self() {
+        // The hotspot's own sends use the same uniform-over-V\{src} draw
+        // as `Random`: identical RNG state must yield the identical
+        // destination stream, and no draw may ever return the hotspot.
+        let hotspot = Pattern::Hotspot(5);
+        let random = Pattern::Random;
+        let mut rng_h = StdRng::seed_from_u64(7);
+        let mut rng_r = StdRng::seed_from_u64(7);
+        let mut seen = [false; 16];
+        for _ in 0..400 {
+            let d = hotspot.draw(5, 16, &mut rng_h);
+            assert_eq!(d, random.draw(5, 16, &mut rng_r));
+            assert_ne!(d, 5, "hotspot drew itself");
+            seen[d] = true;
+        }
+        // And the draw really is spread over every other node.
+        for (v, &s) in seen.iter().enumerate() {
+            assert_eq!(s, v != 5, "node {v}");
+        }
     }
 
     #[test]

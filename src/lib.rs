@@ -62,7 +62,9 @@ pub mod prelude {
     };
     pub use fadr_metrics::{LatencyStats, Table};
     pub use fadr_qdg::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction};
-    pub use fadr_sim::{DynamicResult, SimConfig, Simulator, StaticResult};
+    pub use fadr_sim::{
+        DynamicResult, ShardedSimulator, SimConfig, Simulator, StaticResult, StopReason,
+    };
     pub use fadr_topology::{
         Hypercube, Mesh2D, MeshKD, NodeId, Port, ShuffleExchange, Topology, Torus2D,
     };
