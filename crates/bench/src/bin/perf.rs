@@ -31,6 +31,9 @@
 //!   Table 9 row with recording sinks and print a metrics summary
 //!   block; the instrumented re-runs are *not* timed, so the baseline
 //!   numbers stay comparable across PRs.
+//! * `--faults PLAN.json` — inject a `fadr-faults/1` plan into the
+//!   table workloads and the instrumented re-runs (measures the
+//!   degraded-mode overhead; the `--large` scenarios ignore it).
 
 use std::process::ExitCode;
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -162,7 +165,20 @@ fn main() -> ExitCode {
     let stamp = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
-    let opts = RunOptions::default();
+    // `--faults` rides every RunOptions-driven workload (the table rows
+    // and the instrumented re-runs); the `--large` scenarios stay
+    // fault-free so their delivered-count floor keeps holding.
+    let faults = match obs_args.load_fault_plan() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = RunOptions {
+        faults,
+        ..RunOptions::default()
+    };
     let dims: &[usize] = if quick { &[10] } else { &[10, 11, 12] };
     let mut measurements = Vec::new();
     // Shard threads time-slice whatever the host exposes, so a speedup
@@ -238,10 +254,7 @@ fn main() -> ExitCode {
         measurements.push(m);
         // One sharded-engine point for the intra-run speedup trend.
         if shards > 1 {
-            let shard_opts = RunOptions {
-                shards,
-                ..RunOptions::default()
-            };
+            let shard_opts = RunOptions { shards, ..opts };
             let m = time(&format!("table9_n10_shards{shards}"), samples, || {
                 run_row(spec(9), 10, shard_opts)
             });

@@ -17,7 +17,8 @@
 //! Observability: `--trace PATH`, `--metrics-out PATH`, and
 //! `--watchdog K` attach recording sinks to every sweep point; metrics
 //! rows carry a `label` identifying the point (the CSV itself is
-//! unchanged by recording).
+//! unchanged by recording). `--faults PLAN.json` injects a
+//! `fadr-faults/1` plan into every sweep point (degraded-mode routing).
 
 use std::process::ExitCode;
 
@@ -25,7 +26,7 @@ use fadr_bench::exec;
 use fadr_bench::obs::{self, MetricsRow, ObsArgs, RecordConfig};
 use fadr_bench::runner::{dynamic_random_recorded, run_rows_recorded, spec, Algo, RunOptions};
 use fadr_core::{EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang};
-use fadr_sim::SimConfig;
+use fadr_sim::{FaultPlan, SimConfig};
 
 const ALGOS: [(&str, Algo); 3] = [
     ("fully-adaptive", Algo::FullyAdaptive),
@@ -39,6 +40,7 @@ fn lambda_sweep(
     jobs: usize,
     shards: usize,
     rc: RecordConfig,
+    faults: Option<&'static FaultPlan>,
 ) -> Vec<MetricsRow> {
     const LAMBDAS: [f64; 11] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
     let size = 1usize << n;
@@ -54,6 +56,7 @@ fn lambda_sweep(
                 cycles,
                 rc,
                 shards,
+                faults,
             ),
             Algo::StaticHang => dynamic_random_recorded(
                 HypercubeStaticHang::new(n),
@@ -62,9 +65,10 @@ fn lambda_sweep(
                 cycles,
                 rc,
                 shards,
+                faults,
             ),
             Algo::EcubeSbp => {
-                dynamic_random_recorded(EcubeSbp::new(n), cfg, lambda, cycles, rc, shards)
+                dynamic_random_recorded(EcubeSbp::new(n), cfg, lambda, cycles, rc, shards, faults)
             }
         };
         let thr = res.delivered as f64 / (size as f64 * cycles as f64);
@@ -96,6 +100,7 @@ fn capacity_sweep(
     jobs: usize,
     shards: usize,
     rc: RecordConfig,
+    faults: Option<&'static FaultPlan>,
 ) -> Vec<MetricsRow> {
     const CAPS: [usize; 8] = [1, 2, 3, 5, 8, 10, 12, 16];
     let points = exec::run_indexed(CAPS.len() * ALGOS.len(), jobs, |i| {
@@ -105,6 +110,7 @@ fn capacity_sweep(
             queue_capacity: cap,
             algo,
             shards,
+            faults,
             ..RunOptions::default()
         };
         // One dimension, one rep: the recorded row is the sweep point.
@@ -182,9 +188,16 @@ fn main() -> ExitCode {
         }
     }
     let rc = obs_args.record_config();
+    let faults = match obs_args.load_fault_plan() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let metrics = match mode.as_str() {
-        "lambda" => lambda_sweep(n, cycles, jobs, shards, rc),
-        "capacity" => capacity_sweep(n, table, jobs, shards, rc),
+        "lambda" => lambda_sweep(n, cycles, jobs, shards, rc, faults),
+        "capacity" => capacity_sweep(n, table, jobs, shards, rc, faults),
         _ => {
             eprintln!(
                 "usage: sweep <lambda|capacity> [--n N] [--cycles C] [--table K] [--jobs J] [--shards S] {}",

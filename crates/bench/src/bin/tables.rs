@@ -25,6 +25,9 @@
 //!   reports as JSON (schema `fadr-metrics/1`).
 //! * `--watchdog K` — abort a run after `K` cycles without a delivery
 //!   and report the stall instead of spinning to the cycle cap.
+//! * `--faults PLAN.json` — inject the `fadr-faults/1` plan into every
+//!   run (degraded-mode routing; rows that abort on a fault partition
+//!   are flagged like watchdog aborts).
 
 use std::process::ExitCode;
 
@@ -116,6 +119,7 @@ fn parse_args() -> Result<Args, String> {
     if args.opts.queue_capacity == 0 && args.obs.watchdog.is_none() {
         return Err("--cap 0 wedges the network; it requires --watchdog".into());
     }
+    args.opts.faults = args.obs.load_fault_plan()?;
     Ok(args)
 }
 

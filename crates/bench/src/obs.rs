@@ -12,6 +12,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use fadr_metrics::SinkSet;
+use fadr_sim::FaultPlan;
 
 use crate::runner::RecordedRow;
 
@@ -69,11 +70,15 @@ pub struct ObsArgs {
     pub trace_out: Option<PathBuf>,
     /// `--watchdog K`: abort a run after `K` cycles without a delivery.
     pub watchdog: Option<u64>,
+    /// `--faults PATH`: inject the `fadr-faults/1` plan at `PATH` into
+    /// every run (see [`fadr_sim::fault`]).
+    pub faults: Option<PathBuf>,
 }
 
 impl ObsArgs {
     /// Usage fragment for the binaries' `--help` text.
-    pub const USAGE: &'static str = "[--trace PATH] [--metrics-out PATH] [--watchdog K]";
+    pub const USAGE: &'static str =
+        "[--trace PATH] [--metrics-out PATH] [--watchdog K] [--faults PLAN.json]";
 
     /// Try to consume one observability flag. Returns `Ok(true)` if
     /// `arg` was one of ours, `Ok(false)` to let the caller handle it;
@@ -102,8 +107,27 @@ impl ObsArgs {
                 self.watchdog = Some(k);
                 Ok(true)
             }
+            "--faults" => {
+                self.faults = Some(PathBuf::from(next("--faults")?));
+                Ok(true)
+            }
             _ => Ok(false),
         }
+    }
+
+    /// Load and parse the `--faults` plan, if given. The plan is leaked
+    /// into a `'static` borrow so it can ride inside the `Copy`
+    /// [`crate::runner::RunOptions`] across worker threads — one
+    /// allocation per process invocation, freed at exit.
+    pub fn load_fault_plan(&self) -> Result<Option<&'static FaultPlan>, String> {
+        let Some(path) = &self.faults else {
+            return Ok(None);
+        };
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("--faults {}: {e}", path.display()))?;
+        let plan =
+            FaultPlan::parse(&text).map_err(|e| format!("--faults {}: {e}", path.display()))?;
+        Ok(Some(Box::leak(Box::new(plan))))
     }
 
     /// Whether any flag was given (if not, the binary should take its
@@ -241,16 +265,20 @@ pub fn report(rows: &[MetricsRow]) {
             );
         }
         if let Some(s) = row.sinks.stall() {
+            // One classification path for the whole workspace:
+            // `StallReport::verdict()` distinguishes fault partitions
+            // from deadlock/livelock signatures.
+            let why = match s.verdict() {
+                "partitioned" => "a fault made destination(s) unreachable",
+                "deadlock" => "no movement: deadlock signature",
+                _ => "movement without delivery: livelock suspect",
+            };
             eprintln!(
-                "# {place}: WATCHDOG STALL at cycle {} ({} in flight, {} link moves in window) {}",
+                "# {place}: WATCHDOG STALL [{}] at cycle {} ({} in flight, {} link moves in window) - {why}",
+                s.verdict(),
                 s.cycle,
                 s.in_flight,
                 s.links_in_window,
-                if s.links_in_window == 0 {
-                    "- no movement: deadlock signature"
-                } else {
-                    "- movement without delivery: livelock suspect"
-                },
             );
         }
     }

@@ -183,6 +183,12 @@ pub struct RunOptions {
     /// `--jobs`, which parallelizes *across* runs). 1 = the sequential
     /// engine; any value yields bit-identical results.
     pub shards: usize,
+    /// Fault plan injected into every run (`--faults`); the `'static`
+    /// borrow keeps [`RunOptions`] `Copy` across the `--jobs` fan-out
+    /// (see [`crate::obs::ObsArgs::load_fault_plan`]). Faulted runs may
+    /// legitimately end partitioned or with dropped packets, so the
+    /// "must drain" assertion is waived when a plan is present.
+    pub faults: Option<&'static fadr_sim::FaultPlan>,
 }
 
 impl Default for RunOptions {
@@ -194,6 +200,7 @@ impl Default for RunOptions {
             reps: 1,
             algo: Algo::FullyAdaptive,
             shards: 1,
+            faults: None,
         }
     }
 }
@@ -338,18 +345,19 @@ where
     R: RoutingFunction + Clone + Send,
     R::Msg: Send,
 {
+    let require_drain = opts.faults.is_none();
     if opts.shards > 1 {
-        drive_sharded(
-            ShardedSimulator::new(rf, cfg, opts.shards),
-            spec,
-            n,
-            opts,
-            cfg.seed,
-            true,
-        )
-        .0
+        let mut sim = ShardedSimulator::new(rf, cfg, opts.shards);
+        if let Some(plan) = opts.faults {
+            sim = sim.with_faults(plan.clone());
+        }
+        drive_sharded(sim, spec, n, opts, cfg.seed, require_drain).0
     } else {
-        drive(Simulator::new(rf, cfg), spec, n, opts, cfg.seed, true).0
+        let mut sim = Simulator::new(rf, cfg);
+        if let Some(plan) = opts.faults {
+            sim = sim.with_faults(plan.clone());
+        }
+        drive(sim, spec, n, opts, cfg.seed, require_drain).0
     }
 }
 
@@ -405,8 +413,9 @@ where
     R: RoutingFunction + Clone + Send,
     R::Msg: Send,
 {
-    // A watchdogged run may abort instead of draining; report, don't panic.
-    let require_drain = rc.watchdog.is_none();
+    // A watchdogged or faulted run may abort instead of draining;
+    // report, don't panic.
+    let require_drain = rc.watchdog.is_none() && opts.faults.is_none();
     if opts.shards > 1 {
         let shard_rc = RecordConfig {
             watchdog: None,
@@ -416,6 +425,9 @@ where
         let mut sim = ShardedSimulator::with_recorders(rf, cfg, opts.shards, |_| {
             shard_rc.build(1 << n, classes)
         });
+        if let Some(plan) = opts.faults {
+            sim = sim.with_faults(plan.clone());
+        }
         if let Some(k) = rc.watchdog {
             sim = sim.with_watchdog(k);
         }
@@ -428,14 +440,11 @@ where
         (row, sinks)
     } else {
         let sinks = rc.build(1 << n, rf.num_classes());
-        drive(
-            Simulator::with_recorder(rf, cfg, sinks),
-            spec,
-            n,
-            opts,
-            cfg.seed,
-            require_drain,
-        )
+        let mut sim = Simulator::with_recorder(rf, cfg, sinks);
+        if let Some(plan) = opts.faults {
+            sim = sim.with_faults(plan.clone());
+        }
+        drive(sim, spec, n, opts, cfg.seed, require_drain)
     }
 }
 
@@ -466,7 +475,7 @@ fn drive<R: RoutingFunction, Rec: Recorder>(
                 l_avg: res.stats.mean(),
                 l_max: res.stats.max(),
                 injection_rate: None,
-                aborted: res.stop == StopReason::Aborted,
+                aborted: matches!(res.stop, StopReason::Aborted | StopReason::Partitioned),
             }
         }
         None => {
@@ -480,7 +489,7 @@ fn drive<R: RoutingFunction, Rec: Recorder>(
                 l_avg: res.stats.mean(),
                 l_max: res.stats.max(),
                 injection_rate: Some(res.injection_rate()),
-                aborted: res.stop == StopReason::Aborted,
+                aborted: matches!(res.stop, StopReason::Aborted | StopReason::Partitioned),
             }
         }
     };
@@ -524,7 +533,7 @@ where
                 l_avg: res.stats.mean(),
                 l_max: res.stats.max(),
                 injection_rate: None,
-                aborted: res.stop == StopReason::Aborted,
+                aborted: matches!(res.stop, StopReason::Aborted | StopReason::Partitioned),
             }
         }
         None => {
@@ -538,7 +547,7 @@ where
                 l_avg: res.stats.mean(),
                 l_max: res.stats.max(),
                 injection_rate: Some(res.injection_rate()),
-                aborted: res.stop == StopReason::Aborted,
+                aborted: matches!(res.stop, StopReason::Aborted | StopReason::Partitioned),
             }
         }
     };
@@ -559,6 +568,7 @@ pub fn dynamic_random_recorded<R>(
     cycles: u64,
     rc: RecordConfig,
     shards: usize,
+    faults: Option<&fadr_sim::FaultPlan>,
 ) -> (DynamicResult, SinkSet)
 where
     R: RoutingFunction + Clone + Send,
@@ -573,6 +583,9 @@ where
         };
         let mut sim =
             ShardedSimulator::with_recorders(rf, cfg, shards, |_| shard_rc.build(size, classes));
+        if let Some(plan) = faults {
+            sim = sim.with_faults(plan.clone());
+        }
         if let Some(k) = rc.watchdog {
             sim = sim.with_watchdog(k);
         }
@@ -592,6 +605,9 @@ where
         (res, sinks)
     } else {
         let mut sim = Simulator::with_recorder(rf, cfg, rc.build(size, classes));
+        if let Some(plan) = faults {
+            sim = sim.with_faults(plan.clone());
+        }
         let res = sim.run_dynamic(
             lambda,
             move |s, rng| Pattern::Random.draw(s, size, rng),

@@ -105,6 +105,31 @@ pub trait Recorder {
     #[inline(always)]
     fn on_deliver(&mut self, cycle: u64, pkt: u64, latency: u64, hops: u32) {}
 
+    /// A scheduled fault event was applied; `kind` is a `FAULT_*`-style
+    /// code (0 = link down, 1 = node down, 2 = queue freeze,
+    /// 3 = flaky link). A sharded engine fires this on exactly one shard
+    /// (the owner of the fault's primary node) so merged counts match a
+    /// sequential run.
+    #[inline(always)]
+    fn on_fault(&mut self, cycle: u64, kind: u8) {}
+
+    /// A packet was destroyed by a fault (its node died) and will never
+    /// deliver. Watchdog-style recorders must stop counting it as
+    /// in-flight.
+    #[inline(always)]
+    fn on_drop(&mut self, cycle: u64, pkt: u64) {}
+
+    /// A packet staged on a failed channel was reabsorbed into central
+    /// queue `(node, class)` and rerouted over the surviving graph.
+    #[inline(always)]
+    fn on_reroute(&mut self, cycle: u64, pkt: u64, node: u32, class: u8) {}
+
+    /// A fault left destination `dst` unreachable from a packet that
+    /// still wants to get there; the engine aborts at the end of the
+    /// cycle. Fired once per destination per (shard) simulator.
+    #[inline(always)]
+    fn on_partition(&mut self, cycle: u64, dst: u32) {}
+
     /// The routing cycle ended; return [`Control::Stop`] to abort.
     #[inline(always)]
     fn on_cycle_end(&mut self, cycle: u64) -> Control {
@@ -199,6 +224,12 @@ pub struct CounterSink {
     /// Hops (link or stutter) whose target class differs from the source
     /// class — e.g. the hypercube's one `q_A → q_B` migration per packet.
     pub class_transitions: u64,
+    /// Scheduled fault events applied (link/node/queue/flaky).
+    pub faults_applied: u64,
+    /// Packets destroyed by node-down faults.
+    pub packets_dropped: u64,
+    /// Packets reabsorbed off a failed channel and rerouted.
+    pub reroutes: u64,
     /// Cycles observed (occupancy sample count).
     pub cycles: u64,
     occupancy: Vec<u32>,
@@ -220,6 +251,9 @@ impl CounterSink {
             stutters: 0,
             blocked_cycles: 0,
             class_transitions: 0,
+            faults_applied: 0,
+            packets_dropped: 0,
+            reroutes: 0,
             cycles: 0,
             occupancy: vec![0; q],
             peak: vec![0; q],
@@ -300,6 +334,9 @@ impl CounterSink {
         self.stutters += other.stutters;
         self.blocked_cycles += other.blocked_cycles;
         self.class_transitions += other.class_transitions;
+        self.faults_applied += other.faults_applied;
+        self.packets_dropped += other.packets_dropped;
+        self.reroutes += other.reroutes;
         self.cycles += other.cycles;
         for (a, &b) in self.peak.iter_mut().zip(&other.peak) {
             *a = (*a).max(b);
@@ -382,6 +419,11 @@ impl CounterSink {
         );
         let _ = write!(
             out,
+            "\"faults\": {{\"applied\": {}, \"dropped\": {}, \"reroutes\": {}}}, ",
+            self.faults_applied, self.packets_dropped, self.reroutes
+        );
+        let _ = write!(
+            out,
             "\"occupancy\": {{\"peak_max\": {}, \"mean_total\": {:.6}, \"queues_nonzero\": {}, \"queues_omitted\": {}, \"top\": [",
             self.peak_max(),
             self.mean_total(),
@@ -451,6 +493,22 @@ impl Recorder for CounterSink {
 
     fn on_deliver(&mut self, _cycle: u64, _pkt: u64, _latency: u64, _hops: u32) {
         self.delivered += 1;
+    }
+
+    fn on_fault(&mut self, _cycle: u64, _kind: u8) {
+        self.faults_applied += 1;
+    }
+
+    fn on_drop(&mut self, _cycle: u64, _pkt: u64) {
+        self.packets_dropped += 1;
+    }
+
+    fn on_reroute(&mut self, _cycle: u64, _pkt: u64, node: u32, class: u8) {
+        // The reabsorbed packet re-enters a central queue; the engine
+        // fires a matching on_queue_enter, so occupancy tracking needs
+        // nothing here — just the reroute count.
+        let _ = (node, class);
+        self.reroutes += 1;
     }
 
     fn on_cycle_end(&mut self, _cycle: u64) -> Control {
@@ -671,6 +729,30 @@ impl Recorder for TraceSink {
             self.lines.push(line);
         }
     }
+
+    fn on_drop(&mut self, cycle: u64, pkt: u64) {
+        if pkt >= self.limit {
+            return;
+        }
+        if let Some(t) = self.active.get_mut(pkt as usize).and_then(Option::take) {
+            let line = format!(
+                "{{\"pkt\": {pkt}, \"src\": {}, \"dst\": {}, \"inject\": {}, \"dropped\": {cycle}, \"delivered\": false, \"hops\": [{}]}}",
+                t.src, t.dst, t.inject_cycle, t.hops
+            );
+            self.lines.push(line);
+        }
+    }
+
+    fn on_reroute(&mut self, cycle: u64, pkt: u64, node: u32, class: u8) {
+        if let Some(t) = self.slot(pkt) {
+            let sep = if t.n_hops == 0 { "" } else { ", " };
+            let _ = write!(
+                t.hops,
+                "{sep}{{\"c\": {cycle}, \"from\": {node}, \"to\": {node}, \"kind\": \"reroute\", \"q\": [{class}, {class}]}}"
+            );
+            t.n_hops += 1;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -696,18 +778,46 @@ pub struct StallReport {
     /// Occupancy snapshot at stall time: non-empty queues as
     /// `(node, class, occupancy)`, sorted by node then class.
     pub queues: Vec<(u32, u8, u32)>,
+    /// Destinations a fault made unreachable from some live packet
+    /// (sorted, deduplicated). Non-empty means the abort is a
+    /// *partition*, not a deadlock/livelock: the network lost the graph
+    /// property the § 2 conditions presuppose.
+    pub partitioned: Vec<u32>,
 }
 
 impl StallReport {
+    /// Classify the abort: `"partitioned"` (a fault disconnected a
+    /// destination), `"deadlock"` (no link moved in the whole window —
+    /// the § 2 deadlock signature), or `"livelock"` (movement without
+    /// delivery, Faber's sense).
+    pub fn verdict(&self) -> &'static str {
+        if !self.partitioned.is_empty() {
+            "partitioned"
+        } else if self.links_in_window == 0 {
+            "deadlock"
+        } else {
+            "livelock"
+        }
+    }
+
     /// Serialize as a JSON object (the full queue snapshot is included —
     /// a stalled network's non-empty queue set is small by nature).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         let _ = write!(
             out,
-            "\"cycle\": {}, \"in_flight\": {}, \"window\": {}, \"links_in_window\": {}, ",
-            self.cycle, self.in_flight, self.window, self.links_in_window
+            "\"verdict\": \"{}\", \"cycle\": {}, \"in_flight\": {}, \"window\": {}, \"links_in_window\": {}, ",
+            self.verdict(),
+            self.cycle,
+            self.in_flight,
+            self.window,
+            self.links_in_window
         );
+        out.push_str("\"partitioned\": [");
+        for (i, dst) in self.partitioned.iter().enumerate() {
+            let _ = write!(out, "{}{dst}", if i == 0 { "" } else { ", " });
+        }
+        out.push_str("], ");
         match self.oldest {
             Some((pkt, src, dst, inject)) => {
                 let _ = write!(
@@ -752,6 +862,8 @@ pub struct WatchdogSink {
     live: std::collections::BTreeMap<u64, (u64, u32, u32)>,
     /// Current occupancy per (node, class), maintained from queue events.
     occupancy: std::collections::BTreeMap<(u32, u8), u32>,
+    /// Destinations reported unreachable by the engine's fault layer.
+    partitioned: Vec<u32>,
     /// The stall report, if a stall was detected (the run was aborted).
     pub report: Option<StallReport>,
 }
@@ -767,6 +879,7 @@ impl WatchdogSink {
             in_flight: 0,
             live: std::collections::BTreeMap::new(),
             occupancy: std::collections::BTreeMap::new(),
+            partitioned: Vec::new(),
             report: None,
         }
     }
@@ -824,11 +937,26 @@ impl Recorder for WatchdogSink {
         self.links_since_delivery = 0;
     }
 
+    fn on_drop(&mut self, _cycle: u64, pkt: u64) {
+        // A fault destroyed the packet: it will never deliver, so it must
+        // stop counting toward the no-progress in-flight set.
+        self.in_flight -= 1;
+        self.live.remove(&pkt);
+    }
+
+    fn on_partition(&mut self, _cycle: u64, dst: u32) {
+        if !self.partitioned.contains(&dst) {
+            self.partitioned.push(dst);
+        }
+    }
+
     fn on_cycle_end(&mut self, cycle: u64) -> Control {
         if self.report.is_some() {
             return Control::Stop;
         }
-        if self.in_flight == 0 || cycle.saturating_sub(self.last_delivery) < self.k {
+        let partition = !self.partitioned.is_empty();
+        if !partition && (self.in_flight == 0 || cycle.saturating_sub(self.last_delivery) < self.k)
+        {
             return Control::Continue;
         }
         let queues: Vec<(u32, u8, u32)> = self
@@ -837,6 +965,8 @@ impl Recorder for WatchdogSink {
             .filter(|(_, &o)| o > 0)
             .map(|(&(node, class), &o)| (node, class, o))
             .collect();
+        let mut partitioned = self.partitioned.clone();
+        partitioned.sort_unstable();
         self.report = Some(StallReport {
             cycle,
             in_flight: self.in_flight,
@@ -848,6 +978,7 @@ impl Recorder for WatchdogSink {
                 .next()
                 .map(|(&pkt, &(inject, src, dst))| (pkt, src, dst, inject)),
             queues,
+            partitioned,
         });
         Control::Stop
     }
@@ -1058,6 +1189,39 @@ impl Recorder for SinkSet {
         }
         if let Some(w) = &mut self.watchdog {
             w.on_deliver(cycle, pkt, latency, hops);
+        }
+    }
+
+    fn on_fault(&mut self, cycle: u64, kind: u8) {
+        if let Some(c) = &mut self.counters {
+            c.on_fault(cycle, kind);
+        }
+    }
+
+    fn on_drop(&mut self, cycle: u64, pkt: u64) {
+        if let Some(c) = &mut self.counters {
+            c.on_drop(cycle, pkt);
+        }
+        if let Some(t) = &mut self.trace {
+            t.on_drop(cycle, pkt);
+        }
+        if let Some(w) = &mut self.watchdog {
+            w.on_drop(cycle, pkt);
+        }
+    }
+
+    fn on_reroute(&mut self, cycle: u64, pkt: u64, node: u32, class: u8) {
+        if let Some(c) = &mut self.counters {
+            c.on_reroute(cycle, pkt, node, class);
+        }
+        if let Some(t) = &mut self.trace {
+            t.on_reroute(cycle, pkt, node, class);
+        }
+    }
+
+    fn on_partition(&mut self, cycle: u64, dst: u32) {
+        if let Some(w) = &mut self.watchdog {
+            w.on_partition(cycle, dst);
         }
     }
 
@@ -1298,5 +1462,86 @@ mod tests {
         assert!(SinkSet::new().with_counters(4, 2).shardable());
         assert!(!SinkSet::new().with_watchdog(10).shardable());
         assert!(NoRecorder.shardable());
+    }
+
+    #[test]
+    fn counter_sink_counts_fault_events() {
+        let mut c = CounterSink::new(4, 2);
+        c.on_fault(3, 0);
+        c.on_fault(3, 1);
+        c.on_drop(3, 0);
+        c.on_reroute(4, 1, 2, 0);
+        assert_eq!(c.faults_applied, 2);
+        assert_eq!(c.packets_dropped, 1);
+        assert_eq!(c.reroutes, 1);
+        let j = c.to_json(4);
+        assert!(j.contains("\"faults\": {\"applied\": 2, \"dropped\": 1, \"reroutes\": 1}"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn watchdog_drop_releases_in_flight() {
+        // A dropped packet must not hold the watchdog's in-flight count
+        // open, or an otherwise idle network would stall-report forever.
+        let mut w = WatchdogSink::new(2);
+        w.on_inject(0, 0, 1, 3);
+        w.on_drop(1, 0);
+        for c in 1..50 {
+            assert_eq!(w.on_cycle_end(c), Control::Continue);
+        }
+        assert!(!w.stalled());
+    }
+
+    #[test]
+    fn watchdog_partition_reports_immediately() {
+        // A partition must not wait out the k-cycle window.
+        let mut w = WatchdogSink::new(1_000_000);
+        w.on_inject(0, 0, 1, 6);
+        w.on_partition(2, 6);
+        assert_eq!(w.on_cycle_end(2), Control::Stop);
+        let r = w.report.as_ref().expect("partition reported");
+        assert_eq!(r.partitioned, vec![6]);
+        assert_eq!(r.verdict(), "partitioned");
+        assert!(r.to_json().contains("\"verdict\": \"partitioned\""));
+        assert!(r.to_json().contains("\"partitioned\": [6]"));
+    }
+
+    #[test]
+    fn verdict_distinguishes_deadlock_from_livelock() {
+        let base = StallReport {
+            cycle: 10,
+            in_flight: 1,
+            window: 5,
+            links_in_window: 0,
+            oldest: None,
+            queues: vec![],
+            partitioned: vec![],
+        };
+        assert_eq!(base.verdict(), "deadlock");
+        let live = StallReport {
+            links_in_window: 7,
+            ..base.clone()
+        };
+        assert_eq!(live.verdict(), "livelock");
+        let part = StallReport {
+            partitioned: vec![3],
+            ..base
+        };
+        assert_eq!(part.verdict(), "partitioned");
+    }
+
+    #[test]
+    fn trace_sink_renders_drops_and_reroutes() {
+        let mut t = TraceSink::new(4);
+        t.on_inject(0, 0, 1, 2);
+        t.on_reroute(3, 0, 1, 0);
+        t.on_drop(5, 0);
+        t.flush();
+        assert_eq!(t.lines().len(), 1);
+        let line = &t.lines()[0];
+        assert!(line.contains("\"kind\": \"reroute\""));
+        assert!(line.contains("\"dropped\": 5"));
+        assert!(line.contains("\"delivered\": false"));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
     }
 }

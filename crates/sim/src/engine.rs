@@ -12,6 +12,7 @@ use fadr_metrics::{
 use fadr_qdg::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction};
 use fadr_topology::NodeId;
 
+use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::layout::{Layout, NONE};
 use crate::{FillOrder, SimConfig};
 
@@ -22,6 +23,9 @@ struct MoveOpt<M> {
     buf: u32,
     to_class: u8,
     next: M,
+    /// Degraded-mode escape hop (see [`crate::fault`]): `next` is a
+    /// placeholder; the receiving node restarts the routing state.
+    escape: bool,
 }
 
 pub(crate) struct Packet<M> {
@@ -51,6 +55,10 @@ pub(crate) struct Packet<M> {
     /// Central-queue class of the current residence (valid while queued);
     /// the per-class occupancy accounting keys off this.
     class: u8,
+    /// The packet's current hop is a degraded-mode escape move: its
+    /// `msg` is a placeholder and the receiving node restarts the
+    /// routing state from itself (see [`crate::fault`]).
+    escape: bool,
     /// Cached moves for the current queue residence.
     options: Vec<MoveOpt<M>>,
 }
@@ -73,6 +81,11 @@ pub enum StopReason {
     /// An attached [`Recorder`] returned [`Control::Stop`] — e.g. a
     /// watchdog sink declared a no-progress stall.
     Aborted,
+    /// A fault left some destination unreachable from a live packet
+    /// (see [`crate::fault`]); the run aborted at the end of the cycle
+    /// that detected it. [`Simulator::partitioned_destinations`] lists
+    /// the unreachable destinations.
+    Partitioned,
 }
 
 /// Result of a static-injection run (§ 7, Tables 1–8).
@@ -87,11 +100,19 @@ pub struct StaticResult {
     pub delivered: u64,
     /// Packets that were to be injected.
     pub total: u64,
-    /// Whether the network fully drained (always true for a deadlock-free
-    /// algorithm within the cycle cap). Equivalent to
+    /// Whether every offered packet was accounted for — delivered, or
+    /// (under fault injection) dropped/lost to a dead node (always true
+    /// for a deadlock-free algorithm within the cycle cap; without
+    /// faults this is simply "everything delivered"). Equivalent to
     /// `stop == StopReason::Drained`; kept alongside [`StopReason`] for
     /// callers that only care about success.
     pub drained: bool,
+    /// Packets destroyed in flight by node-down faults (0 without a
+    /// fault plan).
+    pub dropped: u64,
+    /// Backlog entries never injected because their source node died
+    /// (0 without a fault plan).
+    pub lost: u64,
     /// Why the run ended (distinguishes a watchdog abort from a
     /// `max_cycles` timeout, which `drained` alone cannot).
     pub stop: StopReason,
@@ -110,8 +131,11 @@ pub struct DynamicResult {
     pub delivered: u64,
     /// Routing cycles executed.
     pub cycles: u64,
+    /// Packets destroyed in flight by node-down faults (0 without a
+    /// fault plan).
+    pub dropped: u64,
     /// Why the run ended ([`StopReason::HorizonReached`] unless a
-    /// recorder aborted it).
+    /// recorder aborted it or a fault partitioned the network).
     pub stop: StopReason,
 }
 
@@ -262,6 +286,17 @@ pub struct Simulator<R: RoutingFunction, Rec: Recorder = NoRecorder> {
     occupancy: OccupancyProbe,
     minimality_violations: u64,
     throughput: Option<TimeSeries>,
+    /// The attached fault schedule, if any (survives resets; the per-run
+    /// state in `faults` is rebuilt from it).
+    fault_plan: Option<Arc<FaultPlan>>,
+    /// Per-run fault state (dead channels/nodes, freezes, flaky windows,
+    /// surviving-graph distances); `None` without a fault plan, so the
+    /// unfaulted hot path pays one `Option` check per guard site.
+    faults: Option<FaultState>,
+    /// Destinations found unreachable this run (unsorted, deduplicated).
+    partitioned: Vec<u32>,
+    /// Packets destroyed by node-down faults this run.
+    dropped: u64,
     // Scratch (reused across nodes/cycles).
     wanting: Vec<Vec<u32>>,
     stutters: Vec<u32>,
@@ -323,11 +358,41 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             occupancy: OccupancyProbe::default(),
             minimality_violations: 0,
             throughput: (cfg.throughput_window > 0).then(|| TimeSeries::new(cfg.throughput_window)),
+            fault_plan: None,
+            faults: None,
+            partitioned: Vec::new(),
+            dropped: 0,
             wanting: vec![Vec::new(); max_out],
             stutters: Vec::new(),
             layout,
             rf,
         }
+    }
+
+    /// Attach a fault plan: its scheduled events fire at their cycles on
+    /// every subsequent run (see [`crate::fault`] for the model). The
+    /// plan's events are sorted by cycle here, so both engines process
+    /// them in the same order.
+    #[must_use]
+    pub fn with_faults(mut self, mut plan: FaultPlan) -> Self {
+        plan.normalize();
+        self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Share an already-normalized plan (the sharded driver hands every
+    /// shard the same `Arc`).
+    pub(crate) fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Destinations a fault made unreachable in the last run, sorted and
+    /// deduplicated. Non-empty exactly when the run stopped with
+    /// [`StopReason::Partitioned`].
+    pub fn partitioned_destinations(&self) -> Vec<u32> {
+        let mut out = self.partitioned.clone();
+        out.sort_unstable();
+        out
     }
 
     /// Occupancy statistics of the last run (empty unless
@@ -394,6 +459,12 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         self.delivered = 0;
         self.occupancy = OccupancyProbe::default();
         self.minimality_violations = 0;
+        self.dropped = 0;
+        self.partitioned.clear();
+        self.faults = self
+            .fault_plan
+            .as_ref()
+            .map(|p| FaultState::new(Arc::clone(p), &self.layout, self.num_classes));
         self.throughput =
             (self.cfg.throughput_window > 0).then(|| TimeSeries::new(self.cfg.throughput_window));
         if self.cfg.track_occupancy {
@@ -411,9 +482,17 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         let mut next_idx = vec![0usize; backlog.len()];
         let total: u64 = backlog.iter().map(|b| b.len() as u64).sum();
         let mut aborted = false;
-        while self.delivered < total && self.cycle < self.cfg.max_cycles {
+        let mut lost = 0u64;
+        while self.delivered + self.dropped + lost < total && self.cycle < self.cfg.max_cycles {
             for v in 0..backlog.len() {
-                if self.inj_buf[v] == NONE && next_idx[v] < backlog[v].len() {
+                if next_idx[v] >= backlog[v].len() {
+                    continue;
+                }
+                if !self.node_alive(v) {
+                    // A dead node's remaining backlog is never offered.
+                    lost += (backlog[v].len() - next_idx[v]) as u64;
+                    next_idx[v] = backlog[v].len();
+                } else if self.inj_buf[v] == NONE {
                     let dst = backlog[v][next_idx[v]];
                     next_idx[v] += 1;
                     self.inj_buf[v] = self.alloc_packet(v, dst);
@@ -424,9 +503,11 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
                 break;
             }
         }
-        let drained = self.delivered == total;
-        let stop = if drained {
+        let accounted = self.delivered + self.dropped + lost == total;
+        let stop = if accounted {
             StopReason::Drained
+        } else if !self.partitioned.is_empty() {
+            StopReason::Partitioned
         } else if aborted {
             StopReason::Aborted
         } else {
@@ -437,7 +518,9 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             cycles: self.cycle,
             delivered: self.delivered,
             total,
-            drained,
+            drained: stop == StopReason::Drained,
+            dropped: self.dropped,
+            lost,
             stop,
         }
     }
@@ -477,15 +560,21 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
                 attempts += 1;
                 // Drawn unconditionally: a blocked attempt discards the
                 // destination instead of deferring the draw, keeping the
-                // per-node stream independent of buffer occupancy.
+                // per-node stream independent of buffer occupancy (and of
+                // fault-induced node deaths — a dead node keeps drawing
+                // and discarding).
                 let dst = dest(v, rng);
-                if self.inj_buf[v] == NONE {
+                if self.inj_buf[v] == NONE && self.node_alive(v) {
                     self.inj_buf[v] = self.alloc_packet(v, dst);
                     injected += 1;
                 }
             }
             if self.step() == Control::Stop {
-                stop = StopReason::Aborted;
+                stop = if self.partitioned.is_empty() {
+                    StopReason::Aborted
+                } else {
+                    StopReason::Partitioned
+                };
                 break;
             }
         }
@@ -495,6 +584,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             injected,
             delivered: self.delivered,
             cycles: self.cycle,
+            dropped: self.dropped,
             stop,
         }
     }
@@ -518,6 +608,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             msg,
             next_class: 0,
             class: 0,
+            escape: false,
             options: Vec::new(),
         };
         self.insert_packet(pkt)
@@ -546,13 +637,22 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// recorder's verdict (always [`Control::Continue`] for the no-op
     /// recorder, in which case the check folds away).
     fn step(&mut self) -> Control {
+        if self.faults.is_some() {
+            self.apply_faults(0..self.layout.num_nodes);
+        }
         self.fill_phase();
         self.link_phase();
         self.read_phase();
         if self.cfg.track_occupancy {
             self.sample_occupancy(0..self.layout.num_nodes);
         }
-        let ctl = self.end_cycle();
+        let mut ctl = self.end_cycle();
+        if !self.partitioned.is_empty() {
+            // A partitioned destination can never drain: stop at the end
+            // of the cycle that detected it instead of spinning to the
+            // cycle cap.
+            ctl = Control::Stop;
+        }
         self.cycle += 1;
         ctl
     }
@@ -609,6 +709,13 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         self.stutters.clear();
         for &p in &self.node_fifo[node] {
             let pkt = &self.packets[p as usize];
+            if let Some(fs) = &self.faults {
+                // A frozen queue refuses all movement: its packets
+                // neither stage onto links nor stutter until the thaw.
+                if fs.frozen(node * self.num_classes + usize::from(pkt.class), self.cycle) {
+                    continue;
+                }
+            }
             for opt in &pkt.options {
                 if opt.buf == NONE {
                     self.stutters.push(p);
@@ -648,6 +755,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
                 .expect("wanting list entry has the option");
             pkt.msg = opt.next.clone();
             pkt.next_class = opt.to_class;
+            pkt.escape = opt.escape;
             pkt.moved_at = self.cycle;
             pkt.staged = true;
             staged_any = true;
@@ -696,11 +804,11 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
                 .expect("stutter option");
             let (next, to_class) = (opt.next.clone(), opt.to_class);
             let from_class = pkt.class;
-            if to_class != from_class
-                && self.queue_len[node * self.num_classes + usize::from(to_class)] as usize
-                    >= self.cfg.queue_capacity
-            {
-                continue;
+            if to_class != from_class {
+                let qt = node * self.num_classes + usize::from(to_class);
+                if self.queue_len[qt] as usize >= self.cfg.queue_capacity || self.queue_frozen(qt) {
+                    continue;
+                }
             }
             let pkt = &mut self.packets[p as usize];
             pkt.msg = next;
@@ -761,6 +869,11 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     pub(crate) fn link_chan(&mut self, chan: usize) -> bool {
         if self.chan_pending[chan] == 0 {
             return false;
+        }
+        if let Some(fs) = &self.faults {
+            if fs.link_blocked(chan as u32, self.cycle) {
+                return false;
+            }
         }
         let start = self.layout.chan_buf_start[chan] as usize;
         let len = self.layout.chan_buf_len[chan] as usize;
@@ -834,34 +947,45 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     }
 
     /// Move an arriving packet into its target queue (or deliver it);
-    /// returns false if the queue is full and the packet must wait.
+    /// returns false if the queue is full (or frozen) and the packet
+    /// must wait.
     fn accept_arrival(&mut self, node: usize, p: u32) -> bool {
+        if self.packets[p as usize].escape {
+            // Degraded-mode escape hop: the staged `msg` is a
+            // placeholder (the pre-hop routing state is gone), so the
+            // packet restarts its routing state here via the injection
+            // transition. All checks run before any mutation, so a
+            // refused packet retries intact next cycle.
+            let dst = self.packets[p as usize].dst;
+            if dst as usize == node {
+                self.deliver(p);
+                return true;
+            }
+            let msg = self.rf.initial_msg(node, dst as usize);
+            let class = self.entry_class(node, &msg);
+            let q = node * self.num_classes + usize::from(class);
+            if self.queue_len[q] as usize >= self.cfg.queue_capacity || self.queue_frozen(q) {
+                if Rec::ENABLED {
+                    let uid = self.packets[p as usize].uid;
+                    self.rec.on_block(self.cycle, uid, node as u32, class);
+                }
+                return false;
+            }
+            let pkt = &mut self.packets[p as usize];
+            pkt.msg = msg;
+            pkt.escape = false;
+            let ok = self.enqueue_central(node, p, class, false);
+            debug_assert!(ok);
+            return true;
+        }
         let pkt = &self.packets[p as usize];
+        let class = pkt.next_class;
         if self.rf.deliverable(node, &pkt.msg) {
             debug_assert_eq!(pkt.dst as usize, node);
             self.deliver(p);
             return true;
         }
-        let class = usize::from(pkt.next_class);
-        let uid = pkt.uid;
-        let q = node * self.num_classes + class;
-        if self.queue_len[q] as usize >= self.cfg.queue_capacity {
-            if Rec::ENABLED {
-                self.rec.on_block(self.cycle, uid, node as u32, class as u8);
-            }
-            return false;
-        }
-        let pkt = &mut self.packets[p as usize];
-        pkt.enqueued_at = self.cycle;
-        pkt.class = class as u8;
-        self.queue_len[q] += 1;
-        if Rec::ENABLED {
-            self.rec
-                .on_queue_enter(self.cycle, uid, node as u32, class as u8, self.queue_len[q]);
-        }
-        self.node_fifo[node].push(p);
-        self.compute_options(p, node, class as u8);
-        true
+        self.enqueue_central(node, p, class, true)
     }
 
     /// Move a freshly injected packet into its entry queue (or deliver a
@@ -871,36 +995,65 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             self.deliver(p);
             return true;
         }
-        // The injection queue's single (internal, static) transition.
         let msg = self.packets[p as usize].msg.clone();
+        let class = self.entry_class(node, &msg);
+        self.enqueue_central(node, p, class, true)
+    }
+
+    /// The central class targeted by the injection queue's single
+    /// (internal, static) transition for `msg` at `node`.
+    fn entry_class(&self, node: usize, msg: &R::Msg) -> u8 {
         let mut entry: Option<u8> = None;
         self.rf
-            .for_each_transition(QueueId::inject(node), &msg, &mut |t| {
+            .for_each_transition(QueueId::inject(node), msg, &mut |t| {
                 debug_assert_eq!(t.hop, HopKind::Internal);
                 if let QueueKind::Central(c) = t.to.kind {
                     entry = Some(c);
                 }
             });
-        let class = usize::from(entry.expect("injection transition exists"));
-        let uid = self.packets[p as usize].uid;
-        let q = node * self.num_classes + class;
-        if self.queue_len[q] as usize >= self.cfg.queue_capacity {
+        entry.expect("injection transition exists")
+    }
+
+    /// Enqueue packet `p` into central queue `class` at `node`. With
+    /// `check`, a full or frozen queue refuses the packet (recording a
+    /// block) and returns false; without, the packet is forced in — the
+    /// fault layer's reabsorption path, which deliberately tolerates
+    /// transient over-capacity (see [`crate::fault`]).
+    fn enqueue_central(&mut self, node: usize, p: u32, class: u8, check: bool) -> bool {
+        let q = node * self.num_classes + usize::from(class);
+        if check && (self.queue_len[q] as usize >= self.cfg.queue_capacity || self.queue_frozen(q))
+        {
             if Rec::ENABLED {
-                self.rec.on_block(self.cycle, uid, node as u32, class as u8);
+                let uid = self.packets[p as usize].uid;
+                self.rec.on_block(self.cycle, uid, node as u32, class);
             }
             return false;
         }
         let pkt = &mut self.packets[p as usize];
         pkt.enqueued_at = self.cycle;
-        pkt.class = class as u8;
+        pkt.class = class;
+        let uid = pkt.uid;
         self.queue_len[q] += 1;
         if Rec::ENABLED {
             self.rec
-                .on_queue_enter(self.cycle, uid, node as u32, class as u8, self.queue_len[q]);
+                .on_queue_enter(self.cycle, uid, node as u32, class, self.queue_len[q]);
         }
         self.node_fifo[node].push(p);
-        self.compute_options(p, node, class as u8);
+        self.compute_options(p, node, class);
         true
+    }
+
+    /// Whether central queue `q` is frozen by a fault this cycle.
+    fn queue_frozen(&self, q: usize) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.frozen(q, self.cycle))
+    }
+
+    /// Whether node `v` survives the faults applied so far (always true
+    /// without a fault plan).
+    pub(crate) fn node_alive(&self, v: usize) -> bool {
+        !self.faults.as_ref().is_some_and(|f| f.is_node_dead(v))
     }
 
     fn deliver(&mut self, p: u32) {
@@ -949,6 +1102,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
                         buf: layout.buffer(node, port, bc),
                         to_class,
                         next: t.msg,
+                        escape: false,
                     });
                 }
                 HopKind::Internal => match t.to.kind {
@@ -958,13 +1112,398 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
                             buf: NONE,
                             to_class: c,
                             next: t.msg,
+                            escape: false,
                         });
                     }
                     _ => unreachable!("queued packets are never at their destination"),
                 },
             });
-        debug_assert!(!opts.is_empty(), "queued packet with no moves (dead end)");
+        if self.faults.is_some() {
+            self.packets[p as usize].options = opts;
+            self.finalize_options(p, node);
+        } else {
+            debug_assert!(!opts.is_empty(), "queued packet with no moves (dead end)");
+            self.packets[p as usize].options = opts;
+        }
+    }
+
+    /// Degraded-mode post-pass over a freshly computed option set: once
+    /// any permanent fault exists, keep only moves that strictly
+    /// shorten the **surviving-graph** distance to the destination, and
+    /// when none survive fall back to a single escape hop along a
+    /// surviving shortest path — or report a partition when the
+    /// destination is unreachable (see [`crate::fault`]).
+    ///
+    /// Progress on the *original* topology is not enough: a minimal
+    /// option can lead into a region whose only minimal continuation is
+    /// dead, and the escape hop out of it would undo the progress —
+    /// packets then ping-pong between the trap node and its neighbour
+    /// forever (a livelock this crate's differential fault suite caught
+    /// on a mesh with one dead node). The monotone discipline makes
+    /// every degraded hop decrease a per-destination potential, so no
+    /// routing cycle can form. In-place class changes (stutters) are
+    /// dropped too: they make no distance progress, and the escape
+    /// fallback restarts the routing state at the next node anyway.
+    fn finalize_options(&mut self, p: u32, node: usize) {
+        let mut opts = std::mem::take(&mut self.packets[p as usize].options);
+        let dst = self.packets[p as usize].dst;
+        // With no permanent faults the original option set — which
+        // always contains a static hop — passes through untouched.
+        let mut has_static = true;
+        if self
+            .faults
+            .as_ref()
+            .expect("fault state attached")
+            .has_dead()
+        {
+            self.faults
+                .as_mut()
+                .expect("fault state attached")
+                .ensure_distances(dst, &self.layout);
+            let fs = self.faults.as_ref().expect("fault state attached");
+            let d = fs.distances(dst);
+            let here = d[node];
+            let buf_chan = &self.buf_chan;
+            let layout = &self.layout;
+            opts.retain(|o| {
+                if o.buf == NONE {
+                    return false;
+                }
+                let chan = buf_chan[o.buf as usize];
+                if fs.chan_dead(chan) {
+                    return false;
+                }
+                let to = layout.chan_to[chan as usize] as usize;
+                !fs.is_node_dead(to) && here != u32::MAX && d[to] == here - 1
+            });
+            has_static = opts.iter().any(|o| {
+                matches!(
+                    self.layout.buf_class[o.buf as usize],
+                    BufferClass::Static(_)
+                )
+            });
+        }
+        if opts.is_empty() {
+            let class = self.packets[p as usize].class;
+            match self.escape_option(node, dst as usize, class) {
+                Some(opt) => opts.push(opt),
+                None => {
+                    if !self.partitioned.contains(&dst) {
+                        self.partitioned.push(dst);
+                        if Rec::ENABLED {
+                            self.rec.on_partition(self.cycle, dst);
+                        }
+                    }
+                }
+            }
+        } else if !has_static {
+            // § 2 condition 3 on the surviving graph: a state whose
+            // surviving moves are all dynamic (its one static port
+            // died) must keep a static continuation, so the escape hop
+            // is appended as the static fallback — taken only when
+            // every preceding option is blocked. The escape exists
+            // whenever the retained set is non-empty (both demand a
+            // live distance-decreasing out-channel).
+            let class = self.packets[p as usize].class;
+            if let Some(opt) = self.escape_option(node, dst as usize, class) {
+                opts.push(opt);
+            }
+        }
         self.packets[p as usize].options = opts;
+    }
+
+    /// One hop of escape routing on the surviving graph: the
+    /// lowest-port live out-channel making shortest-path progress
+    /// toward `dst`. Returns `None` when `dst` is unreachable from
+    /// `node` over live channels between live nodes.
+    fn escape_option(&mut self, node: usize, dst: usize, class: u8) -> Option<MoveOpt<R::Msg>> {
+        self.faults
+            .as_mut()
+            .expect("fault state attached")
+            .ensure_distances(dst as u32, &self.layout);
+        let fs = self.faults.as_ref().expect("fault state attached");
+        let d = fs.distances(dst as u32);
+        let here = d[node];
+        if here == u32::MAX {
+            return None;
+        }
+        debug_assert!(here > 0, "queued packet at its destination");
+        for port in 0..self.layout.max_ports {
+            let Some(chan) = self.layout.chan(node, port) else {
+                continue;
+            };
+            if fs.chan_dead(chan) {
+                continue;
+            }
+            let to = self.layout.chan_to[chan as usize] as usize;
+            if fs.is_node_dead(to) || d[to] != here - 1 {
+                continue;
+            }
+            // Ride the channel's first declared buffer class; a static
+            // class pins the arrival class, a dynamic one keeps the
+            // packet's current class until the receiver restarts it.
+            let buf = self.layout.chan_buf_start[chan as usize];
+            let to_class = match self.layout.buf_class[buf as usize] {
+                BufferClass::Static(c) => c,
+                BufferClass::Dynamic => class,
+            };
+            let next = self.rf.initial_msg(node, dst);
+            return Some(MoveOpt {
+                buf,
+                to_class,
+                next,
+                escape: true,
+            });
+        }
+        None
+    }
+
+    // --- Fault injection (see `crate::fault`) --------------------------
+
+    /// Apply scheduled fault events up to the current cycle, plus the
+    /// per-cycle flaky-link retry bookkeeping. Runs at the top of every
+    /// cycle, before the fill pass; `nodes` is the caller's owned node
+    /// range (the full network for the sequential engine), gating all
+    /// packet surgery and recording so a sharded run performs each side
+    /// effect exactly once, on the shard that owns the state — while the
+    /// flag state inside [`FaultState`] is replicated identically on
+    /// every shard.
+    pub(crate) fn apply_faults(&mut self, nodes: std::ops::Range<usize>) {
+        let Some(mut fs) = self.faults.take() else {
+            return;
+        };
+        let cycle = self.cycle;
+        let mut permanent = false;
+        let mut reabsorb: Vec<(u32, usize)> = Vec::new();
+        while fs.next_event < fs.plan.events.len() && fs.plan.events[fs.next_event].cycle <= cycle {
+            let ev = fs.plan.events[fs.next_event];
+            fs.next_event += 1;
+            if Rec::ENABLED && nodes.contains(&(ev.kind.primary_node() as usize)) {
+                self.rec.on_fault(cycle, ev.kind.code());
+            }
+            match ev.kind {
+                FaultKind::LinkDown { from, to } => {
+                    permanent = true;
+                    for chan in 0..self.layout.num_channels() {
+                        if self.layout.chan_from[chan] == from
+                            && self.layout.chan_to[chan] == to
+                            && fs.kill_chan(chan as u32)
+                            && nodes.contains(&(from as usize))
+                        {
+                            self.reabsorb_chan(chan, &mut reabsorb);
+                        }
+                    }
+                }
+                FaultKind::NodeDown { node } => {
+                    let v = node as usize;
+                    if v >= self.layout.num_nodes || !fs.kill_node(v) {
+                        continue;
+                    }
+                    permanent = true;
+                    for chan in 0..self.layout.num_channels() {
+                        let cf = self.layout.chan_from[chan] as usize;
+                        let ct = self.layout.chan_to[chan] as usize;
+                        if (cf != v && ct != v) || !fs.kill_chan(chan as u32) {
+                            continue;
+                        }
+                        if cf == v {
+                            // Out-channel of the dead node: staged
+                            // packets die with it.
+                            if nodes.contains(&v) {
+                                self.drop_outbufs(chan);
+                            }
+                        } else {
+                            // In-channel: the live sender reabsorbs its
+                            // staged packets; packets already across in
+                            // the dead node's input buffers die.
+                            if nodes.contains(&cf) {
+                                self.reabsorb_chan(chan, &mut reabsorb);
+                            }
+                            if nodes.contains(&v) {
+                                self.drop_inbufs(chan);
+                            }
+                        }
+                    }
+                    if nodes.contains(&v) {
+                        self.drop_node_packets(v);
+                    }
+                }
+                FaultKind::QueueFreeze {
+                    node,
+                    class,
+                    duration,
+                } => {
+                    let v = node as usize;
+                    let c = usize::from(class);
+                    if v < self.layout.num_nodes && c < self.num_classes {
+                        fs.freeze(v * self.num_classes + c, cycle + duration);
+                    }
+                }
+                FaultKind::FlakyLink {
+                    from,
+                    to,
+                    until,
+                    threshold,
+                } => {
+                    for chan in 0..self.layout.num_channels() {
+                        if self.layout.chan_from[chan] == from && self.layout.chan_to[chan] == to {
+                            fs.set_flaky(chan as u32, until, threshold);
+                        }
+                    }
+                }
+            }
+        }
+        // Flaky retry/backoff: a packet staged on a channel that was
+        // fault-down last cycle has waited one more cycle; after
+        // `retry_limit` consecutive down-cycles it is reabsorbed into
+        // the sender's central queue and rerouted.
+        for i in 0..fs.flaky_chans.len() {
+            let chan = fs.flaky_chans[i];
+            let Some((_, threshold)) = fs.flaky_window(chan, cycle) else {
+                continue;
+            };
+            if fs.plan.retry_limit == 0
+                || !nodes.contains(&(self.layout.chan_from[chan as usize] as usize))
+            {
+                continue;
+            }
+            if self.chan_pending[chan as usize] == 0 {
+                fs.reset_fail(chan);
+            } else if cycle > 0 && fs.flaky_down_at(chan, cycle - 1, threshold) {
+                if fs.count_fail(chan) {
+                    self.reabsorb_chan(chan as usize, &mut reabsorb);
+                }
+            } else {
+                fs.reset_fail(chan);
+            }
+        }
+        if permanent {
+            fs.clear_distances();
+        }
+        self.faults = Some(fs);
+        for &(p, node) in &reabsorb {
+            self.reroute_packet(p, node);
+        }
+        if permanent {
+            // Degraded sweep: every queued packet's option set must be
+            // re-restricted to the surviving graph (and may fall back
+            // to an escape hop, or report a partition).
+            for v in nodes {
+                if !self.node_alive(v) {
+                    continue;
+                }
+                for i in 0..self.node_fifo[v].len() {
+                    let p = self.node_fifo[v][i];
+                    let class = self.packets[p as usize].class;
+                    self.compute_options(p, v, class);
+                }
+            }
+        }
+    }
+
+    /// Pull every staged packet off `chan`'s output buffers for
+    /// re-queueing at the (live) sender.
+    fn reabsorb_chan(&mut self, chan: usize, out: &mut Vec<(u32, usize)>) {
+        if self.chan_pending[chan] == 0 {
+            return;
+        }
+        let from = self.layout.chan_from[chan] as usize;
+        let start = self.layout.chan_buf_start[chan] as usize;
+        let len = usize::from(self.layout.chan_buf_len[chan]);
+        for b in start..start + len {
+            let p = self.outbuf[b];
+            if p != NONE {
+                self.outbuf[b] = NONE;
+                out.push((p, from));
+            }
+        }
+        self.chan_pending[chan] = 0;
+    }
+
+    /// Drop every packet staged on `chan` (its source node died).
+    fn drop_outbufs(&mut self, chan: usize) {
+        let start = self.layout.chan_buf_start[chan] as usize;
+        let len = usize::from(self.layout.chan_buf_len[chan]);
+        for b in start..start + len {
+            let p = self.outbuf[b];
+            if p != NONE {
+                self.outbuf[b] = NONE;
+                self.drop_packet(p);
+            }
+        }
+        self.chan_pending[chan] = 0;
+    }
+
+    /// Drop every packet sitting in `chan`'s input buffers (they crossed
+    /// into a node that then died).
+    fn drop_inbufs(&mut self, chan: usize) {
+        let to = self.layout.chan_to[chan] as usize;
+        let start = self.layout.chan_buf_start[chan] as usize;
+        let len = usize::from(self.layout.chan_buf_len[chan]);
+        for b in start..start + len {
+            let p = self.inbuf[b];
+            if p != NONE {
+                self.inbuf[b] = NONE;
+                self.in_occupied[to] -= 1;
+                self.drop_packet(p);
+            }
+        }
+    }
+
+    /// Drop every packet resident at dead node `v`: its central queues
+    /// and its injection buffer.
+    fn drop_node_packets(&mut self, v: usize) {
+        let fifo = std::mem::take(&mut self.node_fifo[v]);
+        for p in fifo {
+            let class = self.packets[p as usize].class;
+            let q = v * self.num_classes + usize::from(class);
+            self.queue_len[q] -= 1;
+            if Rec::ENABLED {
+                let uid = self.packets[p as usize].uid;
+                self.rec
+                    .on_queue_leave(self.cycle, uid, v as u32, class, self.queue_len[q]);
+            }
+            self.drop_packet(p);
+        }
+        let inj = self.inj_buf[v];
+        if inj != NONE {
+            self.inj_buf[v] = NONE;
+            self.drop_packet(inj);
+        }
+    }
+
+    /// Destroy a packet in flight (node-down collateral).
+    fn drop_packet(&mut self, p: u32) {
+        if Rec::ENABLED {
+            let uid = self.packets[p as usize].uid;
+            self.rec.on_drop(self.cycle, uid);
+        }
+        self.dropped += 1;
+        self.free.push(p);
+    }
+
+    /// Re-queue a reabsorbed packet at `node` with a restarted routing
+    /// state — the pre-hop state is unrecoverable (staging overwrote
+    /// `msg`), so the packet re-enters via the injection transition.
+    /// The enqueue is unchecked: reabsorption deliberately tolerates
+    /// transient over-capacity (see [`crate::fault`]).
+    fn reroute_packet(&mut self, p: u32, node: usize) {
+        debug_assert!(self.node_alive(node));
+        let dst = self.packets[p as usize].dst as usize;
+        debug_assert_ne!(dst, node, "staged packet addressed to its own node");
+        let msg = self.rf.initial_msg(node, dst);
+        let class = self.entry_class(node, &msg);
+        let pkt = &mut self.packets[p as usize];
+        pkt.msg = msg;
+        pkt.escape = false;
+        pkt.staged = false;
+        pkt.next_class = class;
+        if Rec::ENABLED {
+            let uid = pkt.uid;
+            self.rec.on_reroute(self.cycle, uid, node as u32, class);
+        }
+        let ok = self.enqueue_central(node, p, class, false);
+        debug_assert!(ok);
     }
 
     // --- Sharding support (used by `crate::sharded`) -------------------
@@ -1010,6 +1549,16 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// the sequential engine's).
     pub(crate) fn set_next_uid(&mut self, uid: u64) {
         self.next_uid = uid;
+    }
+
+    /// Packets destroyed by faults on this shard so far.
+    pub(crate) fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether this shard found any destination unreachable this run.
+    pub(crate) fn has_partition(&self) -> bool {
+        !self.partitioned.is_empty()
     }
 
     /// Non-empty central queues over `nodes` as `(node, class, occupancy)`
@@ -1062,6 +1611,7 @@ pub(crate) struct Transfer<M> {
     class: u8,
     next_class: u8,
     msg: M,
+    escape: bool,
     trace: Option<TraceState>,
 }
 
@@ -1085,6 +1635,13 @@ impl<R: RoutingFunction, Rec: ShardRecorder> Simulator<R, Rec> {
         if self.chan_pending[chan] == 0 {
             return;
         }
+        if let Some(fs) = &self.faults {
+            // Same guard as the sequential link pass: a dead or
+            // flaky-down channel carries nothing this cycle.
+            if fs.link_blocked(chan as u32, self.cycle) {
+                return;
+            }
+        }
         let start = self.layout.chan_buf_start[chan] as usize;
         let len = self.layout.chan_buf_len[chan] as usize;
         for b in start..start + len {
@@ -1107,6 +1664,7 @@ impl<R: RoutingFunction, Rec: ShardRecorder> Simulator<R, Rec> {
                     class: pkt.class,
                     next_class: pkt.next_class,
                     msg: pkt.msg.clone(),
+                    escape: pkt.escape,
                     trace: if Rec::ENABLED {
                         self.rec.snapshot_trace(pkt.uid)
                     } else {
@@ -1128,6 +1686,14 @@ impl<R: RoutingFunction, Rec: ShardRecorder> Simulator<R, Rec> {
         chan: usize,
         offered: &mut [OfferItem<R::Msg>],
     ) -> Option<u32> {
+        if let Some(fs) = &self.faults {
+            // Fault flags are replicated, so receiver and sender agree
+            // on blocked channels; the sender will not have offered,
+            // but guard here too for symmetry with `link_chan`.
+            if fs.link_blocked(chan as u32, self.cycle) {
+                return None;
+            }
+        }
         let start = self.layout.chan_buf_start[chan] as usize;
         let len = self.layout.chan_buf_len[chan] as usize;
         let rr = self.chan_rr[chan] as usize;
@@ -1179,6 +1745,7 @@ impl<R: RoutingFunction, Rec: ShardRecorder> Simulator<R, Rec> {
             msg: t.msg,
             next_class: t.next_class,
             class: t.class,
+            escape: t.escape,
             options: Vec::new(),
         };
         let slot = self.insert_packet(pkt);

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod fault;
 mod layout;
 pub mod node_design;
 mod sharded;
@@ -60,6 +61,7 @@ pub use fadr_metrics::{
     Control, CounterSink, NoRecorder, Recorder, ShardRecorder, SinkSet, StallReport, TraceSink,
     TraceState, WatchdogSink,
 };
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use layout::Layout;
 pub use sharded::ShardedSimulator;
 

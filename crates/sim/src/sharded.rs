@@ -57,6 +57,7 @@ use fadr_qdg::RoutingFunction;
 use fadr_topology::NodeId;
 
 use crate::engine::{node_rng, OfferItem, Simulator};
+use crate::fault::FaultPlan;
 use crate::layout::Layout;
 use crate::{DynamicResult, OccupancyProbe, SimConfig, StaticResult, StopReason};
 
@@ -127,6 +128,15 @@ struct CycleSummary {
     /// Injections this shard will perform next cycle (pre-planned, so
     /// uid ranges can be prefix-summed before anyone injects).
     inj_next: u64,
+    /// Packets node-down faults destroyed on this shard this cycle.
+    dropped: u64,
+    /// Backlog entries this shard's planner wrote off this cycle
+    /// because their source node died (published with the cycle the
+    /// injections would have happened in, matching when the sequential
+    /// engine's loop condition first sees them).
+    lost: u64,
+    /// This shard found some destination unreachable (cumulative).
+    partitioned: bool,
     /// This shard's recorder voted to stop.
     stop: bool,
 }
@@ -144,6 +154,9 @@ struct StallInfo {
 struct WorkerOut {
     attempts: u64,
     injected: u64,
+    /// Replicated global count of backlog entries lost to dead source
+    /// nodes (identical on every worker).
+    lost: u64,
     aborted: bool,
     stall: Option<StallInfo>,
 }
@@ -265,7 +278,7 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
     watchdog: Option<u64>,
     max_cycles: u64,
     track_occupancy: bool,
-    mut planner: impl FnMut(&Simulator<R, Rec>, &mut Vec<(u32, u32)>) -> u64,
+    mut planner: impl FnMut(&Simulator<R, Rec>, &mut Vec<(u32, u32)>) -> (u64, u64),
 ) -> WorkerOut {
     let _guard = PoisonGuard(&mb.barrier);
     let shards = plan.ranges.len();
@@ -273,7 +286,7 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
     let mut pending: Vec<(u32, u32)> = Vec::new();
 
     // Plan cycle 0's injections and agree on uid bases before starting.
-    let mut att_next = planner(sim, &mut pending);
+    let (mut att_next, mut lost_next) = planner(sim, &mut pending);
     lock(&mb.summaries[sid]).inj_next = pending.len() as u64;
     mb.barrier.wait();
     let counts: Vec<u64> = mb.summaries.iter().map(|m| lock(m).inj_next).collect();
@@ -281,12 +294,15 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
     // Replicated global state (every worker computes the same values).
     let mut next_uid_global: u64 = counts.iter().sum();
     let mut delivered_global: u64 = 0;
+    let mut dropped_global: u64 = 0;
+    let mut lost_global: u64 = 0;
     let mut last_delivery: u64 = 0;
     let mut links_since_delivery: u64 = 0;
 
     let mut attempts = 0u64;
     let mut injected = 0u64;
     let mut prev_delivered = 0u64;
+    let mut prev_dropped = 0u64;
     let mut iter = 0u64;
     let mut aborted = false;
     let mut stall: Option<StallInfo> = None;
@@ -294,7 +310,9 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
     loop {
         match horizon {
             Horizon::Drain { total } => {
-                if delivered_global >= total || sim.cycle() >= max_cycles {
+                if delivered_global + dropped_global + lost_global >= total
+                    || sim.cycle() >= max_cycles
+                {
                     break;
                 }
             }
@@ -319,10 +337,17 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
         sim.set_next_uid(uid_base);
         attempts += att_next;
         injected += pending.len() as u64;
+        let lost_cycle = lost_next;
         for &(v, dst) in &pending {
             sim.inject(v as usize, dst as usize);
         }
         pending.clear();
+        // Faults fire after this cycle's injections and before its fill
+        // pass, exactly where the sequential `step` applies them. The
+        // ack drain above must precede this: a packet that crossed last
+        // cycle but whose ack is still in the mailbox would otherwise be
+        // reabsorbed a second time from the sender's output buffer.
+        sim.apply_faults(range.clone());
         for v in range.clone() {
             sim.fill_node(v);
         }
@@ -387,12 +412,19 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
         }
         let delivered_cycle = sim.delivered_count() - prev_delivered;
         prev_delivered = sim.delivered_count();
+        let dropped_cycle = sim.dropped_count() - prev_dropped;
+        prev_dropped = sim.dropped_count();
         let ctl = sim.end_cycle();
-        att_next = planner(sim, &mut pending);
+        let next = planner(sim, &mut pending);
+        att_next = next.0;
+        lost_next = next.1;
         *lock(&mb.summaries[sid]) = CycleSummary {
             delivered: delivered_cycle,
             links: links_cycle,
             inj_next: pending.len() as u64,
+            dropped: dropped_cycle,
+            lost: lost_cycle,
+            partitioned: sim.has_partition(),
             stop: ctl == Control::Stop,
         };
         mb.barrier.wait();
@@ -401,6 +433,8 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
         let sums: Vec<CycleSummary> = mb.summaries.iter().map(|m| *lock(m)).collect();
         let d: u64 = sums.iter().map(|s| s.delivered).sum();
         delivered_global += d;
+        dropped_global += sums.iter().map(|s| s.dropped).sum::<u64>();
+        lost_global += sums.iter().map(|s| s.lost).sum::<u64>();
         let cycle = sim.cycle();
         if d > 0 {
             last_delivery = cycle;
@@ -411,8 +445,9 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
         if let Some(k) = watchdog {
             // Same rule as `WatchdogSink::on_cycle_end`: all link
             // traversals of a cycle precede its deliveries, so the
-            // per-cycle folding above is exact.
-            let in_flight = next_uid_global - delivered_global;
+            // per-cycle folding above is exact. Dropped packets are no
+            // longer in flight.
+            let in_flight = next_uid_global - delivered_global - dropped_global;
             if stall.is_none() && in_flight > 0 && cycle - last_delivery >= k {
                 stall = Some(StallInfo {
                     cycle,
@@ -421,6 +456,21 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
                     in_flight,
                 });
                 aborted = true;
+            }
+        }
+        if sums.iter().any(|s| s.partitioned) {
+            // A partitioned destination can never drain: abort at the
+            // end of the cycle that detected it (the sequential engine
+            // forces `Control::Stop` the same way), synthesizing stall
+            // evidence if the watchdog hasn't already.
+            aborted = true;
+            if stall.is_none() {
+                stall = Some(StallInfo {
+                    cycle,
+                    window: cycle - last_delivery,
+                    links_in_window: links_since_delivery,
+                    in_flight: next_uid_global - delivered_global - dropped_global,
+                });
             }
         }
         if sums.iter().any(|s| s.stop) {
@@ -452,6 +502,7 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
     WorkerOut {
         attempts,
         injected,
+        lost: lost_global,
         aborted,
         stall,
     }
@@ -547,6 +598,35 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
         self
     }
 
+    /// Attach a fault plan (see [`crate::fault`]): every shard shares
+    /// the same normalized schedule, applies its flag state identically,
+    /// and performs packet surgery only on the nodes it owns — the
+    /// differential suite asserts runs stay bit-identical to a faulted
+    /// sequential [`Simulator`].
+    #[must_use]
+    pub fn with_faults(mut self, mut plan: FaultPlan) -> Self {
+        plan.normalize();
+        let plan = Arc::new(plan);
+        for sim in &mut self.shards {
+            sim.set_fault_plan(Arc::clone(&plan));
+        }
+        self
+    }
+
+    /// Destinations a fault made unreachable in the last run, sorted and
+    /// deduplicated across shards. Non-empty exactly when the run
+    /// stopped with [`StopReason::Partitioned`].
+    pub fn partitioned_destinations(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .shards
+            .iter()
+            .flat_map(Simulator::partitioned_destinations)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Number of shards (threads) the simulation runs on.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
@@ -572,20 +652,33 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
             let range = plan.ranges[sid].clone();
             let mut next_idx = vec![0usize; range.len()];
             move |sim: &Simulator<R, Rec>, pending: &mut Vec<(u32, u32)>| {
+                let mut lost = 0u64;
                 for v in range.clone() {
                     let i = v - range.start;
-                    if next_idx[i] < backlog[v].len() && sim.inj_free(v) {
+                    if next_idx[i] >= backlog[v].len() {
+                        continue;
+                    }
+                    if !sim.node_alive(v) {
+                        // Same write-off as the sequential loop: a dead
+                        // node's remaining backlog is never offered.
+                        lost += (backlog[v].len() - next_idx[i]) as u64;
+                        next_idx[i] = backlog[v].len();
+                    } else if sim.inj_free(v) {
                         pending.push((v as u32, backlog[v][next_idx[i]] as u32));
                         next_idx[i] += 1;
                     }
                 }
-                0
+                (0, lost)
             }
         });
         let delivered = self.delivered();
-        let drained = delivered == total;
-        let stop = if drained {
+        let dropped = self.dropped();
+        let lost = outs[0].lost;
+        let accounted = delivered + dropped + lost == total;
+        let stop = if accounted {
             StopReason::Drained
+        } else if !self.partitioned_destinations().is_empty() {
+            StopReason::Partitioned
         } else if outs.iter().any(|o| o.aborted) {
             StopReason::Aborted
         } else {
@@ -597,7 +690,9 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
             cycles: self.shards[0].cycle(),
             delivered,
             total,
-            drained,
+            drained: stop == StopReason::Drained,
+            dropped,
+            lost,
             stop,
         }
     }
@@ -632,16 +727,21 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
                         continue;
                     }
                     att += 1;
+                    // Drawn unconditionally, like the sequential engine:
+                    // a dead node keeps drawing and discarding so the
+                    // per-node stream is fault-independent.
                     let dst = dest(v, rng);
-                    if sim.inj_free(v) {
+                    if sim.inj_free(v) && sim.node_alive(v) {
                         pending.push((v as u32, dst as u32));
                     }
                 }
-                att
+                (att, 0)
             }
         });
         self.stall = outs[0].stall.map(|info| self.build_stall_report(info));
-        let stop = if outs.iter().any(|o| o.aborted) {
+        let stop = if !self.partitioned_destinations().is_empty() {
+            StopReason::Partitioned
+        } else if outs.iter().any(|o| o.aborted) {
             StopReason::Aborted
         } else {
             StopReason::HorizonReached
@@ -652,6 +752,7 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
             injected: outs.iter().map(|o| o.injected).sum(),
             delivered: self.delivered(),
             cycles: self.shards[0].cycle(),
+            dropped: self.dropped(),
             stop,
         }
     }
@@ -668,7 +769,7 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
         R: Send,
         R::Msg: Send,
         Rec: Send,
-        P: FnMut(&Simulator<R, Rec>, &mut Vec<(u32, u32)>) -> u64 + 'a,
+        P: FnMut(&Simulator<R, Rec>, &mut Vec<(u32, u32)>) -> (u64, u64) + 'a,
     {
         for sim in &mut self.shards {
             sim.reset();
@@ -707,6 +808,10 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
         self.shards.iter().map(Simulator::delivered_count).sum()
     }
 
+    fn dropped(&self) -> u64 {
+        self.shards.iter().map(Simulator::dropped_count).sum()
+    }
+
     fn merged_stats(&self) -> LatencyStats {
         let mut stats = self.shards[0].latency_stats().clone();
         for sim in &self.shards[1..] {
@@ -730,6 +835,7 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
             in_flight: info.in_flight,
             window: info.window,
             links_in_window: info.links_in_window,
+            partitioned: self.partitioned_destinations(),
             oldest,
             queues,
         }

@@ -8,12 +8,17 @@
 //!    abort from running into the `max_cycles` horizon;
 //! 3. `FillOrder::Rotating` rotated all nodes in lockstep (covered by
 //!    unit tests on `rotating_start` in the engine; the end-to-end
-//!    symmetric-workload check lives here).
+//!    symmetric-workload check lives here);
+//! 4. a regression corpus of abort verdicts: the capacity-0 wedge and a
+//!    fault-induced partition as fixed-seed runs whose
+//!    deadlock/livelock/partition verdict strings must stay stable —
+//!    downstream tooling (the `--faults` harness flags, CI log greps)
+//!    matches on these exact strings.
 
 use std::cell::RefCell;
 
 use fadr_core::HypercubeFullyAdaptive;
-use fadr_sim::{FillOrder, SimConfig, Simulator, SinkSet, StopReason};
+use fadr_sim::{FaultKind, FaultPlan, FillOrder, SimConfig, Simulator, SinkSet, StopReason};
 use fadr_workloads::{static_backlog, Pattern};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -184,4 +189,72 @@ fn rotating_fill_preserves_symmetric_workload() {
     assert_eq!(rot.stop, StopReason::Drained);
     assert_eq!(rot.delivered, low.delivered);
     assert_eq!(rot.stats.count(), low.stats.count());
+}
+
+// --- satellite 4: the abort-verdict regression corpus --------------------
+
+/// Capacity-0 wedge: nothing can ever move, so the watchdog's report
+/// must carry the exact `"deadlock"` verdict (zero links in the
+/// no-progress window, no partitioned destinations).
+#[test]
+fn capacity_zero_wedge_verdict_is_deadlock() {
+    let cfg = SimConfig {
+        queue_capacity: 0,
+        ..SimConfig::default()
+    };
+    let backlog: Vec<Vec<usize>> = (0..16).map(|v| vec![v ^ 0xF]).collect();
+    let mut sim = Simulator::with_recorder(
+        HypercubeFullyAdaptive::new(4),
+        cfg,
+        SinkSet::new().with_watchdog(32),
+    );
+    let res = sim.run_static(&backlog);
+    assert_eq!(res.stop, StopReason::Aborted);
+    let report = sim.recorder().stall().expect("stall report");
+    assert_eq!(report.verdict(), "deadlock");
+    assert_eq!(report.links_in_window, 0);
+    assert!(report.partitioned.is_empty());
+    assert!(
+        report.to_json().contains("\"verdict\": \"deadlock\""),
+        "{}",
+        report.to_json()
+    );
+}
+
+/// Fault-induced partition: cutting every in-channel of node 15 makes
+/// it unreachable, so the run stops with `Partitioned` and the report's
+/// verdict string is exactly `"partitioned"`, naming the lost
+/// destination — not a hang, not a deadlock verdict.
+#[test]
+fn partition_verdict_is_partitioned() {
+    let mut plan = FaultPlan::new(42, 0);
+    for d in 0..4u32 {
+        plan.push(
+            2,
+            FaultKind::LinkDown {
+                from: 15 ^ (1 << d),
+                to: 15,
+            },
+        );
+    }
+    let backlog: Vec<Vec<usize>> = (0..16)
+        .map(|v| if v == 0 { vec![15] } else { Vec::new() })
+        .collect();
+    let mut sim = Simulator::with_recorder(
+        HypercubeFullyAdaptive::new(4),
+        SimConfig::default(),
+        SinkSet::new().with_watchdog(64),
+    )
+    .with_faults(plan);
+    let res = sim.run_static(&backlog);
+    assert_eq!(res.stop, StopReason::Partitioned);
+    assert_eq!(sim.partitioned_destinations(), &[15]);
+    let report = sim.recorder().stall().expect("stall report");
+    assert_eq!(report.verdict(), "partitioned");
+    assert_eq!(report.partitioned, vec![15]);
+    assert!(
+        report.to_json().contains("\"verdict\": \"partitioned\""),
+        "{}",
+        report.to_json()
+    );
 }

@@ -156,13 +156,13 @@ fn sinks_match_sequential_bit_for_bit() {
     let size = 16;
     let mk = || SinkSet::new().with_counters(size, 2).with_trace(48);
 
-    let mut seq = Simulator::with_recorder(rf.clone(), cfg, mk());
+    let mut seq = Simulator::with_recorder(rf, cfg, mk());
     let seq_res = seq.run_dynamic(0.8, |s, rng| Pattern::Random.draw(s, size, rng), 80);
     let mut seq_sinks = seq.into_recorder();
     seq_sinks.flush();
 
     for shards in SHARD_COUNTS {
-        let mut shr = ShardedSimulator::with_recorders(rf.clone(), cfg, shards, |_| mk());
+        let mut shr = ShardedSimulator::with_recorders(rf, cfg, shards, |_| mk());
         let shr_res = shr.run_dynamic(0.8, |s, rng| Pattern::Random.draw(s, size, rng), 80);
         assert_eq!(seq_res, shr_res, "shards={shards}");
         let mut shr_sinks = shr.into_recorder();
@@ -194,13 +194,13 @@ fn sinks_match_sequential_on_static_runs() {
     let mut rng = StdRng::seed_from_u64(0xE5);
     let backlog = static_backlog(&Pattern::Random, size, 3, &mut rng);
 
-    let mut seq = Simulator::with_recorder(rf.clone(), cfg, mk());
+    let mut seq = Simulator::with_recorder(rf, cfg, mk());
     let seq_res = seq.run_static(&backlog);
     let mut seq_sinks = seq.into_recorder();
     seq_sinks.flush();
 
     for shards in SHARD_COUNTS {
-        let mut shr = ShardedSimulator::with_recorders(rf.clone(), cfg, shards, |_| mk());
+        let mut shr = ShardedSimulator::with_recorders(rf, cfg, shards, |_| mk());
         let shr_res = shr.run_static(&backlog);
         assert_eq!(seq_res, shr_res, "shards={shards}");
         let mut shr_sinks = shr.into_recorder();
@@ -231,7 +231,7 @@ fn sharded_watchdog_matches_sequential_stall_report() {
     let size = 8;
     let k = 25;
 
-    let mut seq = Simulator::with_recorder(rf.clone(), cfg, SinkSet::new().with_watchdog(k));
+    let mut seq = Simulator::with_recorder(rf, cfg, SinkSet::new().with_watchdog(k));
     let seq_res = seq.run_dynamic(1.0, |s, rng| Pattern::Random.draw(s, size, rng), 200);
     assert_eq!(seq_res.stop, StopReason::Aborted);
     let seq_sinks = seq.into_recorder();
@@ -241,7 +241,7 @@ fn sharded_watchdog_matches_sequential_stall_report() {
         .clone();
 
     for shards in SHARD_COUNTS {
-        let mut shr = ShardedSimulator::new(rf.clone(), cfg, shards).with_watchdog(k);
+        let mut shr = ShardedSimulator::new(rf, cfg, shards).with_watchdog(k);
         let shr_res = shr.run_dynamic(1.0, |s, rng| Pattern::Random.draw(s, size, rng), 200);
         assert_eq!(shr_res.stop, StopReason::Aborted, "shards={shards}");
         assert_eq!(
@@ -265,9 +265,9 @@ fn degenerate_shard_counts_work() {
     let rf = HypercubeFullyAdaptive::new(3);
     let cfg = SimConfig::default();
     let backlog: Vec<Vec<usize>> = (0..8).map(|v| vec![v ^ 7]).collect();
-    let seq = Simulator::new(rf.clone(), cfg).run_static(&backlog);
+    let seq = Simulator::new(rf, cfg).run_static(&backlog);
     for shards in [1, 8, 100] {
-        let res = ShardedSimulator::new(rf.clone(), cfg, shards).run_static(&backlog);
+        let res = ShardedSimulator::new(rf, cfg, shards).run_static(&backlog);
         assert_eq!(seq, res, "shards={shards}");
     }
 }

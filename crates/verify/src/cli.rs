@@ -7,6 +7,7 @@
 //! certify --family torus --width 16 --height 16
 //! certify --family se --n 12
 //! certify --family se --n 4 --algo paper-literal --expect-reject --dot cycle.dot
+//! certify --family hypercube --n 8 --faults plan.json --out cert.json
 //! ```
 //!
 //! On acceptance the emitted certificate is immediately re-validated by
@@ -35,6 +36,7 @@ struct Opts {
     out: Option<PathBuf>,
     out_dir: Option<PathBuf>,
     dot: Option<PathBuf>,
+    faults: Option<PathBuf>,
     expect_reject: bool,
 }
 
@@ -50,6 +52,7 @@ fn usage() -> &'static str {
      --out FILE        write the certificate JSON to FILE\n\
      --out-dir DIR     write the certificate JSON to DIR/<scheme>.json\n\
      --dot FILE        write the counterexample cycle as Graphviz on rejection\n\
+     --faults FILE     certify the degraded QDG after FILE's fadr-faults/1 plan\n\
      --expect-reject   exit 0 iff the scheme is rejected"
 }
 
@@ -63,6 +66,7 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Opts, String> {
         out: None,
         out_dir: None,
         dot: None,
+        faults: None,
         expect_reject: false,
     };
     let want = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -78,6 +82,7 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Opts, String> {
             "--out" => o.out = Some(PathBuf::from(want(&mut args, "--out")?)),
             "--out-dir" => o.out_dir = Some(PathBuf::from(want(&mut args, "--out-dir")?)),
             "--dot" => o.dot = Some(PathBuf::from(want(&mut args, "--dot")?)),
+            "--faults" => o.faults = Some(PathBuf::from(want(&mut args, "--faults")?)),
             "--expect-reject" => o.expect_reject = true,
             "--help" | "-h" => return Err(usage().into()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
@@ -130,7 +135,37 @@ pub fn main() -> ExitCode {
     ExitCode::from(code)
 }
 
+/// Dispatch: with `--faults`, certify the degraded scheme after the
+/// plan's permanent faults; otherwise certify the scheme as-is.
 fn run<R: Symmetry>(rf: &R, opts: &Opts) -> u8 {
+    let Some(path) = &opts.faults else {
+        return run_scheme(rf, opts);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let plan = match fadr_sim::FaultPlan::parse(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bad fault plan {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let n = fadr_qdg::RoutingFunction::topology(rf).num_nodes();
+    match crate::Faulted::new(rf, &plan.final_dead_nodes(n), &plan.final_dead_links()) {
+        Ok(f) => run_scheme(&f, opts),
+        Err(e) => {
+            eprintln!("fault plan does not fit {}: {e}", rf.name());
+            2
+        }
+    }
+}
+
+fn run_scheme<R: Symmetry + ?Sized>(rf: &R, opts: &Opts) -> u8 {
     let started = std::time::Instant::now();
     let outcome = certify(rf);
     let elapsed = started.elapsed();

@@ -33,6 +33,7 @@ pub mod check;
 pub mod classgraph;
 pub mod cli;
 pub mod concrete;
+pub mod faulted;
 pub mod hasher;
 
 use std::collections::HashMap;
@@ -48,6 +49,7 @@ pub use certificate::{Certificate, ClassifierMode, SCHEMA};
 pub use check::check_certificate;
 pub use classgraph::{ClassGraph, EdgeWitness, EscapeWitness};
 pub use concrete::Concrete;
+pub use faulted::{Faulted, SurvivingTopology};
 
 /// A static-QDG cycle over concrete queues, with per-edge witnesses and
 /// a Graphviz rendering.
@@ -131,6 +133,27 @@ pub fn certify<R: Symmetry + ?Sized>(rf: &R) -> Outcome {
             }
         }
     }
+}
+
+/// Re-certify a scheme's *degraded* QDG after a fault plan's permanent
+/// faults (dead nodes and dead links; transient freezes and flaky
+/// windows do not change the eventual topology).
+///
+/// Returns the [`Faulted`] wrapper alongside the [`Outcome`] so the
+/// caller can re-validate an accepted certificate against it with
+/// [`check_certificate`]. A plan that disconnects a surviving
+/// destination is rejected with a dead-end violation — the concrete
+/// counterexample; a connected plan certifies with a rank function for
+/// the degraded static QDG. Errors only on a malformed fault set
+/// (wrong node count, out-of-range link, all nodes dead).
+pub fn certify_plan<'a, R: fadr_qdg::RoutingFunction + ?Sized>(
+    rf: &'a R,
+    plan: &fadr_sim::FaultPlan,
+) -> Result<(faulted::Faulted<'a, R>, Outcome), String> {
+    let n = rf.topology().num_nodes();
+    let f = faulted::Faulted::new(rf, &plan.final_dead_nodes(n), &plan.final_dead_links())?;
+    let outcome = certify(&f);
+    Ok((f, outcome))
 }
 
 /// The exact fallback pass: identity classifier, all destinations.

@@ -1,0 +1,185 @@
+//! Re-certification of degraded (faulted) schemes: every accepted
+//! fault plan ships with a rank-function certificate, every rejected
+//! one with a concrete counterexample — a dead end when the plan
+//! disconnects a destination, a static cycle when the escape fallback
+//! bends the phase order back on itself.
+
+use fadr_core::{HypercubeFullyAdaptive, MeshFullyAdaptive, TorusTwoPhase};
+use fadr_sim::{FaultKind, FaultPlan};
+use fadr_topology::Topology;
+use fadr_verify::{certify_plan, check_certificate, Faulted, Outcome};
+
+fn link_down(from: u32, to: u32) -> FaultPlan {
+    let mut p = FaultPlan::new(1, 0);
+    p.push(5, FaultKind::LinkDown { from, to });
+    p
+}
+
+/// A plan with only transient faults (freezes, flaky windows) leaves
+/// the eventual topology intact: the wrapper is a pass-through and the
+/// degraded scheme certifies exactly like the original.
+#[test]
+fn transient_only_plan_certifies_as_passthrough() {
+    let mut plan = FaultPlan::new(7, 2);
+    plan.push(
+        3,
+        FaultKind::QueueFreeze {
+            node: 2,
+            class: 0,
+            duration: 10,
+        },
+    );
+    plan.push(
+        0,
+        FaultKind::FlakyLink {
+            from: 1,
+            to: 3,
+            until: 30,
+            threshold: 50,
+        },
+    );
+    fn assert_passthrough<R: fadr_qdg::RoutingFunction>(label: &str, rf: &R, plan: &FaultPlan) {
+        let (f, outcome) = certify_plan(rf, plan).expect("well-formed plan");
+        assert!(!f.is_degraded(), "{label}: no permanent fault bit");
+        let cert = match outcome {
+            Outcome::Certified(c) => c,
+            Outcome::Rejected(r) => panic!("{label}: rejected: {}", r.violation),
+        };
+        assert!(!cert.ranks.is_empty(), "{label}: certificate has ranks");
+        check_certificate(&f, &cert).unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+    assert_passthrough("cube", &HypercubeFullyAdaptive::new(4), &plan);
+    assert_passthrough("torus", &TorusTwoPhase::new(8, 8), &plan);
+}
+
+/// Killing a root-outgoing channel forces escapes that align with the
+/// phase-A (descending) order, so the degraded static QDG stays
+/// acyclic: the plan certifies, and the certificate survives the
+/// independent checker against the degraded scheme itself.
+#[test]
+fn aligned_link_faults_certify_with_rank_function() {
+    fn assert_certifies<R: fadr_qdg::RoutingFunction>(label: &str, rf: &R, plan: &FaultPlan) {
+        let (f, outcome) = certify_plan(rf, plan).expect("well-formed plan");
+        assert!(f.is_degraded(), "{label}: the dead link is a real channel");
+        let cert = match outcome {
+            Outcome::Certified(c) => c,
+            Outcome::Rejected(r) => panic!("{label}: rejected: {}", r.violation),
+        };
+        assert!(!cert.ranks.is_empty(), "{label}: rank function present");
+        assert!(
+            cert.algorithm.contains("degraded"),
+            "{label}: certificate names the degraded scheme"
+        );
+        // The certificate JSON carries the explicit rank function (the
+        // CI smoke matrix greps for this key).
+        assert!(cert.to_json().contains("\"ranks\": ["));
+        check_certificate(&f, &cert).unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+    let cube = HypercubeFullyAdaptive::new(4);
+    let mesh = MeshFullyAdaptive::new(8, 8);
+    assert_certifies("cube 0->1", &cube, &link_down(0, 1));
+    assert_certifies("cube 0->8", &cube, &link_down(0, 8));
+    assert_certifies("mesh 0->1", &mesh, &link_down(0, 1));
+}
+
+/// A mid-cube dead link makes some state's only static move die while
+/// a dynamic one survives; the escape restart then re-enters phase A
+/// *against* the descending order and closes a static 2-cycle. The
+/// certifier must reject with the concrete cycle, not accept.
+#[test]
+fn phase_reversing_escape_is_rejected_with_concrete_cycle() {
+    let cube = HypercubeFullyAdaptive::new(4);
+    let (_, outcome) = certify_plan(&cube, &link_down(3, 7)).expect("well-formed plan");
+    let rej = match outcome {
+        Outcome::Certified(_) => panic!("phase-reversing escape must not certify"),
+        Outcome::Rejected(r) => r,
+    };
+    assert!(
+        rej.violation.detail.contains("cycle"),
+        "got: {}",
+        rej.violation.detail
+    );
+    let cx = rej
+        .counterexample
+        .expect("static cycles carry a counterexample");
+    assert!(cx.cycle.len() >= 2);
+    assert_eq!(cx.edges.len(), cx.cycle.len(), "one witness per edge");
+}
+
+/// A plan that cuts every in-channel of one node partitions that
+/// destination: the degraded QDG has a dead-end state (no surviving
+/// move, no escape), which is the concrete counterexample. This is the
+/// verify-side twin of the engines' `Partitioned` stop.
+#[test]
+fn partitioning_plan_is_rejected_with_dead_end() {
+    let cube = HypercubeFullyAdaptive::new(4);
+    let mut plan = FaultPlan::new(1, 0);
+    for d in 0..4u32 {
+        plan.push(
+            3,
+            FaultKind::LinkDown {
+                from: 15 ^ (1 << d),
+                to: 15,
+            },
+        );
+    }
+    let (_, outcome) = certify_plan(&cube, &plan).expect("well-formed plan");
+    let rej = match outcome {
+        Outcome::Certified(_) => panic!("a partitioning plan must not certify"),
+        Outcome::Rejected(r) => r,
+    };
+    assert!(
+        rej.violation.detail.contains("dead end"),
+        "got: {}",
+        rej.violation.detail
+    );
+}
+
+/// Node faults compact the surviving network: the wrapper renumbers
+/// live nodes densely so every exploration seed and destination is
+/// live by construction.
+#[test]
+fn node_faults_compact_the_surviving_network() {
+    let cube = HypercubeFullyAdaptive::new(4);
+    let mut plan = FaultPlan::new(1, 0);
+    plan.push(2, FaultKind::NodeDown { node: 5 });
+    let (f, _) = certify_plan(&cube, &plan).expect("well-formed plan");
+    assert_eq!(f.surviving().num_nodes(), 15);
+    // No surviving channel touches the dead node's compacted slots.
+    let surv = f.surviving();
+    for v in 0..surv.num_nodes() {
+        for p in 0..surv.max_ports() {
+            if let Some(w) = surv.neighbor(v, p) {
+                assert!(w < surv.num_nodes());
+            }
+        }
+    }
+}
+
+/// Malformed fault sets are reported as errors, not panics.
+#[test]
+fn malformed_fault_sets_error_cleanly() {
+    let cube = HypercubeFullyAdaptive::new(3);
+    assert!(
+        Faulted::new(&cube, &[false; 4], &[]).is_err(),
+        "wrong node count"
+    );
+    assert!(
+        Faulted::new(&cube, &[false; 8], &[(0, 99)]).is_err(),
+        "out-of-range link"
+    );
+    assert!(
+        Faulted::new(&cube, &[true; 8], &[]).is_err(),
+        "all nodes dead"
+    );
+}
+
+/// A dead link naming a non-existent channel must not degrade the
+/// scheme (the engine's `has_dead` gate only fires on real channels).
+#[test]
+fn dead_link_on_missing_channel_is_a_noop() {
+    let cube = HypercubeFullyAdaptive::new(3);
+    // 0 and 3 differ in two bits: no channel connects them.
+    let f = Faulted::new(&cube, &[false; 8], &[(0, 3)]).expect("well-formed");
+    assert!(!f.is_degraded());
+}

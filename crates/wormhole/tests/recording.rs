@@ -1,0 +1,229 @@
+//! Recording parity for the wormhole engine, mirroring the packet
+//! engine's observability tests (`crates/sim/tests/recording.rs`):
+//! the same sinks attach to [`WormholeSim`] and see the analogous
+//! event stream — VC acquisitions as links, headers with no free VC
+//! as blocks — plus the paper-claims check that every reachable
+//! routing state offers a *static* (escape) virtual channel, the
+//! per-flit form of § 2's condition 3.
+
+use std::collections::HashSet;
+
+use fadr_core::{HypercubeFullyAdaptive, HypercubeStaticHang, MeshFullyAdaptive, TorusTwoPhase};
+use fadr_metrics::CounterSink;
+use fadr_qdg::{HopKind, LinkKind, QueueId, QueueKind, RoutingFunction};
+use fadr_topology::hamming_distance;
+use fadr_workloads::{static_backlog, Pattern};
+use fadr_wormhole::{SinkSet, WormConfig, WormholeSim};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cfg(len: usize) -> WormConfig {
+    WormConfig {
+        message_length: len,
+        ..WormConfig::default()
+    }
+}
+
+fn lone_backlog(size: usize, src: usize, dst: usize) -> Vec<Vec<usize>> {
+    let mut backlog = vec![Vec::new(); size];
+    backlog[src].push(dst);
+    backlog
+}
+
+/// A lone worm on the adaptivity-disabled hang acquires exactly
+/// `hamming(src, dst)` virtual channels, all of them static — the
+/// counter-level parity of the packet engine's minimality test.
+#[test]
+fn lone_worm_static_hang_counts_hamming_vc_acquisitions() {
+    let n = 5;
+    let size = 1usize << n;
+    let rf = HypercubeStaticHang::new(n);
+    let classes = rf.num_classes();
+    for (src, dst) in [(0usize, 0b10110), (0b10101, 0b01010), (1, 0)] {
+        let mut sim = WormholeSim::with_recorder(
+            HypercubeStaticHang::new(n),
+            cfg(4),
+            CounterSink::new(size, classes),
+        );
+        let res = sim.run_static(&lone_backlog(size, src, dst));
+        assert!(res.drained);
+        let c = sim.recorder();
+        let d = hamming_distance(src, dst) as u64;
+        assert_eq!(c.links_total(), d, "({src:#b} -> {dst:#b})");
+        assert_eq!(c.links_dynamic, 0, "hang must never acquire dynamic VCs");
+        assert_eq!(c.links_static, d);
+        assert_eq!(c.dynamic_share(), 0.0);
+        assert_eq!(c.injected, 1);
+        assert_eq!(c.delivered, 1);
+    }
+}
+
+/// The provably safe mode (`use_dynamic_vcs: false`) is structurally
+/// unable to acquire dynamic VCs: under full complement load the
+/// counters must show zero dynamic links, with every worm delivered.
+#[test]
+fn escape_only_mode_records_zero_dynamic_links() {
+    let n = 4;
+    let size = 1usize << n;
+    let rf = HypercubeFullyAdaptive::new(n);
+    let classes = rf.num_classes();
+    let mut sim = WormholeSim::with_recorder(
+        HypercubeFullyAdaptive::new(n),
+        WormConfig {
+            message_length: 4,
+            use_dynamic_vcs: false,
+            ..WormConfig::default()
+        },
+        CounterSink::new(size, classes),
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+    let backlog = static_backlog(&Pattern::complement(n), size, n, &mut rng);
+    assert!(sim.run_static(&backlog).drained);
+    let c = sim.recorder();
+    assert_eq!(c.delivered, (size * n) as u64, "n worms per source");
+    assert_eq!(c.links_dynamic, 0);
+    assert_eq!(c.links_static, c.links_total());
+}
+
+/// With dynamic VCs enabled the same complement load exercises the
+/// adaptive channels: some acquisitions are recorded as dynamic, and
+/// minimality still pins each worm to `hamming` acquisitions in total.
+#[test]
+fn adaptive_mode_records_dynamic_vc_acquisitions() {
+    let n = 4;
+    let size = 1usize << n;
+    let rf = HypercubeFullyAdaptive::new(n);
+    let classes = rf.num_classes();
+    let mut sim = WormholeSim::with_recorder(
+        HypercubeFullyAdaptive::new(n),
+        cfg(4),
+        CounterSink::new(size, classes),
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+    let backlog = static_backlog(&Pattern::complement(n), size, n, &mut rng);
+    assert!(sim.run_static(&backlog).drained);
+    let c = sim.recorder();
+    assert_eq!(c.delivered, (size * n) as u64, "n worms per source");
+    // Complement traffic crosses n bits per worm; minimality of every
+    // acquisition pins the total.
+    assert_eq!(c.links_total(), (size * n * n) as u64);
+    assert!(
+        c.links_dynamic >= 1,
+        "complement load under adaptive VCs took no dynamic channel \
+         (static {} / dynamic {})",
+        c.links_static,
+        c.links_dynamic
+    );
+}
+
+/// The trace sink reconstructs a lone worm's lifecycle: one line,
+/// delivered, with exactly `hamming(src, dst)` VC-acquisition hops
+/// (worms never stutter — they occupy VCs, not central queues).
+#[test]
+fn trace_records_full_worm_lifecycle() {
+    let n = 4;
+    let size = 1usize << n;
+    let (src, dst) = (0usize, 0b1101usize);
+    let mut sim = WormholeSim::with_recorder(
+        HypercubeFullyAdaptive::new(n),
+        cfg(6),
+        SinkSet::new().with_trace(8),
+    );
+    assert!(sim.run_static(&lone_backlog(size, src, dst)).drained);
+    let mut sinks = sim.into_recorder();
+    sinks.flush();
+    let trace = sinks.trace.as_ref().unwrap();
+    assert_eq!(trace.lines().len(), 1);
+    let line = &trace.lines()[0];
+    assert!(line.contains("\"delivered\": true"), "{line}");
+    assert!(
+        line.contains(&format!("\"src\": {src}, \"dst\": {dst}")),
+        "{line}"
+    );
+    assert_eq!(
+        line.matches("\"kind\": ").count(),
+        hamming_distance(src, dst),
+        "{line}"
+    );
+    assert_eq!(line.matches("\"kind\": \"stutter\"").count(), 0, "{line}");
+}
+
+/// A healthy draining wormhole run keeps the watchdog quiet: VC
+/// acquisitions and deliveries count as progress, so no stall report
+/// is produced and the run completes well inside the horizon.
+#[test]
+fn watchdog_stays_quiet_on_a_draining_run() {
+    let n = 4;
+    let size = 1usize << n;
+    let mut sim = WormholeSim::with_recorder(
+        HypercubeFullyAdaptive::new(n),
+        cfg(8),
+        SinkSet::new().with_watchdog(256),
+    );
+    let mut rng = StdRng::seed_from_u64(9);
+    let backlog = static_backlog(&Pattern::complement(n), size, n, &mut rng);
+    let res = sim.run_static(&backlog);
+    assert!(res.drained, "complement load must drain");
+    assert!(
+        sim.recorder().stall().is_none(),
+        "watchdog fired on a healthy run"
+    );
+}
+
+/// Paper claim (§ 2 condition 3, per flit): every reachable routing
+/// state — each `(central queue, message)` a header can occupy —
+/// offers at least one *static* link transition, and the wormhole VC
+/// table declares a matching static VC on that port. A header blocked
+/// on busy adaptive VCs therefore always has an escape VC to wait
+/// for; escape is never structurally absent, only momentarily busy.
+#[test]
+fn every_reachable_routing_state_offers_an_escape_vc() {
+    fn check<R: RoutingFunction>(rf: &R) {
+        let topo = rf.topology();
+        let n = topo.num_nodes();
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                // BFS over (queue, msg) states exactly as a header
+                // traverses them.
+                let mut seen: HashSet<(QueueId, String)> = HashSet::new();
+                let mut frontier = vec![(QueueId::inject(src), rf.initial_msg(src, dst))];
+                while let Some((q, msg)) = frontier.pop() {
+                    if !seen.insert((q, format!("{msg:?}"))) {
+                        continue;
+                    }
+                    if let QueueKind::Central(class) = q.kind {
+                        if !rf.deliverable(q.node, &msg) {
+                            let mut has_escape = false;
+                            rf.for_each_transition(q, &msg, &mut |t| {
+                                if let (LinkKind::Static, HopKind::Link(port)) = (t.kind, t.hop) {
+                                    if let QueueKind::Central(c) = t.to.kind {
+                                        has_escape |= rf
+                                            .buffer_classes(q.node, port)
+                                            .contains(&fadr_qdg::BufferClass::Static(c));
+                                    }
+                                }
+                            });
+                            assert!(
+                                has_escape,
+                                "{}: no static VC at node {} class {class} for {msg:?}",
+                                rf.name(),
+                                q.node
+                            );
+                        }
+                    }
+                    rf.for_each_transition(q, &msg, &mut |t| {
+                        if t.to.kind != QueueKind::Deliver {
+                            frontier.push((t.to, t.msg.clone()));
+                        }
+                    });
+                }
+            }
+        }
+    }
+    check(&HypercubeFullyAdaptive::new(4));
+    check(&MeshFullyAdaptive::new(4, 4));
+    check(&TorusTwoPhase::new(4, 4));
+}
