@@ -1,7 +1,7 @@
 //! Wall-clock perf baseline over the canonical workloads.
 //!
 //! ```text
-//! perf [--samples S] [--jobs J] [--shards S] [--out PATH] [--quick | --large]
+//! perf [--samples S] [--jobs J] [--shards S] [--partition P] [--out PATH] [--quick | --large]
 //! ```
 //!
 //! Times Table 1 and Table 6 rows at n = 10–12 plus one dynamic row
@@ -17,6 +17,10 @@
 //!   (default: available parallelism).
 //! * `--shards S` — shard threads for the intra-simulation speedup
 //!   measurements (default 4).
+//! * `--partition P` — shard partition strategy
+//!   (`auto|contiguous|hamming|bisection|bfs`, default `auto`); the
+//!   measured cut fraction is printed per scenario and never changes
+//!   results.
 //! * `--out PATH` — report path (default `BENCH_<stamp>.json` in the
 //!   current directory).
 //! * `--quick` — n = 10 only (fast smoke run).
@@ -44,7 +48,7 @@ use fadr_bench::perf::{report_line, time, time_cold, to_json, Measurement};
 use fadr_bench::runner::{run_row, run_rows_recorded, run_table_jobs, spec, RunOptions};
 use fadr_core::{HypercubeFullyAdaptive, MeshFullyAdaptive};
 use fadr_qdg::RoutingFunction;
-use fadr_sim::{ShardedSimulator, SimConfig, Simulator};
+use fadr_sim::{PartitionStrategy, ShardedSimulator, SimConfig, Simulator};
 use fadr_workloads::Pattern;
 
 /// One `--large` scenario: a dynamic λ = 1 run on the sequential engine
@@ -58,6 +62,7 @@ fn large_scenario<R>(
     cycles: u64,
     samples: usize,
     shards: usize,
+    partition: PartitionStrategy,
     measurements: &mut Vec<Measurement>,
 ) -> (u64, f64)
 where
@@ -76,7 +81,8 @@ where
     });
     println!("{}", report_line(&m_seq));
 
-    let mut shr_sim = ShardedSimulator::new(rf, cfg, shards);
+    let mut shr_sim = ShardedSimulator::with_strategy(rf, cfg, shards, partition);
+    println!("# {label}: partition {}", shr_sim.partition_stats());
     let mut shr_delivered = 0u64;
     let m_shr = time_cold(&format!("{label}_shards{shards}"), samples, || {
         shr_delivered = shr_sim.run_dynamic(1.0, dest, cycles).delivered;
@@ -93,7 +99,12 @@ where
         "{label}: only {seq_delivered} packets delivered; raise the horizon"
     );
     let speedup = m_seq.min() / m_shr.min();
-    println!("# {label}: {seq_delivered} delivered, {speedup:.2}x speedup at {shards} shards");
+    let cut = shr_sim.partition_stats().cut_fraction();
+    println!(
+        "# {label}: {seq_delivered} delivered, {speedup:.2}x speedup at {shards} shards \
+         (cut {:.1}%)",
+        100.0 * cut
+    );
     measurements.push(m_seq);
     measurements.push(m_shr);
     (seq_delivered, speedup)
@@ -103,6 +114,7 @@ fn main() -> ExitCode {
     let mut samples = 3usize;
     let mut jobs = exec::default_jobs();
     let mut shards = 4usize;
+    let mut partition = PartitionStrategy::Auto;
     let mut out: Option<String> = None;
     let mut quick = false;
     let mut large = false;
@@ -137,6 +149,13 @@ fn main() -> ExitCode {
                 Some(Ok(s)) => shards = s,
                 _ => {
                     eprintln!("--shards needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--partition" => match it.next().map(|v| v.parse::<PartitionStrategy>()) {
+                Some(Ok(p)) => partition = p,
+                _ => {
+                    eprintln!("--partition needs auto|contiguous|hamming|bisection|bfs");
                     return ExitCode::FAILURE;
                 }
             },
@@ -176,6 +195,7 @@ fn main() -> ExitCode {
         }
     };
     let opts = RunOptions {
+        partition,
         faults,
         ..RunOptions::default()
     };
@@ -192,6 +212,7 @@ fn main() -> ExitCode {
         ("quick", quick.to_string()),
         ("large", large.to_string()),
         ("shards", shards.to_string()),
+        ("partition", partition.name().to_string()),
         ("host_threads", host_threads.to_string()),
     ];
 
@@ -204,6 +225,7 @@ fn main() -> ExitCode {
             60,
             samples,
             shards,
+            partition,
             &mut measurements,
         );
         meta.push(("hypercube16_delivered", d.to_string()));
@@ -220,6 +242,7 @@ fn main() -> ExitCode {
             12_000,
             samples,
             shards,
+            partition,
             &mut measurements,
         );
         meta.push(("mesh256_delivered", d.to_string()));

@@ -6,6 +6,10 @@
 //! sweep capacity [--n N] [--table K] [--jobs J] [--shards S]   # central-queue capacity vs latency
 //! ```
 //!
+//! `--partition P` picks the shard partition strategy
+//! (`auto|contiguous|hamming|bisection|bfs`, default `auto`); a `#`
+//! comment line above the CSV reports the resulting cut fraction.
+//!
 //! Each sweep runs the fully-adaptive algorithm, the static hang, and
 //! e-cube + SBP side by side. Sweep points are independent simulations,
 //! so they fan out over `--jobs` worker threads (default: available
@@ -26,7 +30,7 @@ use fadr_bench::exec;
 use fadr_bench::obs::{self, MetricsRow, ObsArgs, RecordConfig};
 use fadr_bench::runner::{dynamic_random_recorded, run_rows_recorded, spec, Algo, RunOptions};
 use fadr_core::{EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang};
-use fadr_sim::{FaultPlan, SimConfig};
+use fadr_sim::{FaultPlan, PartitionStrategy, SimConfig};
 
 const ALGOS: [(&str, Algo); 3] = [
     ("fully-adaptive", Algo::FullyAdaptive),
@@ -34,16 +38,34 @@ const ALGOS: [(&str, Algo); 3] = [
     ("ecube-sbp", Algo::EcubeSbp),
 ];
 
+/// Print the shard-partition cut measurement as a `#` comment line (all
+/// three algorithms run on the same n-cube, so the partition — a pure
+/// function of topology, shard count, and strategy — is shared).
+fn print_partition_stats(n: usize, shards: usize, partition: PartitionStrategy) {
+    use fadr_qdg::RoutingFunction;
+    if shards <= 1 {
+        return;
+    }
+    let rf = HypercubeFullyAdaptive::new(n);
+    let layout = fadr_sim::Layout::new(&rf);
+    let shards = shards.clamp(1, layout.num_nodes.max(1));
+    if let Ok(part) = fadr_sim::Partition::new(partition, rf.topology(), &layout, shards) {
+        println!("# partition: {}", part.stats);
+    }
+}
+
 fn lambda_sweep(
     n: usize,
     cycles: u64,
     jobs: usize,
     shards: usize,
+    partition: PartitionStrategy,
     rc: RecordConfig,
     faults: Option<&'static FaultPlan>,
 ) -> Vec<MetricsRow> {
     const LAMBDAS: [f64; 11] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
     let size = 1usize << n;
+    print_partition_stats(n, shards, partition);
     let points = exec::run_indexed(LAMBDAS.len() * ALGOS.len(), jobs, |i| {
         let lambda = LAMBDAS[i / ALGOS.len()];
         let (name, algo) = ALGOS[i % ALGOS.len()];
@@ -56,6 +78,7 @@ fn lambda_sweep(
                 cycles,
                 rc,
                 shards,
+                partition,
                 faults,
             ),
             Algo::StaticHang => dynamic_random_recorded(
@@ -65,11 +88,19 @@ fn lambda_sweep(
                 cycles,
                 rc,
                 shards,
+                partition,
                 faults,
             ),
-            Algo::EcubeSbp => {
-                dynamic_random_recorded(EcubeSbp::new(n), cfg, lambda, cycles, rc, shards, faults)
-            }
+            Algo::EcubeSbp => dynamic_random_recorded(
+                EcubeSbp::new(n),
+                cfg,
+                lambda,
+                cycles,
+                rc,
+                shards,
+                partition,
+                faults,
+            ),
         };
         let thr = res.delivered as f64 / (size as f64 * cycles as f64);
         let line = format!(
@@ -99,10 +130,12 @@ fn capacity_sweep(
     table: usize,
     jobs: usize,
     shards: usize,
+    partition: PartitionStrategy,
     rc: RecordConfig,
     faults: Option<&'static FaultPlan>,
 ) -> Vec<MetricsRow> {
     const CAPS: [usize; 8] = [1, 2, 3, 5, 8, 10, 12, 16];
+    print_partition_stats(n, shards, partition);
     let points = exec::run_indexed(CAPS.len() * ALGOS.len(), jobs, |i| {
         let cap = CAPS[i / ALGOS.len()];
         let (name, algo) = ALGOS[i % ALGOS.len()];
@@ -110,6 +143,7 @@ fn capacity_sweep(
             queue_capacity: cap,
             algo,
             shards,
+            partition,
             faults,
             ..RunOptions::default()
         };
@@ -145,6 +179,7 @@ fn main() -> ExitCode {
     let mut table = 6usize;
     let mut jobs = exec::default_jobs();
     let mut shards = 1usize;
+    let mut partition = PartitionStrategy::Auto;
     let mut obs_args = ObsArgs::default();
     let rest: Vec<String> = args.collect();
     let mut it = rest.iter();
@@ -164,6 +199,13 @@ fn main() -> ExitCode {
                 Some(Ok(s)) => shards = s,
                 _ => {
                     eprintln!("--shards needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--partition" => match it.next().map(|v| v.parse::<PartitionStrategy>()) {
+                Some(Ok(p)) => partition = p,
+                _ => {
+                    eprintln!("--partition needs auto|contiguous|hamming|bisection|bfs");
                     return ExitCode::FAILURE;
                 }
             },
@@ -196,11 +238,11 @@ fn main() -> ExitCode {
         }
     };
     let metrics = match mode.as_str() {
-        "lambda" => lambda_sweep(n, cycles, jobs, shards, rc, faults),
-        "capacity" => capacity_sweep(n, table, jobs, shards, rc, faults),
+        "lambda" => lambda_sweep(n, cycles, jobs, shards, partition, rc, faults),
+        "capacity" => capacity_sweep(n, table, jobs, shards, partition, rc, faults),
         _ => {
             eprintln!(
-                "usage: sweep <lambda|capacity> [--n N] [--cycles C] [--table K] [--jobs J] [--shards S] {}",
+                "usage: sweep <lambda|capacity> [--n N] [--cycles C] [--table K] [--jobs J] [--shards S] [--partition P] {}",
                 ObsArgs::USAGE
             );
             return ExitCode::FAILURE;

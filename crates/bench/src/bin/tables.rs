@@ -1,7 +1,7 @@
 //! Regenerate the paper's Tables 1–12.
 //!
 //! ```text
-//! tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--jobs J] [--shards S]
+//! tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--jobs J] [--shards S] [--partition P]
 //!        [--csv] [--trace PATH] [--metrics-out PATH] [--watchdog K]
 //! ```
 //!
@@ -100,9 +100,14 @@ fn parse_args() -> Result<Args, String> {
             "--shards" => {
                 args.opts.shards = exec::parse_shards(&next("--shards")?)?;
             }
+            "--partition" => {
+                args.opts.partition = next("--partition")?
+                    .parse()
+                    .map_err(|e: String| format!("--partition: {e}"))?;
+            }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--reps R] [--algo A] [--jobs J] [--shards S] [--csv] {}",
+                    "usage: tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--reps R] [--algo A] [--jobs J] [--shards S] [--partition P] [--csv] {}",
                     ObsArgs::USAGE
                 ));
             }

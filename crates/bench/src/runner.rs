@@ -8,7 +8,9 @@ use fadr_metrics::{
     table::fmt2, Recorder, ShardRecorder, SinkSet, StallReport, Table, WatchdogSink,
 };
 use fadr_qdg::RoutingFunction;
-use fadr_sim::{DynamicResult, ShardedSimulator, SimConfig, Simulator, StopReason};
+use fadr_sim::{
+    DynamicResult, PartitionStrategy, ShardedSimulator, SimConfig, Simulator, StopReason,
+};
 use fadr_workloads::{static_backlog, Pattern};
 
 use crate::obs::RecordConfig;
@@ -183,6 +185,11 @@ pub struct RunOptions {
     /// `--jobs`, which parallelizes *across* runs). 1 = the sequential
     /// engine; any value yields bit-identical results.
     pub shards: usize,
+    /// How sharded runs split nodes across shards (`--partition`).
+    /// Purely a performance knob — every strategy is bit-identical —
+    /// that trades cross-shard mailbox traffic (see
+    /// [`fadr_sim::ShardedSimulator::partition_stats`]).
+    pub partition: PartitionStrategy,
     /// Fault plan injected into every run (`--faults`); the `'static`
     /// borrow keeps [`RunOptions`] `Copy` across the `--jobs` fan-out
     /// (see [`crate::obs::ObsArgs::load_fault_plan`]). Faulted runs may
@@ -200,6 +207,7 @@ impl Default for RunOptions {
             reps: 1,
             algo: Algo::FullyAdaptive,
             shards: 1,
+            partition: PartitionStrategy::Auto,
             faults: None,
         }
     }
@@ -347,7 +355,7 @@ where
 {
     let require_drain = opts.faults.is_none();
     if opts.shards > 1 {
-        let mut sim = ShardedSimulator::new(rf, cfg, opts.shards);
+        let mut sim = ShardedSimulator::with_strategy(rf, cfg, opts.shards, opts.partition);
         if let Some(plan) = opts.faults {
             sim = sim.with_faults(plan.clone());
         }
@@ -422,9 +430,10 @@ where
             ..rc
         };
         let classes = rf.num_classes();
-        let mut sim = ShardedSimulator::with_recorders(rf, cfg, opts.shards, |_| {
-            shard_rc.build(1 << n, classes)
-        });
+        let mut sim =
+            ShardedSimulator::with_recorders_strategy(rf, cfg, opts.shards, opts.partition, |_| {
+                shard_rc.build(1 << n, classes)
+            });
         if let Some(plan) = opts.faults {
             sim = sim.with_faults(plan.clone());
         }
@@ -561,6 +570,7 @@ where
 /// watchdog handling matches `recorded_with` (per-shard sink sets carry
 /// no watchdog, the engine-level one's stall report is re-installed
 /// into the merged set).
+#[allow(clippy::too_many_arguments)]
 pub fn dynamic_random_recorded<R>(
     rf: R,
     cfg: SimConfig,
@@ -568,6 +578,7 @@ pub fn dynamic_random_recorded<R>(
     cycles: u64,
     rc: RecordConfig,
     shards: usize,
+    partition: PartitionStrategy,
     faults: Option<&fadr_sim::FaultPlan>,
 ) -> (DynamicResult, SinkSet)
 where
@@ -581,8 +592,9 @@ where
             watchdog: None,
             ..rc
         };
-        let mut sim =
-            ShardedSimulator::with_recorders(rf, cfg, shards, |_| shard_rc.build(size, classes));
+        let mut sim = ShardedSimulator::with_recorders_strategy(rf, cfg, shards, partition, |_| {
+            shard_rc.build(size, classes)
+        });
         if let Some(plan) = faults {
             sim = sim.with_faults(plan.clone());
         }

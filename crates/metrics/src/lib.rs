@@ -11,11 +11,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod partition;
 pub mod record;
 pub mod stats;
 pub mod table;
 pub mod timeseries;
 
+pub use partition::PartitionStats;
 pub use record::{
     Control, CounterSink, NoRecorder, Recorder, ShardRecorder, SinkSet, StallReport, TraceSink,
     TraceState, WatchdogSink,

@@ -1,0 +1,80 @@
+//! Shard-partition quality reporting.
+
+/// Quality report of a node → shard partition: which strategy produced
+/// it and how many directed channels it cut.
+///
+/// A *cut* channel has its source and target node on different shards,
+/// so every packet crossing it in a sharded run pays a mailbox exchange
+/// instead of a shard-local link pass. The cut fraction is the
+/// first-order predictor of sharding overhead (the sharded scale table
+/// in EXPERIMENTS.md reports it next to each speedup), which is why the
+/// partitioner measures it and the bench binaries print it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Name of the strategy that produced the partition, after auto
+    /// selection (e.g. `"hamming-prefix"`, `"bisection"`).
+    pub strategy: &'static str,
+    /// Number of shards.
+    pub shards: usize,
+    /// Directed channels whose endpoints lie on different shards.
+    pub cut_channels: usize,
+    /// Total directed channels in the network.
+    pub total_channels: usize,
+}
+
+impl PartitionStats {
+    /// Fraction of directed channels crossing a shard boundary
+    /// (0.0 when the network has no channels).
+    pub fn cut_fraction(&self) -> f64 {
+        if self.total_channels == 0 {
+            0.0
+        } else {
+            self.cut_channels as f64 / self.total_channels as f64
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} shards={} cut={}/{} ({:.2}%)",
+            self.strategy,
+            self.shards,
+            self.cut_channels,
+            self.total_channels,
+            100.0 * self.cut_fraction()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_fraction_and_display() {
+        let s = PartitionStats {
+            strategy: "hamming-prefix",
+            shards: 4,
+            cut_channels: 131_072,
+            total_channels: 1_048_576,
+        };
+        assert!((s.cut_fraction() - 0.125).abs() < 1e-12);
+        assert_eq!(
+            s.to_string(),
+            "hamming-prefix shards=4 cut=131072/1048576 (12.50%)"
+        );
+    }
+
+    #[test]
+    fn empty_network_has_zero_cut() {
+        let s = PartitionStats {
+            strategy: "contiguous",
+            shards: 1,
+            cut_channels: 0,
+            total_channels: 0,
+        };
+        assert_eq!(s.cut_fraction(), 0.0);
+    }
+}

@@ -88,32 +88,62 @@ impl LatencyStats {
     }
 }
 
-/// Exact integer histogram (bucket per value).
+/// Exact integer histogram (bucket per value), saturating at
+/// [`Histogram::OVERFLOW_CAP`].
 ///
 /// Bucket storage always ends at the largest recorded value (`record`
 /// and `merge` both resize exactly), so equal observation multisets
 /// compare equal under the derived `PartialEq` regardless of how they
 /// were accumulated.
+///
+/// # Memory model
+///
+/// Storage is one `u64` per value up to the largest recorded one, which
+/// is appropriate for small-integer metrics (latencies) but would let a
+/// single huge value — e.g. a corrupted timestamp difference — demand a
+/// multi-gigabyte allocation (or, on 32-bit targets, panic converting
+/// the value to an index). Values at or above [`Histogram::OVERFLOW_CAP`]
+/// therefore **saturate** into a single terminal overflow bucket
+/// (mirroring [`crate::TimeSeries::record`]'s window cap), and the
+/// histogram remembers it via [`Histogram::saturated`]. The overflow
+/// bucket mixes distinct values, so percentiles that land in it are
+/// lower bounds; check the flag before trusting the tail.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     total: u64,
+    saturated: bool,
 }
 
 impl Histogram {
+    /// Values at or above this cap share one terminal overflow bucket
+    /// (2^20 exact buckets = 8 MiB of counts at most).
+    pub const OVERFLOW_CAP: u64 = 1 << 20;
+
     /// Empty histogram.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Record one observation of `value`.
+    /// Record one observation of `value`. Values at or above
+    /// [`Histogram::OVERFLOW_CAP`] saturate into the terminal overflow
+    /// bucket (see the type-level memory model).
     pub fn record(&mut self, value: u64) {
-        let i = usize::try_from(value).expect("histogram value fits usize");
+        if value >= Self::OVERFLOW_CAP {
+            self.saturated = true;
+        }
+        let i = usize::try_from(value.min(Self::OVERFLOW_CAP)).expect("capped value fits usize");
         if i >= self.buckets.len() {
             self.buckets.resize(i + 1, 0);
         }
         self.buckets[i] += 1;
         self.total += 1;
+    }
+
+    /// Whether any recorded (or merged-in) value saturated into the
+    /// terminal overflow bucket at [`Histogram::OVERFLOW_CAP`].
+    pub fn saturated(&self) -> bool {
+        self.saturated
     }
 
     /// Number of observations of exactly `value`.
@@ -144,7 +174,9 @@ impl Histogram {
         (self.buckets.len().saturating_sub(1)) as u64
     }
 
-    /// Merge another histogram into this one.
+    /// Merge another histogram into this one (exact: per-value counts
+    /// add, and the overflow buckets — same terminal index on both
+    /// sides — add like any other bucket).
     pub fn merge(&mut self, other: &Histogram) {
         if other.buckets.len() > self.buckets.len() {
             self.buckets.resize(other.buckets.len(), 0);
@@ -153,6 +185,7 @@ impl Histogram {
             *b += c;
         }
         self.total += other.total;
+        self.saturated |= other.saturated;
     }
 
     /// Non-empty `(value, count)` pairs in increasing value order.
@@ -226,5 +259,33 @@ mod tests {
         assert_eq!(pairs, vec![(2, 2), (9, 1)]);
         assert_eq!(h.count_at(3), 0);
         assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn histogram_saturates_instead_of_allocating_unbounded_buckets() {
+        let mut h = Histogram::new();
+        assert!(!h.saturated());
+        // A hostile or buggy value must not OOM the vec-indexed storage:
+        // it lands in the terminal overflow bucket and sets the flag.
+        h.record(u64::MAX);
+        h.record(Histogram::OVERFLOW_CAP);
+        h.record(Histogram::OVERFLOW_CAP - 1);
+        assert!(h.saturated());
+        assert_eq!(h.count_at(Histogram::OVERFLOW_CAP), 2);
+        assert_eq!(h.count_at(Histogram::OVERFLOW_CAP - 1), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn histogram_merge_propagates_saturation() {
+        let mut saturated = Histogram::new();
+        saturated.record(u64::MAX);
+        let mut clean = Histogram::new();
+        clean.record(7);
+        assert!(!clean.saturated());
+        clean.merge(&saturated);
+        assert!(clean.saturated());
+        assert_eq!(clean.count_at(Histogram::OVERFLOW_CAP), 1);
+        assert_eq!(clean.total(), 2);
     }
 }

@@ -1,5 +1,11 @@
-//! The simulation engine: packet slab, queue state, and the three-step
-//! routing cycle (fill, link, read).
+//! The simulation engine: data-oriented packet store, queue state, and
+//! the three-step routing cycle (fill, link, read).
+//!
+//! Packet state lives in a struct-of-arrays [`PacketStore`] and cached
+//! routing options in a shared [`OptionArena`] (see [`crate::store`]);
+//! output/input-buffer occupancy is mirrored in dense bitsets so the
+//! link pass can test a whole channel with two word fetches instead of
+//! a per-buffer scan.
 
 use std::sync::Arc;
 
@@ -14,54 +20,9 @@ use fadr_topology::NodeId;
 
 use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::layout::{Layout, NONE};
+use crate::partition::OwnedNodes;
+use crate::store::{BitSet, MoveOpt, OptionArena, PacketInit, PacketStore};
 use crate::{FillOrder, SimConfig};
-
-/// One possible move of a queued packet: an output buffer (or `NONE` for
-/// an internal stutter), the central-queue class on arrival, and the
-/// routing state after the hop.
-struct MoveOpt<M> {
-    buf: u32,
-    to_class: u8,
-    next: M,
-    /// Degraded-mode escape hop (see [`crate::fault`]): `next` is a
-    /// placeholder; the receiving node restarts the routing state.
-    escape: bool,
-}
-
-pub(crate) struct Packet<M> {
-    src: u32,
-    dst: u32,
-    /// Run-unique id in injection order (slab slots are recycled, ids
-    /// are not); this is the `pkt` handed to the [`Recorder`] hooks.
-    uid: u64,
-    /// Link hops taken so far (for the minimality check).
-    hops: u16,
-    inject_cycle: u64,
-    /// Cycle the packet entered its current central queue; FIFO priority
-    /// *across* a node's queues is by this timestamp (§ 7.1's "taking
-    /// messages from the queues in FIFO order" — without it, phase-A
-    /// traffic starves phase-B traffic on shared buffers under
-    /// saturation).
-    enqueued_at: u64,
-    /// Cycle of the packet's last move (enforces one move per cycle).
-    moved_at: u64,
-    /// Set while the packet sits in an output/input buffer, pending
-    /// removal from its queue after the fill pass.
-    staged: bool,
-    /// Routing state; updated to the post-hop state when staged.
-    msg: M,
-    /// Central-queue class on arrival (valid while staged).
-    next_class: u8,
-    /// Central-queue class of the current residence (valid while queued);
-    /// the per-class occupancy accounting keys off this.
-    class: u8,
-    /// The packet's current hop is a degraded-mode escape move: its
-    /// `msg` is a placeholder and the receiving node restarts the
-    /// routing state from itself (see [`crate::fault`]).
-    escape: bool,
-    /// Cached moves for the current queue residence.
-    options: Vec<MoveOpt<M>>,
-}
 
 /// Why a simulation run ended.
 ///
@@ -268,18 +229,30 @@ pub struct Simulator<R: RoutingFunction, Rec: Recorder = NoRecorder> {
     inbuf: Vec<u32>,
     /// Occupied input buffers per node (read-phase skip list).
     in_occupied: Vec<u32>,
-    /// Round-robin pointer per channel (link-phase fairness).
-    chan_rr: Vec<u8>,
-    /// Occupied output buffers per channel (link-phase skip list: a
-    /// channel with nothing to send costs one byte-read per cycle
-    /// instead of a scan over its buffer classes).
-    chan_pending: Vec<u8>,
+    /// Round-robin pointer per channel (link-phase fairness). `u16`
+    /// because a channel may carry up to 257 buffer classes.
+    chan_rr: Vec<u16>,
+    /// Occupied output buffers per channel (link-phase skip count;
+    /// `u16` for the same 257-class reason as `chan_rr`).
+    chan_pending: Vec<u16>,
     /// Buffer id → channel id (derived from the layout once).
     buf_chan: Vec<u32>,
     /// Injection buffer per node (`NONE` = empty).
     inj_buf: Vec<u32>,
-    packets: Vec<Packet<R::Msg>>,
-    free: Vec<u32>,
+    /// Struct-of-arrays packet slab (slots recycled, uids never).
+    store: PacketStore<R::Msg>,
+    /// Cached per-packet option segments (exact-fit recycled).
+    opts: OptionArena<R::Msg>,
+    /// Scratch list options are computed into before being stored in
+    /// the arena (one allocation for the whole simulator lifetime).
+    opt_scratch: Vec<MoveOpt<R::Msg>>,
+    /// Bitset mirror of `outbuf[b] != NONE` (link-phase word probes).
+    out_occ: BitSet,
+    /// Bitset mirror of `inbuf[b] != NONE`.
+    in_occ: BitSet,
+    /// Bitset mirror of `chan_pending[c] > 0` (link-phase iteration
+    /// visits only channels with staged traffic).
+    chan_live: BitSet,
     cycle: u64,
     stats: LatencyStats,
     delivered: u64,
@@ -350,8 +323,12 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             chan_pending: vec![0; layout.num_channels()],
             buf_chan,
             inj_buf: vec![NONE; n],
-            packets: Vec::new(),
-            free: Vec::new(),
+            store: PacketStore::new(),
+            opts: OptionArena::new(),
+            opt_scratch: Vec::new(),
+            out_occ: BitSet::new(layout.num_buffers()),
+            in_occ: BitSet::new(layout.num_buffers()),
+            chan_live: BitSet::new(layout.num_channels()),
             cycle: 0,
             stats: LatencyStats::new(),
             delivered: 0,
@@ -451,8 +428,12 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         self.chan_rr.fill(0);
         self.chan_pending.fill(0);
         self.inj_buf.fill(NONE);
-        self.packets.clear();
-        self.free.clear();
+        self.store.clear();
+        self.opts.clear();
+        self.opt_scratch.clear();
+        self.out_occ.clear_all();
+        self.in_occ.clear_all();
+        self.chan_live.clear_all();
         self.next_uid = 0;
         self.cycle = 0;
         self.stats = LatencyStats::new();
@@ -596,7 +577,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         if Rec::ENABLED {
             self.rec.on_inject(self.cycle, uid, src as u32, dst as u32);
         }
-        let pkt = Packet {
+        self.store.insert(PacketInit {
             src: src as u32,
             dst: dst as u32,
             uid,
@@ -609,28 +590,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             next_class: 0,
             class: 0,
             escape: false,
-            options: Vec::new(),
-        };
-        self.insert_packet(pkt)
-    }
-
-    /// Place a packet into the slab, recycling a free slot if available.
-    fn insert_packet(&mut self, pkt: Packet<R::Msg>) -> u32 {
-        if let Some(i) = self.free.pop() {
-            // Keep the recycled slot's `options` allocation: replacing it
-            // with the fresh empty Vec would force every reused packet to
-            // regrow its option list from capacity 0 (a realloc storm on
-            // long dynamic runs).
-            let slot = &mut self.packets[i as usize];
-            let mut options = std::mem::take(&mut slot.options);
-            options.clear();
-            *slot = pkt;
-            slot.options = options;
-            i
-        } else {
-            self.packets.push(pkt);
-            (self.packets.len() - 1) as u32
-        }
+        })
     }
 
     /// One routing cycle: node fill, link, node read. Returns the
@@ -638,13 +598,13 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// recorder, in which case the check folds away).
     fn step(&mut self) -> Control {
         if self.faults.is_some() {
-            self.apply_faults(0..self.layout.num_nodes);
+            self.apply_faults(&OwnedNodes::all(self.layout.num_nodes));
         }
         self.fill_phase();
         self.link_phase();
         self.read_phase();
         if self.cfg.track_occupancy {
-            self.sample_occupancy(0..self.layout.num_nodes);
+            self.sample_occupancy(&OwnedNodes::all(self.layout.num_nodes));
         }
         let mut ctl = self.end_cycle();
         if !self.partitioned.is_empty() {
@@ -658,12 +618,14 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     }
 
     /// Record one occupancy sample over the queues of `nodes` (a shard
-    /// samples only the node range it owns).
-    pub(crate) fn sample_occupancy(&mut self, nodes: std::ops::Range<usize>) {
-        for q in nodes.start * self.num_classes..nodes.end * self.num_classes {
-            let len = self.queue_len[q] as u16;
-            self.occupancy.max[q] = self.occupancy.max[q].max(len);
-            self.occupancy.sum[q] += u64::from(len);
+    /// samples only the node set it owns).
+    pub(crate) fn sample_occupancy(&mut self, nodes: &OwnedNodes) {
+        for v in nodes.iter() {
+            for q in v * self.num_classes..(v + 1) * self.num_classes {
+                let len = self.queue_len[q] as u16;
+                self.occupancy.max[q] = self.occupancy.max[q].max(len);
+                self.occupancy.sum[q] += u64::from(len);
+            }
         }
         self.occupancy.samples += 1;
     }
@@ -708,19 +670,20 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         }
         self.stutters.clear();
         for &p in &self.node_fifo[node] {
-            let pkt = &self.packets[p as usize];
             if let Some(fs) = &self.faults {
                 // A frozen queue refuses all movement: its packets
                 // neither stage onto links nor stutter until the thaw.
-                if fs.frozen(node * self.num_classes + usize::from(pkt.class), self.cycle) {
+                let class = self.store.class[p as usize];
+                if fs.frozen(node * self.num_classes + usize::from(class), self.cycle) {
                     continue;
                 }
             }
-            for opt in &pkt.options {
-                if opt.buf == NONE {
+            for i in self.store.opt_range(p) {
+                let buf = self.opts.buf[i];
+                if buf == NONE {
                     self.stutters.push(p);
                 } else {
-                    let pos = self.layout.buf_out_pos[opt.buf as usize] as usize;
+                    let pos = self.layout.buf_out_pos[buf as usize] as usize;
                     self.wanting[pos].push(p);
                 }
             }
@@ -743,40 +706,44 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             }
             let Some(&p) = self.wanting[pos]
                 .iter()
-                .find(|&&p| self.packets[p as usize].moved_at != self.cycle)
+                .find(|&&p| self.store.moved_at[p as usize] != self.cycle)
             else {
                 continue;
             };
-            let pkt = &mut self.packets[p as usize];
-            let opt = pkt
-                .options
-                .iter()
-                .find(|o| o.buf as usize == buf)
+            let o = self
+                .store
+                .opt_range(p)
+                .find(|&i| self.opts.buf[i] as usize == buf)
                 .expect("wanting list entry has the option");
-            pkt.msg = opt.next.clone();
-            pkt.next_class = opt.to_class;
-            pkt.escape = opt.escape;
-            pkt.moved_at = self.cycle;
-            pkt.staged = true;
+            let pi = p as usize;
+            self.store.msg[pi] = self.opts.next[o].clone();
+            self.store.next_class[pi] = self.opts.to_class[o];
+            self.store.escape[pi] = self.opts.escape[o];
+            self.store.moved_at[pi] = self.cycle;
+            self.store.staged[pi] = true;
             staged_any = true;
             self.outbuf[buf] = p;
-            self.chan_pending[self.buf_chan[buf] as usize] += 1;
+            self.out_occ.set(buf);
+            let chan = self.buf_chan[buf] as usize;
+            self.chan_pending[chan] += 1;
+            self.chan_live.set(chan);
         }
         // Remove staged packets from the node's FIFO (order preserved).
         if staged_any {
-            let packets = &mut self.packets;
+            let store = &mut self.store;
             let queue_len = &mut self.queue_len;
             let num_classes = self.num_classes;
             let rec = &mut self.rec;
             let cycle = self.cycle;
             self.node_fifo[node].retain(|&p| {
-                let pkt = &mut packets[p as usize];
-                if pkt.staged {
-                    pkt.staged = false;
-                    let q = node * num_classes + usize::from(pkt.class);
+                let pi = p as usize;
+                if store.staged[pi] {
+                    store.staged[pi] = false;
+                    let class = store.class[pi];
+                    let q = node * num_classes + usize::from(class);
                     queue_len[q] -= 1;
                     if Rec::ENABLED {
-                        rec.on_queue_leave(cycle, pkt.uid, node as u32, pkt.class, queue_len[q]);
+                        rec.on_queue_leave(cycle, store.uid[pi], node as u32, class, queue_len[q]);
                     }
                     false
                 } else {
@@ -793,34 +760,33 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         // buffer blocks a link move.
         for i in 0..self.stutters.len() {
             let p = self.stutters[i];
-            let pkt = &self.packets[p as usize];
-            if pkt.moved_at == self.cycle {
+            let pi = p as usize;
+            if self.store.moved_at[pi] == self.cycle {
                 continue;
             }
-            let opt = pkt
-                .options
-                .iter()
-                .find(|o| o.buf == NONE)
+            let o = self
+                .store
+                .opt_range(p)
+                .find(|&i| self.opts.buf[i] == NONE)
                 .expect("stutter option");
-            let (next, to_class) = (opt.next.clone(), opt.to_class);
-            let from_class = pkt.class;
+            let (next, to_class) = (self.opts.next[o].clone(), self.opts.to_class[o]);
+            let from_class = self.store.class[pi];
             if to_class != from_class {
                 let qt = node * self.num_classes + usize::from(to_class);
                 if self.queue_len[qt] as usize >= self.cfg.queue_capacity || self.queue_frozen(qt) {
                     continue;
                 }
             }
-            let pkt = &mut self.packets[p as usize];
-            pkt.msg = next;
-            pkt.moved_at = self.cycle;
-            pkt.enqueued_at = self.cycle;
-            let uid = pkt.uid;
+            self.store.msg[pi] = next;
+            self.store.moved_at[pi] = self.cycle;
+            self.store.enqueued_at[pi] = self.cycle;
+            let uid = self.store.uid[pi];
             if Rec::ENABLED {
                 self.rec
                     .on_stutter(self.cycle, uid, node as u32, from_class, to_class);
             }
             if to_class != from_class {
-                self.packets[p as usize].class = to_class;
+                self.store.class[pi] = to_class;
                 let qf = node * self.num_classes + usize::from(from_class);
                 let qt = node * self.num_classes + usize::from(to_class);
                 self.queue_len[qf] -= 1;
@@ -857,15 +823,34 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// Link cycle (§ 7.1): each directed channel forwards at most one
     /// packet per cycle, round-robin over its traffic-class buffers, and
     /// only into an empty input buffer on the far side.
+    ///
+    /// Iterates the `chan_live` bitset word by word, so idle channels
+    /// cost one word fetch per 64 instead of one counter read each. The
+    /// word snapshot is safe because [`Simulator::link_chan`] only ever
+    /// *clears* live bits (a link pass moves packets out of output
+    /// buffers, never into them).
     fn link_phase(&mut self) {
-        for chan in 0..self.layout.num_channels() {
-            self.link_chan(chan);
+        for w in 0..self.chan_live.num_words() {
+            let mut bits = self.chan_live.word(w);
+            while bits != 0 {
+                let chan = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.link_chan(chan);
+            }
         }
     }
 
     /// Link pass for one channel whose endpoints are both local; returns
     /// whether a packet crossed (a shard's per-cycle link count feeds the
     /// replicated watchdog state in sharded runs).
+    ///
+    /// For channels of at most 64 buffer classes (every real routing
+    /// family here; 2–3 is typical) the "staged and far side empty"
+    /// scan collapses to a bitmask probe: extract the channel's output
+    /// and input occupancy windows, and pick the first candidate at or
+    /// after the round-robin pointer (wrapping below it) with two
+    /// trailing-zeros counts — exactly the buffer the rotating scan
+    /// would have chosen.
     pub(crate) fn link_chan(&mut self, chan: usize) -> bool {
         if self.chan_pending[chan] == 0 {
             return false;
@@ -878,32 +863,55 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         let start = self.layout.chan_buf_start[chan] as usize;
         let len = self.layout.chan_buf_len[chan] as usize;
         let rr = self.chan_rr[chan] as usize;
-        for i in 0..len {
-            let b = start + (rr + i) % len;
-            if self.outbuf[b] != NONE && self.inbuf[b] == NONE {
-                let p = self.outbuf[b];
-                self.inbuf[b] = p;
-                let pkt = &mut self.packets[p as usize];
-                pkt.hops += 1;
-                if Rec::ENABLED {
-                    self.rec.on_link(
-                        self.cycle,
-                        pkt.uid,
-                        self.layout.chan_from[chan],
-                        self.layout.chan_to[chan],
-                        matches!(self.layout.buf_class[b], BufferClass::Dynamic),
-                        pkt.class,
-                        pkt.next_class,
-                    );
-                }
-                self.outbuf[b] = NONE;
-                self.chan_pending[chan] -= 1;
-                self.in_occupied[self.layout.chan_to[chan] as usize] += 1;
-                self.chan_rr[chan] = ((rr + i + 1) % len) as u8;
-                return true;
+        let pos = if len <= 64 {
+            let avail = self.out_occ.extract(start, len) & !self.in_occ.extract(start, len);
+            if avail == 0 {
+                return false;
             }
+            let hi = avail >> rr;
+            if hi != 0 {
+                rr + hi.trailing_zeros() as usize
+            } else {
+                avail.trailing_zeros() as usize
+            }
+        } else {
+            // >64 classes: plain rotating scan (exercised by the
+            // 257-class layout regression family, not by any real
+            // routing function).
+            let Some(pos) = (0..len)
+                .map(|i| (rr + i) % len)
+                .find(|&pos| self.outbuf[start + pos] != NONE && self.inbuf[start + pos] == NONE)
+            else {
+                return false;
+            };
+            pos
+        };
+        let b = start + pos;
+        let p = self.outbuf[b];
+        self.inbuf[b] = p;
+        self.in_occ.set(b);
+        let pi = p as usize;
+        self.store.hops[pi] += 1;
+        if Rec::ENABLED {
+            self.rec.on_link(
+                self.cycle,
+                self.store.uid[pi],
+                self.layout.chan_from[chan],
+                self.layout.chan_to[chan],
+                matches!(self.layout.buf_class[b], BufferClass::Dynamic),
+                self.store.class[pi],
+                self.store.next_class[pi],
+            );
         }
-        false
+        self.outbuf[b] = NONE;
+        self.out_occ.clear(b);
+        self.chan_pending[chan] -= 1;
+        if self.chan_pending[chan] == 0 {
+            self.chan_live.clear(chan);
+        }
+        self.in_occupied[self.layout.chan_to[chan] as usize] += 1;
+        self.chan_rr[chan] = ((pos + 1) % len) as u16;
+        true
     }
 
     /// Node cycle, part 2 (§ 7.1): "the node reads its input buffers and
@@ -935,6 +943,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
                 }
                 if self.accept_arrival(node, p) {
                     self.inbuf[b] = NONE;
+                    self.in_occ.clear(b);
                     self.in_occupied[node] -= 1;
                 }
             } else if self.inj_buf[node] != NONE {
@@ -950,13 +959,14 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// returns false if the queue is full (or frozen) and the packet
     /// must wait.
     fn accept_arrival(&mut self, node: usize, p: u32) -> bool {
-        if self.packets[p as usize].escape {
+        let pi = p as usize;
+        if self.store.escape[pi] {
             // Degraded-mode escape hop: the staged `msg` is a
             // placeholder (the pre-hop routing state is gone), so the
             // packet restarts its routing state here via the injection
             // transition. All checks run before any mutation, so a
             // refused packet retries intact next cycle.
-            let dst = self.packets[p as usize].dst;
+            let dst = self.store.dst[pi];
             if dst as usize == node {
                 self.deliver(p);
                 return true;
@@ -966,22 +976,20 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             let q = node * self.num_classes + usize::from(class);
             if self.queue_len[q] as usize >= self.cfg.queue_capacity || self.queue_frozen(q) {
                 if Rec::ENABLED {
-                    let uid = self.packets[p as usize].uid;
+                    let uid = self.store.uid[pi];
                     self.rec.on_block(self.cycle, uid, node as u32, class);
                 }
                 return false;
             }
-            let pkt = &mut self.packets[p as usize];
-            pkt.msg = msg;
-            pkt.escape = false;
+            self.store.msg[pi] = msg;
+            self.store.escape[pi] = false;
             let ok = self.enqueue_central(node, p, class, false);
             debug_assert!(ok);
             return true;
         }
-        let pkt = &self.packets[p as usize];
-        let class = pkt.next_class;
-        if self.rf.deliverable(node, &pkt.msg) {
-            debug_assert_eq!(pkt.dst as usize, node);
+        let class = self.store.next_class[pi];
+        if self.rf.deliverable(node, &self.store.msg[pi]) {
+            debug_assert_eq!(self.store.dst[pi] as usize, node);
             self.deliver(p);
             return true;
         }
@@ -991,12 +999,11 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// Move a freshly injected packet into its entry queue (or deliver a
     /// self-addressed packet locally).
     fn accept_injection(&mut self, node: usize, p: u32) -> bool {
-        if self.packets[p as usize].dst as usize == node {
+        if self.store.dst[p as usize] as usize == node {
             self.deliver(p);
             return true;
         }
-        let msg = self.packets[p as usize].msg.clone();
-        let class = self.entry_class(node, &msg);
+        let class = self.entry_class(node, &self.store.msg[p as usize].clone());
         self.enqueue_central(node, p, class, true)
     }
 
@@ -1024,15 +1031,15 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         if check && (self.queue_len[q] as usize >= self.cfg.queue_capacity || self.queue_frozen(q))
         {
             if Rec::ENABLED {
-                let uid = self.packets[p as usize].uid;
+                let uid = self.store.uid[p as usize];
                 self.rec.on_block(self.cycle, uid, node as u32, class);
             }
             return false;
         }
-        let pkt = &mut self.packets[p as usize];
-        pkt.enqueued_at = self.cycle;
-        pkt.class = class;
-        let uid = pkt.uid;
+        let pi = p as usize;
+        self.store.enqueued_at[pi] = self.cycle;
+        self.store.class[pi] = class;
+        let uid = self.store.uid[pi];
         self.queue_len[q] += 1;
         if Rec::ENABLED {
             self.rec
@@ -1057,18 +1064,22 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     }
 
     fn deliver(&mut self, p: u32) {
-        let pkt = &self.packets[p as usize];
-        let latency = 2 * (self.cycle - pkt.inject_cycle) + 1;
+        let pi = p as usize;
+        let latency = 2 * (self.cycle - self.store.inject_cycle[pi]) + 1;
         if Rec::ENABLED {
-            self.rec
-                .on_deliver(self.cycle, pkt.uid, latency, u32::from(pkt.hops));
+            self.rec.on_deliver(
+                self.cycle,
+                self.store.uid[pi],
+                latency,
+                u32::from(self.store.hops[pi]),
+            );
         }
         if self.cfg.check_minimality {
             let d = self
                 .rf
                 .topology()
-                .distance(pkt.src as usize, pkt.dst as usize);
-            if usize::from(pkt.hops) != d {
+                .distance(self.store.src[pi] as usize, self.store.dst[pi] as usize);
+            if usize::from(self.store.hops[pi]) != d {
                 self.minimality_violations += 1;
             }
         }
@@ -1077,18 +1088,18 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             ts.record(self.cycle, 1.0);
         }
         self.delivered += 1;
-        self.free.push(p);
+        self.store.release(p, &mut self.opts);
     }
 
     /// Cache the moves available to packet `p` for its residence in
     /// central queue `class` of `node`.
     fn compute_options(&mut self, p: u32, node: usize, class: u8) {
-        let mut opts = std::mem::take(&mut self.packets[p as usize].options);
+        let mut opts = std::mem::take(&mut self.opt_scratch);
         opts.clear();
-        // Borrow the message in place: `rf`, `packets`, and `layout` are
+        // Borrow the message in place: `rf`, `store`, and `layout` are
         // disjoint fields and all borrowed immutably here, so the hot
         // path needs no `msg.clone()`.
-        let msg = &self.packets[p as usize].msg;
+        let msg = &self.store.msg[p as usize];
         let layout = &self.layout;
         self.rf
             .for_each_transition(QueueId::central(node, class), msg, &mut |t| match t.hop {
@@ -1119,11 +1130,12 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
                 },
             });
         if self.faults.is_some() {
-            self.packets[p as usize].options = opts;
+            self.opt_scratch = opts;
             self.finalize_options(p, node);
         } else {
             debug_assert!(!opts.is_empty(), "queued packet with no moves (dead end)");
-            self.packets[p as usize].options = opts;
+            self.store.set_options(p, &mut self.opts, &mut opts);
+            self.opt_scratch = opts;
         }
     }
 
@@ -1145,8 +1157,8 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// dropped too: they make no distance progress, and the escape
     /// fallback restarts the routing state at the next node anyway.
     fn finalize_options(&mut self, p: u32, node: usize) {
-        let mut opts = std::mem::take(&mut self.packets[p as usize].options);
-        let dst = self.packets[p as usize].dst;
+        let mut opts = std::mem::take(&mut self.opt_scratch);
+        let dst = self.store.dst[p as usize];
         // With no permanent faults the original option set — which
         // always contains a static hop — passes through untouched.
         let mut has_static = true;
@@ -1184,7 +1196,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             });
         }
         if opts.is_empty() {
-            let class = self.packets[p as usize].class;
+            let class = self.store.class[p as usize];
             match self.escape_option(node, dst as usize, class) {
                 Some(opt) => opts.push(opt),
                 None => {
@@ -1204,12 +1216,13 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             // every preceding option is blocked. The escape exists
             // whenever the retained set is non-empty (both demand a
             // live distance-decreasing out-channel).
-            let class = self.packets[p as usize].class;
+            let class = self.store.class[p as usize];
             if let Some(opt) = self.escape_option(node, dst as usize, class) {
                 opts.push(opt);
             }
         }
-        self.packets[p as usize].options = opts;
+        self.store.set_options(p, &mut self.opts, &mut opts);
+        self.opt_scratch = opts;
     }
 
     /// One hop of escape routing on the surviving graph: the
@@ -1263,12 +1276,12 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// Apply scheduled fault events up to the current cycle, plus the
     /// per-cycle flaky-link retry bookkeeping. Runs at the top of every
     /// cycle, before the fill pass; `nodes` is the caller's owned node
-    /// range (the full network for the sequential engine), gating all
+    /// set (the full network for the sequential engine), gating all
     /// packet surgery and recording so a sharded run performs each side
     /// effect exactly once, on the shard that owns the state — while the
     /// flag state inside [`FaultState`] is replicated identically on
     /// every shard.
-    pub(crate) fn apply_faults(&mut self, nodes: std::ops::Range<usize>) {
+    pub(crate) fn apply_faults(&mut self, nodes: &OwnedNodes) {
         let Some(mut fs) = self.faults.take() else {
             return;
         };
@@ -1278,7 +1291,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         while fs.next_event < fs.plan.events.len() && fs.plan.events[fs.next_event].cycle <= cycle {
             let ev = fs.plan.events[fs.next_event];
             fs.next_event += 1;
-            if Rec::ENABLED && nodes.contains(&(ev.kind.primary_node() as usize)) {
+            if Rec::ENABLED && nodes.contains(ev.kind.primary_node() as usize) {
                 self.rec.on_fault(cycle, ev.kind.code());
             }
             match ev.kind {
@@ -1288,7 +1301,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
                         if self.layout.chan_from[chan] == from
                             && self.layout.chan_to[chan] == to
                             && fs.kill_chan(chan as u32)
-                            && nodes.contains(&(from as usize))
+                            && nodes.contains(from as usize)
                         {
                             self.reabsorb_chan(chan, &mut reabsorb);
                         }
@@ -1309,22 +1322,22 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
                         if cf == v {
                             // Out-channel of the dead node: staged
                             // packets die with it.
-                            if nodes.contains(&v) {
+                            if nodes.contains(v) {
                                 self.drop_outbufs(chan);
                             }
                         } else {
                             // In-channel: the live sender reabsorbs its
                             // staged packets; packets already across in
                             // the dead node's input buffers die.
-                            if nodes.contains(&cf) {
+                            if nodes.contains(cf) {
                                 self.reabsorb_chan(chan, &mut reabsorb);
                             }
-                            if nodes.contains(&v) {
+                            if nodes.contains(v) {
                                 self.drop_inbufs(chan);
                             }
                         }
                     }
-                    if nodes.contains(&v) {
+                    if nodes.contains(v) {
                         self.drop_node_packets(v);
                     }
                 }
@@ -1363,7 +1376,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
                 continue;
             };
             if fs.plan.retry_limit == 0
-                || !nodes.contains(&(self.layout.chan_from[chan as usize] as usize))
+                || !nodes.contains(self.layout.chan_from[chan as usize] as usize)
             {
                 continue;
             }
@@ -1388,13 +1401,13 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             // Degraded sweep: every queued packet's option set must be
             // re-restricted to the surviving graph (and may fall back
             // to an escape hop, or report a partition).
-            for v in nodes {
+            for v in nodes.iter() {
                 if !self.node_alive(v) {
                     continue;
                 }
                 for i in 0..self.node_fifo[v].len() {
                     let p = self.node_fifo[v][i];
-                    let class = self.packets[p as usize].class;
+                    let class = self.store.class[p as usize];
                     self.compute_options(p, v, class);
                 }
             }
@@ -1414,10 +1427,12 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             let p = self.outbuf[b];
             if p != NONE {
                 self.outbuf[b] = NONE;
+                self.out_occ.clear(b);
                 out.push((p, from));
             }
         }
         self.chan_pending[chan] = 0;
+        self.chan_live.clear(chan);
     }
 
     /// Drop every packet staged on `chan` (its source node died).
@@ -1428,10 +1443,12 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             let p = self.outbuf[b];
             if p != NONE {
                 self.outbuf[b] = NONE;
+                self.out_occ.clear(b);
                 self.drop_packet(p);
             }
         }
         self.chan_pending[chan] = 0;
+        self.chan_live.clear(chan);
     }
 
     /// Drop every packet sitting in `chan`'s input buffers (they crossed
@@ -1444,6 +1461,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             let p = self.inbuf[b];
             if p != NONE {
                 self.inbuf[b] = NONE;
+                self.in_occ.clear(b);
                 self.in_occupied[to] -= 1;
                 self.drop_packet(p);
             }
@@ -1455,11 +1473,11 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     fn drop_node_packets(&mut self, v: usize) {
         let fifo = std::mem::take(&mut self.node_fifo[v]);
         for p in fifo {
-            let class = self.packets[p as usize].class;
+            let class = self.store.class[p as usize];
             let q = v * self.num_classes + usize::from(class);
             self.queue_len[q] -= 1;
             if Rec::ENABLED {
-                let uid = self.packets[p as usize].uid;
+                let uid = self.store.uid[p as usize];
                 self.rec
                     .on_queue_leave(self.cycle, uid, v as u32, class, self.queue_len[q]);
             }
@@ -1475,11 +1493,11 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// Destroy a packet in flight (node-down collateral).
     fn drop_packet(&mut self, p: u32) {
         if Rec::ENABLED {
-            let uid = self.packets[p as usize].uid;
+            let uid = self.store.uid[p as usize];
             self.rec.on_drop(self.cycle, uid);
         }
         self.dropped += 1;
-        self.free.push(p);
+        self.store.release(p, &mut self.opts);
     }
 
     /// Re-queue a reabsorbed packet at `node` with a restarted routing
@@ -1489,17 +1507,17 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// transient over-capacity (see [`crate::fault`]).
     fn reroute_packet(&mut self, p: u32, node: usize) {
         debug_assert!(self.node_alive(node));
-        let dst = self.packets[p as usize].dst as usize;
+        let pi = p as usize;
+        let dst = self.store.dst[pi] as usize;
         debug_assert_ne!(dst, node, "staged packet addressed to its own node");
         let msg = self.rf.initial_msg(node, dst);
         let class = self.entry_class(node, &msg);
-        let pkt = &mut self.packets[p as usize];
-        pkt.msg = msg;
-        pkt.escape = false;
-        pkt.staged = false;
-        pkt.next_class = class;
+        self.store.msg[pi] = msg;
+        self.store.escape[pi] = false;
+        self.store.staged[pi] = false;
+        self.store.next_class[pi] = class;
         if Rec::ENABLED {
-            let uid = pkt.uid;
+            let uid = self.store.uid[pi];
             self.rec.on_reroute(self.cycle, uid, node as u32, class);
         }
         let ok = self.enqueue_central(node, p, class, false);
@@ -1562,14 +1580,15 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     }
 
     /// Non-empty central queues over `nodes` as `(node, class, occupancy)`
-    /// in (node, class) order — the watchdog stall report's snapshot.
-    pub(crate) fn nonempty_queues(&self, nodes: std::ops::Range<usize>) -> Vec<(u32, u8, u32)> {
+    /// — the watchdog stall report's snapshot. Ordered by `nodes` (the
+    /// sharded caller sorts the merged result).
+    pub(crate) fn nonempty_queues(&self, nodes: &[u32]) -> Vec<(u32, u8, u32)> {
         let mut out = Vec::new();
-        for node in nodes {
+        for &node in nodes {
             for class in 0..self.num_classes {
-                let len = self.queue_len[node * self.num_classes + class];
+                let len = self.queue_len[node as usize * self.num_classes + class];
                 if len > 0 {
-                    out.push((node as u32, class as u8, len));
+                    out.push((node, class as u8, len));
                 }
             }
         }
@@ -1582,15 +1601,20 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// processed, but a duplicate shares its uid, so the minimum is
     /// unaffected.
     pub(crate) fn oldest_live(&self) -> Option<(u64, u32, u32, u64)> {
-        let mut dead = vec![false; self.packets.len()];
-        for &f in &self.free {
+        let mut dead = vec![false; self.store.len()];
+        for &f in &self.store.free {
             dead[f as usize] = true;
         }
-        self.packets
-            .iter()
-            .zip(&dead)
-            .filter(|(_, &d)| !d)
-            .map(|(p, _)| (p.uid, p.src, p.dst, p.inject_cycle))
+        (0..self.store.len())
+            .filter(|&i| !dead[i])
+            .map(|i| {
+                (
+                    self.store.uid[i],
+                    self.store.src[i],
+                    self.store.dst[i],
+                    self.store.inject_cycle[i],
+                )
+            })
             .min_by_key(|&(uid, ..)| uid)
     }
 }
@@ -1649,24 +1673,24 @@ impl<R: RoutingFunction, Rec: ShardRecorder> Simulator<R, Rec> {
             if p == NONE {
                 continue;
             }
-            let pkt = &self.packets[p as usize];
+            let pi = p as usize;
             out.push(OfferItem {
                 chan: chan as u32,
                 buf: b as u32,
                 payload: Some(Transfer {
-                    src: pkt.src,
-                    dst: pkt.dst,
-                    uid: pkt.uid,
-                    hops: pkt.hops,
-                    inject_cycle: pkt.inject_cycle,
-                    enqueued_at: pkt.enqueued_at,
-                    moved_at: pkt.moved_at,
-                    class: pkt.class,
-                    next_class: pkt.next_class,
-                    msg: pkt.msg.clone(),
-                    escape: pkt.escape,
+                    src: self.store.src[pi],
+                    dst: self.store.dst[pi],
+                    uid: self.store.uid[pi],
+                    hops: self.store.hops[pi],
+                    inject_cycle: self.store.inject_cycle[pi],
+                    enqueued_at: self.store.enqueued_at[pi],
+                    moved_at: self.store.moved_at[pi],
+                    class: self.store.class[pi],
+                    next_class: self.store.next_class[pi],
+                    msg: self.store.msg[pi].clone(),
+                    escape: self.store.escape[pi],
                     trace: if Rec::ENABLED {
-                        self.rec.snapshot_trace(pkt.uid)
+                        self.rec.snapshot_trace(self.store.uid[pi])
                     } else {
                         None
                     },
@@ -1710,7 +1734,7 @@ impl<R: RoutingFunction, Rec: ShardRecorder> Simulator<R, Rec> {
             };
             let t = entry.payload.take().expect("offer present");
             self.accept_transfer(chan, b, t);
-            self.chan_rr[chan] = ((rr + i + 1) % len) as u8;
+            self.chan_rr[chan] = ((rr + i + 1) % len) as u16;
             return Some(b as u32);
         }
         None
@@ -1733,7 +1757,7 @@ impl<R: RoutingFunction, Rec: ShardRecorder> Simulator<R, Rec> {
                 t.next_class,
             );
         }
-        let pkt = Packet {
+        let slot = self.store.insert(PacketInit {
             src: t.src,
             dst: t.dst,
             uid: t.uid,
@@ -1746,25 +1770,37 @@ impl<R: RoutingFunction, Rec: ShardRecorder> Simulator<R, Rec> {
             next_class: t.next_class,
             class: t.class,
             escape: t.escape,
-            options: Vec::new(),
-        };
-        let slot = self.insert_packet(pkt);
+        });
         self.inbuf[buf] = slot;
+        self.in_occ.set(buf);
         self.in_occupied[self.layout.chan_to[chan] as usize] += 1;
     }
 
     /// Process a cross-shard acknowledgement: the receiver took the
     /// packet staged in output buffer `buf`, so free the sender-side
     /// copy (and its trace state, which the receiver adopted).
-    pub(crate) fn apply_ack(&mut self, buf: usize) {
+    fn apply_ack(&mut self, buf: usize) {
         let slot = self.outbuf[buf];
         debug_assert_ne!(slot, NONE, "ack for an empty output buffer");
         if Rec::ENABLED {
-            self.rec.discard_trace(self.packets[slot as usize].uid);
+            self.rec.discard_trace(self.store.uid[slot as usize]);
         }
         self.outbuf[buf] = NONE;
-        self.chan_pending[self.buf_chan[buf] as usize] -= 1;
-        self.free.push(slot);
+        self.out_occ.clear(buf);
+        let chan = self.buf_chan[buf] as usize;
+        self.chan_pending[chan] -= 1;
+        if self.chan_pending[chan] == 0 {
+            self.chan_live.clear(chan);
+        }
+        self.store.release(slot, &mut self.opts);
+    }
+
+    /// Drain a batch of cross-shard acknowledgements (one mailbox lock's
+    /// worth) in order.
+    pub(crate) fn apply_acks(&mut self, bufs: &[u32]) {
+        for &b in bufs {
+            self.apply_ack(b as usize);
+        }
     }
 }
 

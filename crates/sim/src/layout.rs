@@ -26,8 +26,10 @@ pub struct Layout {
     pub chan_to: Vec<u32>,
     /// Channel id → first buffer id.
     pub chan_buf_start: Vec<u32>,
-    /// Channel id → number of buffer classes.
-    pub chan_buf_len: Vec<u8>,
+    /// Channel id → number of buffer classes. `u16` because a channel may
+    /// declare up to 257 classes (256 `Static` levels plus `Dynamic`),
+    /// which overflows `u8`.
+    pub chan_buf_len: Vec<u16>,
     /// Buffer id → traffic class.
     pub buf_class: Vec<BufferClass>,
     /// Per node: its output-buffer ids in fill order
@@ -74,7 +76,7 @@ impl Layout {
                 layout.chan_buf_start.push(layout.buf_class.len() as u32);
                 layout
                     .chan_buf_len
-                    .push(u8::try_from(classes.len()).expect("few classes"));
+                    .push(u16::try_from(classes.len()).expect("BufferClass bounds class count"));
                 for class in classes {
                     let buf = layout.buf_class.len() as u32;
                     layout.buf_class.push(class);
@@ -169,6 +171,65 @@ mod tests {
         let l = Layout::new(&rf);
         // Downward channel has no Static(0).
         let _ = l.buffer(7, 0, Static(0));
+    }
+
+    #[test]
+    fn layout_supports_more_than_255_classes_per_channel() {
+        use fadr_qdg::{QueueId, Transition};
+        use fadr_topology::{Hypercube, NodeId, Port, Topology};
+
+        // Degenerate routing function declaring the maximum possible number
+        // of buffer classes on every channel: all 256 `Static` levels plus
+        // `Dynamic` = 257, which overflowed the former `u8` channel width.
+        struct ManyClasses(Hypercube);
+        impl RoutingFunction for ManyClasses {
+            type Msg = NodeId;
+            fn topology(&self) -> &dyn Topology {
+                &self.0
+            }
+            fn num_classes(&self) -> usize {
+                256
+            }
+            fn initial_msg(&self, _src: NodeId, dst: NodeId) -> NodeId {
+                dst
+            }
+            fn destination(&self, msg: &NodeId) -> NodeId {
+                *msg
+            }
+            fn deliverable(&self, node: NodeId, msg: &NodeId) -> bool {
+                node == *msg
+            }
+            fn for_each_transition(
+                &self,
+                _at: QueueId,
+                _msg: &NodeId,
+                _f: &mut dyn FnMut(Transition<NodeId>),
+            ) {
+            }
+            fn buffer_classes(&self, _node: NodeId, _port: Port) -> Vec<BufferClass> {
+                let mut classes: Vec<BufferClass> =
+                    (0..=u8::MAX).map(BufferClass::Static).collect();
+                classes.push(BufferClass::Dynamic);
+                classes
+            }
+            fn is_minimal(&self) -> bool {
+                false
+            }
+            fn max_hops(&self) -> usize {
+                1
+            }
+            fn name(&self) -> String {
+                "many-classes".into()
+            }
+        }
+
+        let rf = ManyClasses(Hypercube::new(1));
+        let l = Layout::new(&rf);
+        assert_eq!(l.num_channels(), 2);
+        assert_eq!(l.chan_buf_len, vec![257, 257]);
+        assert_eq!(l.num_buffers(), 2 * 257);
+        assert_eq!(l.buffer(0, 0, BufferClass::Static(255)), 255);
+        assert_eq!(l.buffer(0, 0, BufferClass::Dynamic), 256);
     }
 
     #[test]

@@ -54,15 +54,18 @@ mod engine;
 pub mod fault;
 mod layout;
 pub mod node_design;
+mod partition;
 mod sharded;
+mod store;
 
 pub use engine::{DynamicResult, OccupancyProbe, Simulator, StaticResult, StopReason};
 pub use fadr_metrics::{
-    Control, CounterSink, NoRecorder, Recorder, ShardRecorder, SinkSet, StallReport, TraceSink,
-    TraceState, WatchdogSink,
+    Control, CounterSink, NoRecorder, PartitionStats, Recorder, ShardRecorder, SinkSet,
+    StallReport, TraceSink, TraceState, WatchdogSink,
 };
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use layout::Layout;
+pub use partition::{Partition, PartitionError, PartitionStrategy};
 pub use sharded::ShardedSimulator;
 
 /// Simulator configuration (§ 7.1 defaults).

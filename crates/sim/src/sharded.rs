@@ -1,13 +1,17 @@
 //! Intra-simulation sharding: one simulation, many threads, bit-identical
 //! results.
 //!
-//! [`ShardedSimulator`] partitions the nodes into contiguous ranges over
-//! the layout's node order and runs the fill/link/read cycle of § 7.1
-//! shard-locally, one thread per shard. The only state a cycle moves
-//! between nodes is a packet crossing a directed channel, so the shards
-//! exchange exactly that — **offers** (packets staged on a cross-shard
-//! channel) and **acks** (the receiver took the packet) — through
-//! per-pair mailboxes, with a barrier on each side of the link pass.
+//! [`ShardedSimulator`] partitions the nodes across shards with a
+//! topology-aware [`Partition`] (Hamming-prefix subcubes on hypercubes,
+//! coordinate bisection on grids, BFS growth elsewhere — see
+//! [`PartitionStrategy`]; the partition only changes how much cross-shard
+//! traffic the mailboxes carry, never the results) and runs the
+//! fill/link/read cycle of § 7.1 shard-locally, one thread per shard.
+//! The only state a cycle moves between nodes is a packet crossing a
+//! directed channel, so the shards exchange exactly that — **offers**
+//! (packets staged on a cross-shard channel) and **acks** (the receiver
+//! took the packet) — through per-pair mailboxes, with a barrier on each
+//! side of the link pass.
 //!
 //! # Why the result is bit-identical to [`Simulator`]
 //!
@@ -30,9 +34,14 @@
 //! worker recomputes identically from the per-cycle summaries all
 //! shards publish — no shard waits on another's decision. Packet uids
 //! stay dense and equal to the sequential injection order because each
-//! shard pre-plans its next cycle's injections a phase early and the
-//! workers prefix-sum the planned counts. Dynamic-injection draws come
-//! from per-node RNG streams ([`crate::SimConfig::seed`] ⊕ node id), so
+//! shard pre-plans its next cycle's injections a phase early and
+//! publishes the *node ids* it will inject at: the sequential engine
+//! injects in ascending node order within a cycle, so every worker
+//! merge-ranks its own (ascending) list against its siblings' to
+//! recover each packet's global rank ([`rank_uids`]) — correct under
+//! any node partition, where the old contiguous-range prefix-sum would
+//! misnumber interleaved shards. Dynamic-injection draws come from
+//! per-node RNG streams ([`crate::SimConfig::seed`] ⊕ node id), so
 //! partitioning the node loop across threads cannot reorder anyone's
 //! stream. Statistics merge exactly (integer accumulators), and
 //! recorders merge in fixed shard order via
@@ -46,19 +55,21 @@
 //! rule evaluated on the replicated global counters, with the
 //! [`StallReport`] synthesized from all shards after the run.
 
-use std::ops::Range;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use fadr_metrics::{Control, LatencyStats, NoRecorder, ShardRecorder, StallReport, TimeSeries};
+use fadr_metrics::{
+    Control, LatencyStats, NoRecorder, PartitionStats, ShardRecorder, StallReport, TimeSeries,
+};
 use fadr_qdg::RoutingFunction;
 use fadr_topology::NodeId;
 
 use crate::engine::{node_rng, OfferItem, Simulator};
 use crate::fault::FaultPlan;
 use crate::layout::Layout;
+use crate::partition::{OwnedNodes, Partition, PartitionStrategy};
 use crate::{DynamicResult, OccupancyProbe, SimConfig, StaticResult, StopReason};
 
 /// Locks a mutex, ignoring poisoning: mailbox state is phase-owned (a
@@ -71,10 +82,15 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// worker's own index).
 type HeldBoxes<'a, T> = Vec<Option<MutexGuard<'a, Vec<T>>>>;
 
-/// Node partition and channel ownership, precomputed from the layout.
+/// Node partition and channel ownership, precomputed from a
+/// [`Partition`] over the layout.
 struct ShardPlan {
-    /// Contiguous node range per shard.
-    ranges: Vec<Range<usize>>,
+    /// Owned node ids per shard, ascending (the ascending order is what
+    /// lets [`rank_uids`] merge injection lists with one cursor each).
+    nodes: Vec<Vec<u32>>,
+    /// The same sets as membership structures for the engine's
+    /// node-subset entry points (`apply_faults`, `sample_occupancy`).
+    owned: Vec<OwnedNodes>,
     /// Node → owning shard.
     node_shard: Vec<u32>,
     /// Per shard: the channels it executes in the link pass — every
@@ -87,17 +103,17 @@ struct ShardPlan {
 }
 
 impl ShardPlan {
-    fn new(layout: &Layout, shards: usize) -> Self {
-        let n = layout.num_nodes;
-        let ranges: Vec<Range<usize>> = (0..shards)
-            .map(|s| (s * n / shards)..((s + 1) * n / shards))
+    fn new(layout: &Layout, part: Partition) -> Self {
+        let Partition {
+            shard_nodes: nodes,
+            node_shard,
+            ..
+        } = part;
+        let shards = nodes.len();
+        let owned = nodes
+            .iter()
+            .map(|ids| OwnedNodes::from_sorted(ids, layout.num_nodes))
             .collect();
-        let mut node_shard = vec![0u32; n];
-        for (s, r) in ranges.iter().enumerate() {
-            for v in r.clone() {
-                node_shard[v] = s as u32;
-            }
-        }
         let mut exec = vec![Vec::new(); shards];
         let mut cross_out = vec![Vec::new(); shards];
         for chan in 0..layout.num_channels() {
@@ -109,7 +125,8 @@ impl ShardPlan {
             }
         }
         Self {
-            ranges,
+            nodes,
+            owned,
             node_shard,
             exec,
             cross_out,
@@ -125,9 +142,6 @@ struct CycleSummary {
     delivered: u64,
     /// Link traversals this shard executed this cycle.
     links: u64,
-    /// Injections this shard will perform next cycle (pre-planned, so
-    /// uid ranges can be prefix-summed before anyone injects).
-    inj_next: u64,
     /// Packets node-down faults destroyed on this shard this cycle.
     dropped: u64,
     /// Backlog entries this shard's planner wrote off this cycle
@@ -231,22 +245,24 @@ struct Mailboxes<M> {
     offers: Vec<Vec<Mutex<Vec<OfferItem<M>>>>>,
     acks: Vec<Vec<Mutex<Vec<u32>>>>,
     summaries: Vec<Mutex<CycleSummary>>,
+    /// Per shard: the ascending node ids it will inject at next cycle
+    /// (written by the owner each planning phase, read by everyone in
+    /// [`rank_uids`]; the owner overwrites, readers never clear).
+    inj_nodes: Vec<Mutex<Vec<u32>>>,
     barrier: PoisonBarrier,
 }
 
 impl<M> Mailboxes<M> {
     fn new(shards: usize) -> Self {
-        let grid = |_| {
-            (0..shards)
-                .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
-                .collect()
-        };
         Self {
-            offers: grid(0),
+            offers: (0..shards)
+                .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
             acks: (0..shards)
                 .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
                 .collect(),
             summaries: (0..shards).map(|_| Mutex::default()).collect(),
+            inj_nodes: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
             barrier: PoisonBarrier::new(shards),
         }
     }
@@ -263,8 +279,46 @@ enum Horizon {
     Cycles(u64),
 }
 
+/// Assigns global uids to this shard's planned injections by ranking
+/// them in the all-shards ascending-node-id order the sequential engine
+/// injects in. Every shard's published [`Mailboxes::inj_nodes`] list is
+/// ascending and the lists are disjoint, so one monotone cursor per
+/// sibling recovers, for each own entry, how many remote injections
+/// precede it. Returns the next uid after this cycle's injections
+/// (`base` + the total injection count across all shards) — every
+/// worker computes the same value.
+fn rank_uids(
+    sid: usize,
+    boxes: &[Mutex<Vec<u32>>],
+    pending: &[(u32, u32)],
+    base: u64,
+    uids: &mut Vec<u64>,
+    cursors: &mut [usize],
+) -> u64 {
+    uids.clear();
+    cursors.fill(0);
+    let guards: Vec<Option<MutexGuard<'_, Vec<u32>>>> = boxes
+        .iter()
+        .enumerate()
+        .map(|(f, m)| (f != sid).then(|| lock(m)))
+        .collect();
+    for (i, &(v, _)) in pending.iter().enumerate() {
+        let mut before = i;
+        for (f, g) in guards.iter().enumerate() {
+            let Some(g) = g else { continue };
+            while cursors[f] < g.len() && g[cursors[f]] < v {
+                cursors[f] += 1;
+            }
+            before += cursors[f];
+        }
+        uids.push(base + before as u64);
+    }
+    let remote: u64 = guards.iter().flatten().map(|g| g.len() as u64).sum();
+    base + pending.len() as u64 + remote
+}
+
 /// The per-shard worker: runs the full simulation loop on its node
-/// range, synchronizing with siblings twice per cycle. Control flow
+/// set, synchronizing with siblings twice per cycle. Control flow
 /// mirrors `Simulator::run_static`/`run_dynamic` exactly — same loop
 /// conditions, evaluated on identically-replicated state.
 #[allow(clippy::too_many_arguments)]
@@ -281,18 +335,24 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
     mut planner: impl FnMut(&Simulator<R, Rec>, &mut Vec<(u32, u32)>) -> (u64, u64),
 ) -> WorkerOut {
     let _guard = PoisonGuard(&mb.barrier);
-    let shards = plan.ranges.len();
-    let range = plan.ranges[sid].clone();
+    let shards = plan.nodes.len();
+    let nodes = &plan.nodes[sid];
+    let owned = &plan.owned[sid];
     let mut pending: Vec<(u32, u32)> = Vec::new();
+    let mut uids: Vec<u64> = Vec::new();
+    let mut cursors = vec![0usize; shards];
 
-    // Plan cycle 0's injections and agree on uid bases before starting.
+    // Plan cycle 0's injections, publish their node ids, and rank them
+    // into the global injection order before starting.
     let (mut att_next, mut lost_next) = planner(sim, &mut pending);
-    lock(&mb.summaries[sid]).inj_next = pending.len() as u64;
+    {
+        let mut b = lock(&mb.inj_nodes[sid]);
+        b.clear();
+        b.extend(pending.iter().map(|&(v, _)| v));
+    }
     mb.barrier.wait();
-    let counts: Vec<u64> = mb.summaries.iter().map(|m| lock(m).inj_next).collect();
-    let mut uid_base: u64 = counts[..sid].iter().sum();
     // Replicated global state (every worker computes the same values).
-    let mut next_uid_global: u64 = counts.iter().sum();
+    let mut next_uid_global = rank_uids(sid, &mb.inj_nodes, &pending, 0, &mut uids, &mut cursors);
     let mut delivered_global: u64 = 0;
     let mut dropped_global: u64 = 0;
     let mut lost_global: u64 = 0;
@@ -329,16 +389,14 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
                 continue;
             }
             let mut inbox = lock(&mb.acks[f][sid]);
-            for &buf in inbox.iter() {
-                sim.apply_ack(buf as usize);
-            }
+            sim.apply_acks(&inbox);
             inbox.clear();
         }
-        sim.set_next_uid(uid_base);
         attempts += att_next;
         injected += pending.len() as u64;
         let lost_cycle = lost_next;
-        for &(v, dst) in &pending {
+        for (j, &(v, dst)) in pending.iter().enumerate() {
+            sim.set_next_uid(uids[j]);
             sim.inject(v as usize, dst as usize);
         }
         pending.clear();
@@ -347,9 +405,9 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
         // ack drain above must precede this: a packet that crossed last
         // cycle but whose ack is still in the mailbox would otherwise be
         // reabsorbed a second time from the sender's output buffer.
-        sim.apply_faults(range.clone());
-        for v in range.clone() {
-            sim.fill_node(v);
+        sim.apply_faults(owned);
+        for &v in nodes {
+            sim.fill_node(v as usize);
         }
         {
             let mut outboxes: HeldBoxes<'_, OfferItem<R::Msg>> = (0..shards)
@@ -404,11 +462,11 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
                 inbox.clear();
             }
         }
-        for v in range.clone() {
-            sim.read_node(v);
+        for &v in nodes {
+            sim.read_node(v as usize);
         }
         if track_occupancy {
-            sim.sample_occupancy(range.clone());
+            sim.sample_occupancy(owned);
         }
         let delivered_cycle = sim.delivered_count() - prev_delivered;
         prev_delivered = sim.delivered_count();
@@ -418,10 +476,14 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
         let next = planner(sim, &mut pending);
         att_next = next.0;
         lost_next = next.1;
+        {
+            let mut b = lock(&mb.inj_nodes[sid]);
+            b.clear();
+            b.extend(pending.iter().map(|&(v, _)| v));
+        }
         *lock(&mb.summaries[sid]) = CycleSummary {
             delivered: delivered_cycle,
             links: links_cycle,
-            inj_next: pending.len() as u64,
             dropped: dropped_cycle,
             lost: lost_cycle,
             partitioned: sim.has_partition(),
@@ -476,8 +538,17 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
         if sums.iter().any(|s| s.stop) {
             aborted = true;
         }
-        uid_base = next_uid_global + sums[..sid].iter().map(|s| s.inj_next).sum::<u64>();
-        next_uid_global += sums.iter().map(|s| s.inj_next).sum::<u64>();
+        // Rank next cycle's injections after the watchdog logic above:
+        // the watchdog's in-flight count must see the uid frontier as of
+        // the injections already performed, not the planned ones.
+        next_uid_global = rank_uids(
+            sid,
+            &mb.inj_nodes,
+            &pending,
+            next_uid_global,
+            &mut uids,
+            &mut cursors,
+        );
         sim.advance_cycle();
         iter += 1;
         if aborted {
@@ -493,9 +564,7 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
             continue;
         }
         let mut inbox = lock(&mb.acks[f][sid]);
-        for &buf in inbox.iter() {
-            sim.apply_ack(buf as usize);
-        }
+        sim.apply_acks(&inbox);
         inbox.clear();
     }
 
@@ -529,6 +598,7 @@ pub struct ShardedSimulator<R: RoutingFunction, Rec: ShardRecorder = NoRecorder>
     cfg: SimConfig,
     layout: Arc<Layout>,
     plan: ShardPlan,
+    stats: PartitionStats,
     shards: Vec<Simulator<R, Rec>>,
     watchdog: Option<u64>,
     stall: Option<StallReport>,
@@ -536,15 +606,27 @@ pub struct ShardedSimulator<R: RoutingFunction, Rec: ShardRecorder = NoRecorder>
 
 impl<R: RoutingFunction + Clone> ShardedSimulator<R> {
     /// Build a sharded simulator with `shards` worker shards (clamped to
-    /// `1..=num_nodes`) and no recorder.
+    /// `1..=num_nodes`), no recorder, and the topology's preferred
+    /// partition ([`PartitionStrategy::Auto`]).
     pub fn new(rf: R, cfg: SimConfig, shards: usize) -> Self {
         Self::with_recorders(rf, cfg, shards, |_| NoRecorder)
+    }
+
+    /// [`ShardedSimulator::new`] with an explicit [`PartitionStrategy`].
+    pub fn with_strategy(
+        rf: R,
+        cfg: SimConfig,
+        shards: usize,
+        strategy: PartitionStrategy,
+    ) -> Self {
+        Self::with_recorders_strategy(rf, cfg, shards, strategy, |_| NoRecorder)
     }
 }
 
 impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
     /// Build a sharded simulator with one recorder per shard (`mk` is
-    /// called with each shard index). Recorders must be shardable —
+    /// called with each shard index) and the topology's preferred
+    /// partition. Recorders must be shardable —
     /// see [`ShardRecorder::shardable`]; notably a
     /// [`fadr_metrics::SinkSet`] carrying a watchdog is not (use
     /// [`ShardedSimulator::with_watchdog`] instead).
@@ -556,11 +638,33 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
         rf: R,
         cfg: SimConfig,
         shards: usize,
+        mk: impl FnMut(usize) -> Rec,
+    ) -> Self {
+        Self::with_recorders_strategy(rf, cfg, shards, PartitionStrategy::Auto, mk)
+    }
+
+    /// [`ShardedSimulator::with_recorders`] with an explicit
+    /// [`PartitionStrategy`]. The partition only changes how much
+    /// cross-shard traffic the workers exchange (reported by
+    /// [`ShardedSimulator::partition_stats`]); results are bit-identical
+    /// under every strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mk` yields a non-shardable recorder.
+    pub fn with_recorders_strategy(
+        rf: R,
+        cfg: SimConfig,
+        shards: usize,
+        strategy: PartitionStrategy,
         mut mk: impl FnMut(usize) -> Rec,
     ) -> Self {
         let layout = Arc::new(Layout::new(&rf));
         let shards = shards.clamp(1, layout.num_nodes.max(1));
-        let plan = ShardPlan::new(&layout, shards);
+        let part = Partition::new(strategy, rf.topology(), &layout, shards)
+            .expect("shard count was clamped to at least 1");
+        let stats = part.stats.clone();
+        let plan = ShardPlan::new(&layout, part);
         let shards: Vec<Simulator<R, Rec>> = (0..shards)
             .map(|s| {
                 let rec = mk(s);
@@ -576,10 +680,18 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
             cfg,
             layout,
             plan,
+            stats,
             shards,
             watchdog: None,
             stall: None,
         }
+    }
+
+    /// How the nodes were split across shards: strategy, shard count,
+    /// and the measured cut (cross-shard channel fraction). Lower cut
+    /// means less mailbox traffic per cycle; it never affects results.
+    pub fn partition_stats(&self) -> &PartitionStats {
+        &self.stats
     }
 
     /// Abort runs after `k` consecutive cycles without a delivery while
@@ -649,12 +761,12 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
         assert_eq!(backlog.len(), self.num_nodes());
         let total: u64 = backlog.iter().map(|b| b.len() as u64).sum();
         let outs = self.run_shards(Horizon::Drain { total }, |sid, plan| {
-            let range = plan.ranges[sid].clone();
-            let mut next_idx = vec![0usize; range.len()];
+            let nodes = plan.nodes[sid].clone();
+            let mut next_idx = vec![0usize; nodes.len()];
             move |sim: &Simulator<R, Rec>, pending: &mut Vec<(u32, u32)>| {
                 let mut lost = 0u64;
-                for v in range.clone() {
-                    let i = v - range.start;
+                for (i, &v32) in nodes.iter().enumerate() {
+                    let v = v32 as usize;
                     if next_idx[i] >= backlog[v].len() {
                         continue;
                     }
@@ -664,7 +776,7 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
                         lost += (backlog[v].len() - next_idx[i]) as u64;
                         next_idx[i] = backlog[v].len();
                     } else if sim.inj_free(v) {
-                        pending.push((v as u32, backlog[v][next_idx[i]] as u32));
+                        pending.push((v32, backlog[v][next_idx[i]] as u32));
                         next_idx[i] += 1;
                     }
                 }
@@ -717,12 +829,13 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
         let seed = self.cfg.seed;
         let dest = &dest;
         let outs = self.run_shards(Horizon::Cycles(cycles), |sid, plan| {
-            let range = plan.ranges[sid].clone();
-            let mut rngs: Vec<StdRng> = range.clone().map(|v| node_rng(seed, v)).collect();
+            let nodes = plan.nodes[sid].clone();
+            let mut rngs: Vec<StdRng> = nodes.iter().map(|&v| node_rng(seed, v as usize)).collect();
             move |sim: &Simulator<R, Rec>, pending: &mut Vec<(u32, u32)>| {
                 let mut att = 0u64;
-                for v in range.clone() {
-                    let rng = &mut rngs[v - range.start];
+                for (i, &v32) in nodes.iter().enumerate() {
+                    let v = v32 as usize;
+                    let rng = &mut rngs[i];
                     if lambda < 1.0 && !rng.gen_bool(lambda) {
                         continue;
                     }
@@ -732,7 +845,7 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
                     // per-node stream is fault-independent.
                     let dst = dest(v, rng);
                     if sim.inj_free(v) && sim.node_alive(v) {
-                        pending.push((v as u32, dst as u32));
+                        pending.push((v32, dst as u32));
                     }
                 }
                 (att, 0)
@@ -823,8 +936,12 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
     fn build_stall_report(&self, info: StallInfo) -> StallReport {
         let mut queues = Vec::new();
         for (sid, sim) in self.shards.iter().enumerate() {
-            queues.extend(sim.nonempty_queues(self.plan.ranges[sid].clone()));
+            queues.extend(sim.nonempty_queues(&self.plan.nodes[sid]));
         }
+        // Shards own interleaved node sets under non-contiguous
+        // partitions; restore the sequential report's (node, class)
+        // order.
+        queues.sort_unstable_by_key(|&(node, class, _)| (node, class));
         let oldest = self
             .shards
             .iter()
@@ -884,7 +1001,7 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
     }
 
     /// Consume the simulator and merge the per-shard recorders in fixed
-    /// shard order (ascending node ranges), yielding deterministic
+    /// shard order, yielding deterministic
     /// merged sinks — equal to the sequential engine's single recorder
     /// for order-insensitive sinks (counters) and for sorted trace
     /// output.
@@ -907,11 +1024,19 @@ mod tests {
     fn plan_partitions_nodes_and_channels() {
         let rf = HypercubeFullyAdaptive::new(3);
         let layout = Layout::new(&rf);
-        let plan = ShardPlan::new(&layout, 3);
-        // Ranges tile 0..8 contiguously.
-        assert_eq!(plan.ranges[0], 0..2);
-        assert_eq!(plan.ranges[1], 2..5);
-        assert_eq!(plan.ranges[2], 5..8);
+        let part = Partition::new(PartitionStrategy::Contiguous, rf.topology(), &layout, 3)
+            .expect("3 shards is valid");
+        let plan = ShardPlan::new(&layout, part);
+        // Contiguous shard node sets tile 0..8.
+        assert_eq!(plan.nodes[0], vec![0, 1]);
+        assert_eq!(plan.nodes[1], vec![2, 3, 4]);
+        assert_eq!(plan.nodes[2], vec![5, 6, 7]);
+        for (s, ids) in plan.nodes.iter().enumerate() {
+            for &v in ids {
+                assert_eq!(plan.node_shard[v as usize] as usize, s);
+                assert!(plan.owned[s].contains(v as usize));
+            }
+        }
         // Every channel is executed by exactly one shard (its target's).
         let execs: usize = plan.exec.iter().map(Vec::len).sum();
         assert_eq!(execs, layout.num_channels());
@@ -932,6 +1057,27 @@ mod tests {
         for c in &plan.cross_out {
             assert!(c.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn rank_uids_recovers_global_injection_order() {
+        // Shards own interleaved nodes {0,2,5} and {1,3,4}; all six
+        // inject this cycle. Sequential order is ascending node id, so
+        // from base 10 the uids are 10..16 in node order.
+        let boxes = vec![Mutex::new(vec![0, 2, 5]), Mutex::new(vec![1, 3, 4])];
+        let mut uids = Vec::new();
+        let mut cursors = vec![0usize; 2];
+        let pending0: Vec<(u32, u32)> = vec![(0, 0), (2, 0), (5, 0)];
+        let next0 = rank_uids(0, &boxes, &pending0, 10, &mut uids, &mut cursors);
+        assert_eq!(uids, vec![10, 12, 15]);
+        let pending1: Vec<(u32, u32)> = vec![(1, 0), (3, 0), (4, 0)];
+        let next1 = rank_uids(1, &boxes, &pending1, 10, &mut uids, &mut cursors);
+        assert_eq!(uids, vec![11, 13, 14]);
+        // Every worker agrees on the next free uid, even one with an
+        // empty pending list.
+        assert_eq!(next0, 16);
+        assert_eq!(next1, 16);
+        assert_eq!(rank_uids(0, &boxes, &[], 16, &mut uids, &mut cursors), 19);
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Hand-rolled property suite for the shard partitioners.
+//!
+//! No property-testing crate is vendored, so the generators are explicit
+//! nested loops over routing families × strategies × shard counts. Three
+//! invariants are enforced for every combination:
+//!
+//! 1. **Tiling** — the shard node sets partition `0..n` exactly (every
+//!    node owned once, each set ascending and non-empty), and the
+//!    `node_shard` inverse map agrees with the sets.
+//! 2. **Exact cut accounting** — `PartitionStats::cut_channels` equals a
+//!    brute-force recount over the layout's directed channel endpoints.
+//! 3. **Bit-identity** — a sharded run under *every* strategy produces
+//!    the same results as the sequential engine: the partition is a
+//!    performance knob, never a semantic one.
+//!
+//! Plus the quality target the topology-aware partitioners exist for:
+//! on a large hypercube an odd (non-power-of-two) shard count must cut
+//! strictly fewer channels under Hamming-prefix than under contiguous
+//! ranges, within the analytic `ceil(log2 shards) / dims` bound.
+
+use fadr_core::{
+    HypercubeFullyAdaptive, MeshFullyAdaptive, MeshKDFullyAdaptive, ShuffleExchangeRouting,
+    TorusTwoPhase,
+};
+use fadr_qdg::RoutingFunction;
+use fadr_sim::{
+    Layout, Partition, PartitionError, PartitionStrategy, ShardedSimulator, SimConfig, Simulator,
+    StopReason,
+};
+use fadr_workloads::{static_backlog, Pattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const STRATEGIES: [PartitionStrategy; 5] = [
+    PartitionStrategy::Auto,
+    PartitionStrategy::Contiguous,
+    PartitionStrategy::HammingPrefix,
+    PartitionStrategy::Bisection,
+    PartitionStrategy::BfsGrowth,
+];
+
+/// Check tiling, ownership, monotonicity, and the brute-force cut
+/// recount for one (topology, strategy, shard count) combination.
+fn check_partition<R: RoutingFunction>(name: &str, rf: &R, s: PartitionStrategy, k: usize) {
+    let layout = Layout::new(rf);
+    let n = layout.num_nodes;
+    let part = Partition::new(s, rf.topology(), &layout, k)
+        .unwrap_or_else(|e| panic!("{name} {} shards={k}: {e:?}", s.name()));
+    let ctx = format!("{name} {} shards={k}", part.stats.strategy);
+
+    // Tiling: each shard ascending and non-empty; union is 0..n exactly.
+    let mut owned = vec![false; n];
+    for (sid, ids) in part.shard_nodes.iter().enumerate() {
+        assert!(!ids.is_empty(), "{ctx}: shard {sid} is empty");
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "{ctx}: shard {sid} not strictly ascending"
+        );
+        for &v in ids {
+            assert!(!owned[v as usize], "{ctx}: node {v} owned twice");
+            owned[v as usize] = true;
+            assert_eq!(
+                part.node_shard[v as usize] as usize, sid,
+                "{ctx}: node_shard disagrees at {v}"
+            );
+        }
+    }
+    assert!(owned.iter().all(|&o| o), "{ctx}: some node unowned");
+
+    // Clamp: never more shards than nodes, never fewer than requested
+    // when the request is feasible.
+    assert_eq!(
+        part.shard_nodes.len(),
+        k.min(n.max(1)),
+        "{ctx}: shard count"
+    );
+    assert_eq!(
+        part.stats.shards,
+        part.shard_nodes.len(),
+        "{ctx}: stats.shards"
+    );
+
+    // Exact cut accounting against a brute-force recount.
+    let cut = (0..layout.num_channels())
+        .filter(|&c| {
+            part.node_shard[layout.chan_from[c] as usize]
+                != part.node_shard[layout.chan_to[c] as usize]
+        })
+        .count();
+    assert_eq!(part.stats.cut_channels, cut, "{ctx}: cut recount");
+    assert_eq!(
+        part.stats.total_channels,
+        layout.num_channels(),
+        "{ctx}: total channels"
+    );
+    if part.shard_nodes.len() == 1 {
+        assert_eq!(
+            part.stats.cut_channels, 0,
+            "{ctx}: single shard cuts nothing"
+        );
+    }
+}
+
+/// Sweep every strategy × shard count for one routing family.
+fn check_family<R: RoutingFunction>(name: &str, rf: &R) {
+    let n = rf.topology().num_nodes();
+    for s in STRATEGIES {
+        for k in [1, 2, 3, 7, n, n + 5] {
+            check_partition(name, rf, s, k);
+        }
+    }
+}
+
+#[test]
+fn partitions_tile_nodes_and_report_exact_cuts() {
+    check_family("hc-adaptive", &HypercubeFullyAdaptive::new(4));
+    check_family("mesh", &MeshFullyAdaptive::new(5, 5));
+    check_family("mesh-kd", &MeshKDFullyAdaptive::new(&[3, 3, 3]));
+    check_family("torus", &TorusTwoPhase::new(4, 4));
+    check_family("shuffle", &ShuffleExchangeRouting::new(4));
+}
+
+#[test]
+fn zero_shards_is_a_public_error() {
+    let rf = HypercubeFullyAdaptive::new(3);
+    let layout = Layout::new(&rf);
+    for s in STRATEGIES {
+        assert_eq!(
+            Partition::new(s, rf.topology(), &layout, 0),
+            Err(PartitionError::ZeroShards),
+            "{} must reject 0 shards",
+            s.name()
+        );
+    }
+}
+
+/// Every strategy must leave results bit-identical to the sequential
+/// engine — the shard-equivalence suite covers Auto; this sweeps the
+/// explicit strategies (including ones Auto would not pick for the
+/// topology, which exercise their fallback paths).
+fn assert_strategy_equiv<R>(name: &str, rf: R)
+where
+    R: RoutingFunction + Clone + Send,
+    R::Msg: Send,
+{
+    let cfg = SimConfig::default();
+    let size = rf.topology().num_nodes();
+    let mut rng = StdRng::seed_from_u64(0xCA7);
+    let backlog = static_backlog(&Pattern::Random, size, 2, &mut rng);
+    let seq = Simulator::new(rf.clone(), cfg).run_static(&backlog);
+    assert_eq!(seq.stop, StopReason::Drained, "{name}: seed run broken");
+    for s in STRATEGIES {
+        for shards in [3, 7] {
+            let mut shr = ShardedSimulator::with_strategy(rf.clone(), cfg, shards, s);
+            let res = shr.run_static(&backlog);
+            assert_eq!(
+                seq,
+                res,
+                "{name} {} shards={shards}: diverged (cut {})",
+                s.name(),
+                shr.partition_stats()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_strategy_is_bit_identical_to_sequential() {
+    assert_strategy_equiv("hc-adaptive", HypercubeFullyAdaptive::new(4));
+    assert_strategy_equiv("mesh", MeshFullyAdaptive::new(5, 5));
+    assert_strategy_equiv("mesh-kd", MeshKDFullyAdaptive::new(&[3, 3, 3]));
+    assert_strategy_equiv("torus", TorusTwoPhase::new(4, 4));
+    assert_strategy_equiv("shuffle", ShuffleExchangeRouting::new(4));
+}
+
+#[test]
+fn hamming_prefix_beats_contiguous_on_the_big_hypercube() {
+    // The EXPERIMENTS.md scale configuration: a 16-cube, with the odd
+    // shard count 3 (power-of-two counts make contiguous ranges
+    // accidentally subcube-aligned, hiding the difference).
+    let dims = 16;
+    let rf = HypercubeFullyAdaptive::new(dims);
+    let layout = Layout::new(&rf);
+    let cut = |s| {
+        Partition::new(s, rf.topology(), &layout, 3)
+            .expect("3 shards valid")
+            .stats
+            .cut_fraction()
+    };
+    let hamming = cut(PartitionStrategy::HammingPrefix);
+    let contiguous = cut(PartitionStrategy::Contiguous);
+    // Analytic bound: subcube shards cut only the ceil(log2 3) = 2
+    // split dimensions of 16.
+    assert!(
+        hamming <= 2.0 / dims as f64 + 1e-12,
+        "hamming cut {hamming} exceeds the subcube bound"
+    );
+    // And the point of the tentpole: a strict, material reduction.
+    assert!(
+        hamming < 0.75 * contiguous,
+        "hamming cut {hamming} not materially below contiguous {contiguous}"
+    );
+    // Auto resolves to Hamming-prefix on a hypercube.
+    assert_eq!(
+        Partition::new(PartitionStrategy::Auto, rf.topology(), &layout, 3)
+            .expect("3 shards valid")
+            .stats
+            .strategy,
+        "hamming-prefix"
+    );
+}

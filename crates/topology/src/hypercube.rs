@@ -1,6 +1,6 @@
 //! The binary hypercube.
 
-use crate::{hamming_distance, NodeId, Port, Topology};
+use crate::{hamming_distance, NodeId, PartitionHint, Port, Topology};
 
 /// The binary n-cube: `2^n` nodes, node addresses are n-bit strings, and
 /// two nodes are linked iff their addresses differ in exactly one bit.
@@ -73,6 +73,10 @@ impl Topology for Hypercube {
 
     fn degree(&self, _node: NodeId) -> usize {
         self.dims
+    }
+
+    fn partition_hint(&self) -> PartitionHint {
+        PartitionHint::Hypercube { dims: self.dims }
     }
 
     fn reverse_port(&self, _node: NodeId, port: Port) -> Option<Port> {

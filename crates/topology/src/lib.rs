@@ -46,6 +46,34 @@ pub type NodeId = usize;
 /// boundaries) yield `None` from [`Topology::neighbor`].
 pub type Port = usize;
 
+/// Structural hint for splitting a topology's nodes across shards.
+///
+/// A partitioner (e.g. `fadr-sim`'s sharded engine) asks the topology how
+/// its node ids encode coordinates, then picks a strategy that keeps
+/// neighboring nodes on the same shard: Hamming-prefix subcubes for
+/// hypercubes, recursive coordinate bisection for grids, and a BFS-growth
+/// fallback for everything else. The hint describes *structure only* —
+/// it never affects routing or simulation results, only which shard
+/// executes which node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionHint {
+    /// Binary hypercube: node ids are `dims`-bit addresses and each link
+    /// flips exactly one address bit (`num_nodes == 1 << dims`).
+    Hypercube {
+        /// Number of address bits n.
+        dims: usize,
+    },
+    /// Row-major grid: node ids are mixed-radix coordinates over
+    /// `extents`, dimension 0 varying fastest, and links connect nodes
+    /// adjacent (possibly wrapping, as on a torus) in one dimension.
+    Grid {
+        /// Per-dimension extents, dimension 0 fastest.
+        extents: Vec<usize>,
+    },
+    /// No exploitable coordinate structure (the default).
+    Irregular,
+}
+
 /// A network topology with dense node ids and per-node outgoing ports.
 ///
 /// Implementations must guarantee:
@@ -95,6 +123,13 @@ pub trait Topology {
             .filter_map(|p| self.neighbor(node, p).map(|v| (p, v)))
             .filter(|&(_, v)| (v == to && d == 1) || (v != to && self.distance(v, to) + 1 == d))
             .collect()
+    }
+
+    /// How this topology's node ids encode coordinates, for shard
+    /// partitioners (see [`PartitionHint`]). The default claims no
+    /// structure; regular topologies override it.
+    fn partition_hint(&self) -> PartitionHint {
+        PartitionHint::Irregular
     }
 
     /// Port on the *neighbor* that leads straight back to `node`, if the

@@ -1,6 +1,6 @@
 //! 2-dimensional and k-dimensional meshes.
 
-use crate::{NodeId, Port, Topology};
+use crate::{NodeId, PartitionHint, Port, Topology};
 
 /// Port numbering shared by [`Mesh2D`] and [`Torus2D`](crate::Torus2D):
 /// `2*dim` is the positive direction of `dim`, `2*dim + 1` the negative.
@@ -95,6 +95,12 @@ impl Topology for Mesh2D {
         let (ax, ay) = self.coords(from);
         let (bx, by) = self.coords(to);
         ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    fn partition_hint(&self) -> PartitionHint {
+        PartitionHint::Grid {
+            extents: vec![self.width, self.height],
+        }
     }
 
     fn reverse_port(&self, node: NodeId, port: Port) -> Option<Port> {
@@ -212,6 +218,12 @@ impl Topology for MeshKD {
         (0..self.dims())
             .map(|d| self.coord(from, d).abs_diff(self.coord(to, d)))
             .sum()
+    }
+
+    fn partition_hint(&self) -> PartitionHint {
+        PartitionHint::Grid {
+            extents: self.extents.clone(),
+        }
     }
 
     fn reverse_port(&self, node: NodeId, port: Port) -> Option<Port> {

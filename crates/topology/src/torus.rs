@@ -1,6 +1,6 @@
 //! The 2-dimensional torus (k-ary 2-cube).
 
-use crate::{NodeId, Port, Topology};
+use crate::{NodeId, PartitionHint, Port, Topology};
 
 /// The `w × h` 2-dimensional torus: a [`Mesh2D`](crate::Mesh2D) with
 /// wraparound links in both dimensions.
@@ -112,6 +112,14 @@ impl Topology for Torus2D {
 
     fn degree(&self, _node: NodeId) -> usize {
         4
+    }
+
+    fn partition_hint(&self) -> PartitionHint {
+        // Wrap links cross any coordinate split; bisection still beats a
+        // structure-blind partition on everything but the wrap columns.
+        PartitionHint::Grid {
+            extents: vec![self.width, self.height],
+        }
     }
 
     fn reverse_port(&self, _node: NodeId, port: Port) -> Option<Port> {
