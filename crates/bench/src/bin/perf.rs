@@ -194,9 +194,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let snapshot = match obs_args.snapshot_policy() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let opts = RunOptions {
         partition,
         faults,
+        snapshot,
         ..RunOptions::default()
     };
     let dims: &[usize] = if quick { &[10] } else { &[10, 11, 12] };

@@ -28,7 +28,9 @@ use std::process::ExitCode;
 
 use fadr_bench::exec;
 use fadr_bench::obs::{self, MetricsRow, ObsArgs, RecordConfig};
-use fadr_bench::runner::{dynamic_random_recorded, run_rows_recorded, spec, Algo, RunOptions};
+use fadr_bench::runner::{
+    dynamic_random_recorded, run_rows_recorded, spec, Algo, RunOptions, SnapshotPolicy,
+};
 use fadr_core::{EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang};
 use fadr_sim::{FaultPlan, PartitionStrategy, SimConfig};
 
@@ -54,6 +56,7 @@ fn print_partition_stats(n: usize, shards: usize, partition: PartitionStrategy) 
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn lambda_sweep(
     n: usize,
     cycles: u64,
@@ -62,6 +65,7 @@ fn lambda_sweep(
     partition: PartitionStrategy,
     rc: RecordConfig,
     faults: Option<&'static FaultPlan>,
+    snap: Option<SnapshotPolicy>,
 ) -> Vec<MetricsRow> {
     const LAMBDAS: [f64; 11] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
     let size = 1usize << n;
@@ -70,9 +74,13 @@ fn lambda_sweep(
         let lambda = LAMBDAS[i / ALGOS.len()];
         let (name, algo) = ALGOS[i % ALGOS.len()];
         let cfg = SimConfig::default();
+        // File-safe label keying this point's snapshot inside
+        // `--checkpoint-dir` (the display label below has spaces).
+        let snap_label = format!("lambda{lambda}_{name}");
         let (res, sinks) = match algo {
             Algo::FullyAdaptive => dynamic_random_recorded(
                 HypercubeFullyAdaptive::new(n),
+                algo,
                 cfg,
                 lambda,
                 cycles,
@@ -80,9 +88,12 @@ fn lambda_sweep(
                 shards,
                 partition,
                 faults,
+                snap,
+                &snap_label,
             ),
             Algo::StaticHang => dynamic_random_recorded(
                 HypercubeStaticHang::new(n),
+                algo,
                 cfg,
                 lambda,
                 cycles,
@@ -90,9 +101,12 @@ fn lambda_sweep(
                 shards,
                 partition,
                 faults,
+                snap,
+                &snap_label,
             ),
             Algo::EcubeSbp => dynamic_random_recorded(
                 EcubeSbp::new(n),
+                algo,
                 cfg,
                 lambda,
                 cycles,
@@ -100,6 +114,8 @@ fn lambda_sweep(
                 shards,
                 partition,
                 faults,
+                snap,
+                &snap_label,
             ),
         };
         let thr = res.delivered as f64 / (size as f64 * cycles as f64);
@@ -125,6 +141,7 @@ fn lambda_sweep(
     metrics
 }
 
+#[allow(clippy::too_many_arguments)]
 fn capacity_sweep(
     n: usize,
     table: usize,
@@ -133,6 +150,7 @@ fn capacity_sweep(
     partition: PartitionStrategy,
     rc: RecordConfig,
     faults: Option<&'static FaultPlan>,
+    snap: Option<SnapshotPolicy>,
 ) -> Vec<MetricsRow> {
     const CAPS: [usize; 8] = [1, 2, 3, 5, 8, 10, 12, 16];
     print_partition_stats(n, shards, partition);
@@ -145,6 +163,7 @@ fn capacity_sweep(
             shards,
             partition,
             faults,
+            snapshot: snap,
             ..RunOptions::default()
         };
         // One dimension, one rep: the recorded row is the sweep point.
@@ -229,6 +248,10 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Err(e) = obs_args.validate_shards(shards) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
     let rc = obs_args.record_config();
     let faults = match obs_args.load_fault_plan() {
         Ok(f) => f,
@@ -237,9 +260,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let snap = match obs_args.snapshot_policy() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let metrics = match mode.as_str() {
-        "lambda" => lambda_sweep(n, cycles, jobs, shards, partition, rc, faults),
-        "capacity" => capacity_sweep(n, table, jobs, shards, partition, rc, faults),
+        "lambda" => lambda_sweep(n, cycles, jobs, shards, partition, rc, faults, snap),
+        "capacity" => capacity_sweep(n, table, jobs, shards, partition, rc, faults, snap),
         _ => {
             eprintln!(
                 "usage: sweep <lambda|capacity> [--n N] [--cycles C] [--table K] [--jobs J] [--shards S] [--partition P] {}",

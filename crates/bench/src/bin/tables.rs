@@ -124,7 +124,9 @@ fn parse_args() -> Result<Args, String> {
     if args.opts.queue_capacity == 0 && args.obs.watchdog.is_none() {
         return Err("--cap 0 wedges the network; it requires --watchdog".into());
     }
+    args.obs.validate_shards(args.opts.shards)?;
     args.opts.faults = args.obs.load_fault_plan()?;
+    args.opts.snapshot = args.obs.snapshot_policy()?;
     Ok(args)
 }
 

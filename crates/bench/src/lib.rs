@@ -14,8 +14,12 @@
 //! * [`exec`] — deterministic parallel execution of independent
 //!   simulation runs (`--jobs N`).
 //! * [`obs`] — observability wiring: the `--trace` / `--metrics-out` /
-//!   `--watchdog` flags, recording-sink construction, and structured
-//!   JSON export.
+//!   `--watchdog` / `--journal` / `--waitgraph` flags, the
+//!   checkpoint/resume controls, recording-sink construction, and
+//!   structured JSON export.
+//! * [`replay`] — snapshot replay: restore a `fadr-snapshot/1`
+//!   checkpoint, re-execute with a journal attached, and diff against a
+//!   reference journal (`bin/replay`).
 //! * `benches/` — one timing bench per table plus ablation benches for
 //!   the design choices called out in DESIGN.md.
 
@@ -26,4 +30,5 @@ pub mod exec;
 pub mod obs;
 pub mod paper;
 pub mod perf;
+pub mod replay;
 pub mod runner;

@@ -1,6 +1,8 @@
 //! Observability wiring shared by the harness binaries: the
-//! `--trace` / `--metrics-out` / `--watchdog` flags, sink construction,
-//! and structured JSON export of recorded runs.
+//! `--trace` / `--metrics-out` / `--watchdog` / `--journal` /
+//! `--waitgraph` flags, the `--checkpoint-at` / `--resume-from` flight
+//! recorder controls, sink construction, and structured JSON export of
+//! recorded runs.
 //!
 //! The binaries keep their timing paths recorder-free ([`fadr_sim::NoRecorder`]
 //! monomorphizes to nothing); recording is opt-in per invocation and
@@ -11,10 +13,10 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use fadr_metrics::SinkSet;
+use fadr_metrics::{JournalSink, SinkSet};
 use fadr_sim::FaultPlan;
 
-use crate::runner::RecordedRow;
+use crate::runner::{RecordedRow, SnapshotPolicy};
 
 /// Packets traced per run when `--trace` is given (first-N by injection
 /// order; later packets are counted, not traced).
@@ -34,13 +36,25 @@ pub struct RecordConfig {
     /// Attach a [`fadr_metrics::WatchdogSink`] with this no-progress
     /// window (cycles).
     pub watchdog: Option<u64>,
+    /// Attach a [`JournalSink`] bounded to this many events.
+    pub journal: Option<usize>,
+    /// Attach a [`fadr_metrics::LatencySink`] (per-class p50/p95/p99/max).
+    pub latency: bool,
+    /// Attach a [`fadr_metrics::WaitGraphSink`] (per-cycle wait-for-graph
+    /// probe; global semantics, so incompatible with `--shards > 1`).
+    pub waitgraph: bool,
 }
 
 impl RecordConfig {
     /// Whether any sink is enabled (if not, callers should use the
     /// recorder-free path).
     pub fn enabled(&self) -> bool {
-        self.counters || self.trace.is_some() || self.watchdog.is_some()
+        self.counters
+            || self.trace.is_some()
+            || self.watchdog.is_some()
+            || self.journal.is_some()
+            || self.latency
+            || self.waitgraph
     }
 
     /// Build the sink set for one run over a `num_nodes` ×
@@ -55,6 +69,15 @@ impl RecordConfig {
         }
         if let Some(k) = self.watchdog {
             s = s.with_watchdog(k);
+        }
+        if let Some(capacity) = self.journal {
+            s = s.with_journal(capacity);
+        }
+        if self.latency {
+            s = s.with_latency(num_classes);
+        }
+        if self.waitgraph {
+            s = s.with_waitgraph();
         }
         s
     }
@@ -73,12 +96,27 @@ pub struct ObsArgs {
     /// `--faults PATH`: inject the `fadr-faults/1` plan at `PATH` into
     /// every run (see [`fadr_sim::fault`]).
     pub faults: Option<PathBuf>,
+    /// `--journal PATH`: write every run's event journal (flight
+    /// recorder) with its order-insensitive stream hash.
+    pub journal_out: Option<PathBuf>,
+    /// `--waitgraph`: probe the wait-for graph every cycle (cycle
+    /// candidates + longest blocked-chain depth in `--metrics-out`).
+    pub waitgraph: bool,
+    /// `--checkpoint-at CYCLE`: pause every run at this cycle, write a
+    /// `fadr-snapshot/1` file into `--checkpoint-dir`, then continue.
+    pub checkpoint_at: Option<u64>,
+    /// `--checkpoint-dir DIR`: where `--checkpoint-at` snapshots go.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// `--resume-from DIR`: restore each run's snapshot from `DIR`
+    /// instead of running it from cycle 0 (bit-identical results).
+    pub resume_from: Option<PathBuf>,
 }
 
 impl ObsArgs {
     /// Usage fragment for the binaries' `--help` text.
-    pub const USAGE: &'static str =
-        "[--trace PATH] [--metrics-out PATH] [--watchdog K] [--faults PLAN.json]";
+    pub const USAGE: &'static str = "[--trace PATH] [--metrics-out PATH] [--watchdog K] \
+         [--faults PLAN.json] [--journal PATH] [--waitgraph] \
+         [--checkpoint-at CYCLE --checkpoint-dir DIR | --resume-from DIR]";
 
     /// Try to consume one observability flag. Returns `Ok(true)` if
     /// `arg` was one of ours, `Ok(false)` to let the caller handle it;
@@ -111,6 +149,30 @@ impl ObsArgs {
                 self.faults = Some(PathBuf::from(next("--faults")?));
                 Ok(true)
             }
+            "--journal" => {
+                self.journal_out = Some(PathBuf::from(next("--journal")?));
+                Ok(true)
+            }
+            "--waitgraph" => {
+                self.waitgraph = true;
+                Ok(true)
+            }
+            "--checkpoint-at" => {
+                self.checkpoint_at = Some(
+                    next("--checkpoint-at")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-at: {e}"))?,
+                );
+                Ok(true)
+            }
+            "--checkpoint-dir" => {
+                self.checkpoint_dir = Some(PathBuf::from(next("--checkpoint-dir")?));
+                Ok(true)
+            }
+            "--resume-from" => {
+                self.resume_from = Some(PathBuf::from(next("--resume-from")?));
+                Ok(true)
+            }
             _ => Ok(false),
         }
     }
@@ -131,20 +193,82 @@ impl ObsArgs {
     }
 
     /// Whether any flag was given (if not, the binary should take its
-    /// recorder-free path).
+    /// recorder-free path). Checkpoint/resume flags are run control, not
+    /// sinks, so they do not force the recorded path by themselves.
     pub fn enabled(&self) -> bool {
-        self.metrics_out.is_some() || self.trace_out.is_some() || self.watchdog.is_some()
+        self.metrics_out.is_some()
+            || self.trace_out.is_some()
+            || self.watchdog.is_some()
+            || self.journal_out.is_some()
+            || self.waitgraph
     }
 
-    /// The record configuration these flags imply: counters power
-    /// `--metrics-out`, the trace sink is bounded to
-    /// [`DEFAULT_TRACE_LIMIT`] packets per run.
+    /// The record configuration these flags imply: counters *and*
+    /// latency percentiles power `--metrics-out`, the trace sink is
+    /// bounded to [`DEFAULT_TRACE_LIMIT`] packets per run, the journal
+    /// ring to [`JournalSink::DEFAULT_CAPACITY`] events.
     pub fn record_config(&self) -> RecordConfig {
         RecordConfig {
             counters: self.metrics_out.is_some(),
             trace: self.trace_out.as_ref().map(|_| DEFAULT_TRACE_LIMIT),
             watchdog: self.watchdog,
+            journal: self
+                .journal_out
+                .as_ref()
+                .map(|_| JournalSink::DEFAULT_CAPACITY),
+            latency: self.metrics_out.is_some(),
+            waitgraph: self.waitgraph,
         }
+    }
+
+    /// The checkpoint/resume policy these flags imply, with its snapshot
+    /// directory leaked to `'static` so it can ride inside the `Copy`
+    /// [`crate::runner::RunOptions`] across worker threads (one
+    /// allocation per process invocation, like the fault plan).
+    /// `--checkpoint-at` creates the directory eagerly so worker threads
+    /// never race on it.
+    pub fn snapshot_policy(&self) -> Result<Option<SnapshotPolicy>, String> {
+        match (self.checkpoint_at, &self.resume_from) {
+            (Some(_), Some(_)) => {
+                Err("--checkpoint-at and --resume-from are mutually exclusive".into())
+            }
+            (Some(at), None) => {
+                let dir = self
+                    .checkpoint_dir
+                    .clone()
+                    .ok_or("--checkpoint-at needs --checkpoint-dir DIR")?;
+                std::fs::create_dir_all(&dir)
+                    .map_err(|e| format!("--checkpoint-dir {}: {e}", dir.display()))?;
+                Ok(Some(SnapshotPolicy {
+                    at: Some(at),
+                    dir: Box::leak(dir.into_boxed_path()),
+                    resume: false,
+                }))
+            }
+            (None, Some(dir)) => Ok(Some(SnapshotPolicy {
+                at: None,
+                dir: Box::leak(dir.clone().into_boxed_path()),
+                resume: true,
+            })),
+            (None, None) => {
+                if self.checkpoint_dir.is_some() {
+                    return Err("--checkpoint-dir needs --checkpoint-at CYCLE".into());
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Reject flag combinations that cannot run on a sharded engine:
+    /// the wait-for-graph probe is global (a shard-local probe would
+    /// miss cross-shard blocked chains).
+    pub fn validate_shards(&self, shards: usize) -> Result<(), String> {
+        if self.waitgraph && shards > 1 {
+            return Err("--waitgraph needs the sequential engine (--shards 1): \
+                 the wait-for-graph probe is global"
+                .into());
+        }
+        Ok(())
     }
 }
 
@@ -204,6 +328,18 @@ pub fn metrics_json(algo: &str, rows: &[MetricsRow]) -> String {
             }
             None => out.push_str("\"counters\": null, "),
         }
+        match &row.sinks.latency {
+            Some(l) => {
+                let _ = write!(out, "\"latency\": {}, ", l.to_json());
+            }
+            None => out.push_str("\"latency\": null, "),
+        }
+        match &row.sinks.waitgraph {
+            Some(w) => {
+                let _ = write!(out, "\"waitgraph\": {}, ", w.to_json());
+            }
+            None => out.push_str("\"waitgraph\": null, "),
+        }
         match row.sinks.stall() {
             Some(s) => {
                 let _ = write!(out, "\"stall\": {}", s.to_json());
@@ -231,8 +367,37 @@ pub fn trace_jsonl(rows: &[MetricsRow]) -> String {
     out
 }
 
-/// Write the metrics document and/or trace file named by `args`, then
-/// print a one-line confirmation per file to stderr.
+/// Concatenate every row's retained journal into one text body: a `#`
+/// header line per row (event count, order-insensitive stream hash,
+/// ring evictions) followed by one event per line. Line-diffing two
+/// journal files localizes the first divergent event of a run pair.
+pub fn journal_text(rows: &[MetricsRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let Some(j) = &row.sinks.journal else {
+            continue;
+        };
+        let place = match &row.label {
+            Some(l) => format!("{l} n={}", row.n),
+            None => format!("table {} n={}", row.table, row.n),
+        };
+        let _ = writeln!(
+            out,
+            "# {place} events={} hash={:#018x} dropped={}",
+            j.count(),
+            j.hash(),
+            j.dropped
+        );
+        for line in j.lines() {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Write the metrics document, trace, and/or journal file named by
+/// `args`, then print a one-line confirmation per file to stderr.
 pub fn export(args: &ObsArgs, algo: &str, rows: &[MetricsRow]) -> std::io::Result<()> {
     if let Some(path) = &args.metrics_out {
         std::fs::write(path, metrics_json(algo, rows))?;
@@ -241,6 +406,10 @@ pub fn export(args: &ObsArgs, algo: &str, rows: &[MetricsRow]) -> std::io::Resul
     if let Some(path) = &args.trace_out {
         std::fs::write(path, trace_jsonl(rows))?;
         eprintln!("# trace written to {}", path.display());
+    }
+    if let Some(path) = &args.journal_out {
+        std::fs::write(path, journal_text(rows))?;
+        eprintln!("# journal written to {}", path.display());
     }
     Ok(())
 }
@@ -262,6 +431,26 @@ pub fn report(rows: &[MetricsRow]) {
                 c.blocked_cycles,
                 c.peak_max(),
                 c.mean_total(),
+            );
+        }
+        if let Some(w) = &row.sinks.waitgraph {
+            eprintln!(
+                "# {place}: wait-graph max chain depth {} (cycle {}), {} cycle-candidate cycle(s){}",
+                w.max_chain_depth,
+                w.max_chain_cycle,
+                w.cycle_candidate_cycles,
+                match w.first_cycle_candidate {
+                    Some(c) => format!(", first at cycle {c}"),
+                    None => String::new(),
+                }
+            );
+        }
+        if let Some(j) = &row.sinks.journal {
+            eprintln!(
+                "# {place}: journal {} events, hash {:#018x} ({} evicted from ring)",
+                j.count(),
+                j.hash(),
+                j.dropped
             );
         }
         if let Some(s) = row.sinks.stall() {
@@ -315,11 +504,31 @@ mod tests {
             counters: true,
             trace: Some(4),
             watchdog: Some(100),
+            journal: Some(1 << 10),
+            latency: true,
+            waitgraph: true,
         };
         let s = rc.build(8, 2);
         assert!(s.counters.is_some() && s.trace.is_some() && s.watchdog.is_some());
+        assert!(s.journal.is_some() && s.latency.is_some() && s.waitgraph.is_some());
         assert!(rc.enabled());
         assert!(!RecordConfig::default().enabled());
+    }
+
+    #[test]
+    fn snapshot_flags_validate() {
+        let mut o = ObsArgs::default();
+        assert!(o.snapshot_policy().unwrap().is_none());
+        o.checkpoint_at = Some(10);
+        assert!(o.snapshot_policy().is_err(), "missing --checkpoint-dir");
+        o.resume_from = Some(PathBuf::from("x"));
+        assert!(o.snapshot_policy().is_err(), "mutually exclusive");
+        o.checkpoint_at = None;
+        let sp = o.snapshot_policy().unwrap().unwrap();
+        assert!(sp.resume && sp.at.is_none());
+        assert!(o.validate_shards(1).is_ok());
+        o.waitgraph = true;
+        assert!(o.validate_shards(4).is_err(), "waitgraph is global");
     }
 
     #[test]
@@ -334,6 +543,8 @@ mod tests {
         assert!(doc.contains("\"schema\": \"fadr-metrics/1\""));
         assert!(doc.contains("\"label\": null"));
         assert!(doc.contains("\"counters\": null"));
+        assert!(doc.contains("\"latency\": null"));
+        assert!(doc.contains("\"waitgraph\": null"));
         assert!(doc.contains("\"stall\": null"));
     }
 }

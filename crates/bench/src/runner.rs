@@ -9,7 +9,8 @@ use fadr_metrics::{
 };
 use fadr_qdg::RoutingFunction;
 use fadr_sim::{
-    DynamicResult, PartitionStrategy, ShardedSimulator, SimConfig, Simulator, StopReason,
+    DynamicOutcome, DynamicResult, PartitionStrategy, ShardedSimulator, SimConfig, Simulator,
+    SnapshotMsg, StaticOutcome, StaticResult, StopReason,
 };
 use fadr_workloads::{static_backlog, Pattern};
 
@@ -164,6 +165,44 @@ impl Algo {
             _ => None,
         }
     }
+
+    /// Canonical name, round-trippable through [`Algo::parse`] (used in
+    /// snapshot metadata so `replay` can rebuild the router).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::FullyAdaptive => "fully-adaptive",
+            Self::StaticHang => "static-hang",
+            Self::EcubeSbp => "ecube-sbp",
+        }
+    }
+}
+
+/// Flight-recorder checkpoint/resume policy (`--checkpoint-at` /
+/// `--resume-from`): every work unit either writes a `fadr-snapshot/1`
+/// file when it reaches a cycle (then continues in-process, so measured
+/// rows are unchanged), or restores its snapshot and resumes instead of
+/// running from cycle 0. Snapshot files are named `<label>.snap` where
+/// the label is the work unit's coordinates (`t<table>_n<n>_q<cap>_r<rep>`
+/// for table rows), so resume pairs with the checkpoint run per unit.
+/// Runs that finish before the checkpoint cycle write no snapshot and
+/// rerun from cycle 0 on resume — either way the final tables are
+/// bit-identical to an uninterrupted run.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotPolicy {
+    /// Pause and write a checkpoint when a run reaches this cycle.
+    pub at: Option<u64>,
+    /// Directory holding the `<label>.snap` files (leaked to `'static`
+    /// so the policy stays `Copy` across the `--jobs` fan-out).
+    pub dir: &'static std::path::Path,
+    /// Restore `<label>.snap` and resume instead of running afresh.
+    pub resume: bool,
+}
+
+impl SnapshotPolicy {
+    /// The snapshot file of the work unit labelled `label`.
+    pub fn path(&self, label: &str) -> std::path::PathBuf {
+        self.dir.join(format!("{label}.snap"))
+    }
 }
 
 /// Harness options.
@@ -196,6 +235,10 @@ pub struct RunOptions {
     /// legitimately end partitioned or with dropped packets, so the
     /// "must drain" assertion is waived when a plan is present.
     pub faults: Option<&'static fadr_sim::FaultPlan>,
+    /// Checkpoint/resume policy applied to every work unit
+    /// (`--checkpoint-at` / `--resume-from`); `None` runs straight
+    /// through.
+    pub snapshot: Option<SnapshotPolicy>,
 }
 
 impl Default for RunOptions {
@@ -209,6 +252,7 @@ impl Default for RunOptions {
             shards: 1,
             partition: PartitionStrategy::Auto,
             faults: None,
+            snapshot: None,
         }
     }
 }
@@ -339,19 +383,35 @@ pub fn run_rows_recorded(
 
 fn run_row_once(spec: TableSpec, n: usize, opts: RunOptions, rep: u64) -> RowResult {
     let cfg = row_cfg(spec, n, opts, rep);
+    let label = row_label(spec, n, opts, rep);
     match opts.algo {
-        Algo::FullyAdaptive => row_with(HypercubeFullyAdaptive::new(n), spec, n, opts, cfg),
-        Algo::StaticHang => row_with(HypercubeStaticHang::new(n), spec, n, opts, cfg),
-        Algo::EcubeSbp => row_with(EcubeSbp::new(n), spec, n, opts, cfg),
+        Algo::FullyAdaptive => row_with(HypercubeFullyAdaptive::new(n), spec, n, opts, cfg, &label),
+        Algo::StaticHang => row_with(HypercubeStaticHang::new(n), spec, n, opts, cfg, &label),
+        Algo::EcubeSbp => row_with(EcubeSbp::new(n), spec, n, opts, cfg, &label),
     }
+}
+
+/// The snapshot label of one `(table, n, rep)` work unit (the queue
+/// capacity participates because sweeps vary it with everything else
+/// fixed, and two different configurations must not share a snapshot
+/// file).
+fn row_label(spec: TableSpec, n: usize, opts: RunOptions, rep: u64) -> String {
+    format!("t{}_n{n}_q{}_r{rep}", spec.number, opts.queue_capacity)
 }
 
 /// One unrecorded replication on whichever engine `opts.shards` selects
 /// (the sharded engine is bit-identical, so this is purely a perf knob).
-fn row_with<R>(rf: R, spec: TableSpec, n: usize, opts: RunOptions, cfg: SimConfig) -> RowResult
+fn row_with<R>(
+    rf: R,
+    spec: TableSpec,
+    n: usize,
+    opts: RunOptions,
+    cfg: SimConfig,
+    label: &str,
+) -> RowResult
 where
     R: RoutingFunction + Clone + Send,
-    R::Msg: Send,
+    R::Msg: Send + SnapshotMsg,
 {
     let require_drain = opts.faults.is_none();
     if opts.shards > 1 {
@@ -359,13 +419,13 @@ where
         if let Some(plan) = opts.faults {
             sim = sim.with_faults(plan.clone());
         }
-        drive_sharded(sim, spec, n, opts, cfg.seed, require_drain).0
+        drive_sharded(sim, spec, n, opts, cfg.seed, require_drain, label).0
     } else {
         let mut sim = Simulator::new(rf, cfg);
         if let Some(plan) = opts.faults {
             sim = sim.with_faults(plan.clone());
         }
-        drive(sim, spec, n, opts, cfg.seed, require_drain).0
+        drive(sim, spec, n, opts, cfg.seed, require_drain, label).0
     }
 }
 
@@ -390,12 +450,21 @@ fn run_row_once_recorded(
     rc: RecordConfig,
 ) -> (RowResult, SinkSet) {
     let cfg = row_cfg(spec, n, opts, rep);
+    let label = row_label(spec, n, opts, rep);
     let (row, mut sinks) = match opts.algo {
-        Algo::FullyAdaptive => {
-            recorded_with(HypercubeFullyAdaptive::new(n), spec, n, opts, cfg, rc)
+        Algo::FullyAdaptive => recorded_with(
+            HypercubeFullyAdaptive::new(n),
+            spec,
+            n,
+            opts,
+            cfg,
+            rc,
+            &label,
+        ),
+        Algo::StaticHang => {
+            recorded_with(HypercubeStaticHang::new(n), spec, n, opts, cfg, rc, &label)
         }
-        Algo::StaticHang => recorded_with(HypercubeStaticHang::new(n), spec, n, opts, cfg, rc),
-        Algo::EcubeSbp => recorded_with(EcubeSbp::new(n), spec, n, opts, cfg, rc),
+        Algo::EcubeSbp => recorded_with(EcubeSbp::new(n), spec, n, opts, cfg, rc, &label),
     };
     sinks.flush();
     (row, sinks)
@@ -409,6 +478,7 @@ fn run_row_once_recorded(
 /// global watchdog; after the run the engine's [`StallReport`], if any,
 /// is re-installed into the merged sink set so downstream reporting
 /// (`obs::report`, metrics JSON) is oblivious to which engine ran.
+#[allow(clippy::too_many_arguments)]
 fn recorded_with<R>(
     rf: R,
     spec: TableSpec,
@@ -416,17 +486,23 @@ fn recorded_with<R>(
     opts: RunOptions,
     cfg: SimConfig,
     rc: RecordConfig,
+    label: &str,
 ) -> (RowResult, SinkSet)
 where
     R: RoutingFunction + Clone + Send,
-    R::Msg: Send,
+    R::Msg: Send + SnapshotMsg,
 {
     // A watchdogged or faulted run may abort instead of draining;
     // report, don't panic.
     let require_drain = rc.watchdog.is_none() && opts.faults.is_none();
     if opts.shards > 1 {
+        // The wait-for-graph probe is global like the watchdog, but has
+        // no engine-level equivalent; binaries reject `--waitgraph`
+        // with `--shards > 1`, and this strip keeps the per-shard sets
+        // shardable if a caller slips one through.
         let shard_rc = RecordConfig {
             watchdog: None,
+            waitgraph: false,
             ..rc
         };
         let classes = rf.num_classes();
@@ -440,7 +516,8 @@ where
         if let Some(k) = rc.watchdog {
             sim = sim.with_watchdog(k);
         }
-        let (row, stall, mut sinks) = drive_sharded(sim, spec, n, opts, cfg.seed, require_drain);
+        let (row, stall, mut sinks) =
+            drive_sharded(sim, spec, n, opts, cfg.seed, require_drain, label);
         if let Some(k) = rc.watchdog {
             let mut wd = WatchdogSink::new(k);
             wd.report = stall;
@@ -453,7 +530,188 @@ where
         if let Some(plan) = opts.faults {
             sim = sim.with_faults(plan.clone());
         }
-        drive(sim, spec, n, opts, cfg.seed, require_drain)
+        drive(sim, spec, n, opts, cfg.seed, require_drain, label)
+    }
+}
+
+/// Write one snapshot file, failing loudly: a checkpoint the resume leg
+/// can't find would silently degrade to a from-scratch rerun.
+fn write_snapshot(sp: &SnapshotPolicy, label: &str, text: &str) {
+    let path = sp.path(label);
+    std::fs::write(&path, text)
+        .unwrap_or_else(|e| panic!("writing snapshot {}: {e}", path.display()));
+}
+
+/// Unwrap an outcome that cannot be `Paused` (no pause was requested on
+/// the final leg of any checkpoint/resume sequence).
+fn ran_out(outcome: StaticOutcome) -> StaticResult {
+    match outcome {
+        StaticOutcome::Finished(res) => res,
+        StaticOutcome::Paused(_) => unreachable!("no pause requested"),
+    }
+}
+
+/// [`ran_out`] for dynamic runs.
+fn ran_out_dyn(outcome: DynamicOutcome) -> DynamicResult {
+    match outcome {
+        DynamicOutcome::Finished(res) => res,
+        DynamicOutcome::Paused(_) => unreachable!("no pause requested"),
+    }
+}
+
+/// `run_static` under a [`SnapshotPolicy`]: checkpoint mid-run and
+/// continue in-process, or restore and resume. A missing snapshot on
+/// resume means the run drained before the checkpoint cycle — rerun
+/// from cycle 0 (bit-identical either way).
+fn static_run<R: RoutingFunction, Rec: Recorder>(
+    sim: &mut Simulator<R, Rec>,
+    backlog: &[Vec<usize>],
+    snap: Option<SnapshotPolicy>,
+    meta: &str,
+    label: &str,
+) -> StaticResult
+where
+    R::Msg: SnapshotMsg,
+{
+    let Some(sp) = snap else {
+        return sim.run_static(backlog);
+    };
+    if sp.resume {
+        let path = sp.path(label);
+        return match std::fs::read_to_string(&path) {
+            Err(_) => sim.run_static(backlog),
+            Ok(text) => {
+                let (_, progress) = sim
+                    .restore(&text)
+                    .unwrap_or_else(|e| panic!("restoring {}: {e}", path.display()));
+                ran_out(sim.resume_static(backlog, progress, None))
+            }
+        };
+    }
+    match sim.run_static_until(backlog, sp.at) {
+        StaticOutcome::Finished(res) => res,
+        StaticOutcome::Paused(progress) => {
+            write_snapshot(&sp, label, &sim.checkpoint(meta, &progress));
+            ran_out(sim.resume_static(backlog, progress, None))
+        }
+    }
+}
+
+/// [`static_run`] on the sharded engine (same protocol; snapshots are
+/// partition-agnostic, so checkpoint and resume legs may run on
+/// different engines or shard counts).
+fn static_run_sharded<R, Rec>(
+    sim: &mut ShardedSimulator<R, Rec>,
+    backlog: &[Vec<usize>],
+    snap: Option<SnapshotPolicy>,
+    meta: &str,
+    label: &str,
+) -> StaticResult
+where
+    R: RoutingFunction + Clone + Send,
+    R::Msg: Send + SnapshotMsg,
+    Rec: ShardRecorder + Send,
+{
+    let Some(sp) = snap else {
+        return sim.run_static(backlog);
+    };
+    if sp.resume {
+        let path = sp.path(label);
+        return match std::fs::read_to_string(&path) {
+            Err(_) => sim.run_static(backlog),
+            Ok(text) => {
+                let (_, progress) = sim
+                    .restore(&text)
+                    .unwrap_or_else(|e| panic!("restoring {}: {e}", path.display()));
+                ran_out(sim.resume_static(backlog, progress, None))
+            }
+        };
+    }
+    match sim.run_static_until(backlog, sp.at) {
+        StaticOutcome::Finished(res) => res,
+        StaticOutcome::Paused(progress) => {
+            write_snapshot(&sp, label, &sim.checkpoint(meta, &progress));
+            ran_out(sim.resume_static(backlog, progress, None))
+        }
+    }
+}
+
+/// `run_dynamic` under a [`SnapshotPolicy`] (see [`static_run`]).
+fn dynamic_run<R: RoutingFunction, Rec: Recorder, F>(
+    sim: &mut Simulator<R, Rec>,
+    lambda: f64,
+    mut dest: F,
+    cycles: u64,
+    snap: Option<SnapshotPolicy>,
+    meta: &str,
+    label: &str,
+) -> DynamicResult
+where
+    R::Msg: SnapshotMsg,
+    F: FnMut(usize, &mut StdRng) -> usize,
+{
+    let Some(sp) = snap else {
+        return sim.run_dynamic(lambda, dest, cycles);
+    };
+    if sp.resume {
+        let path = sp.path(label);
+        return match std::fs::read_to_string(&path) {
+            Err(_) => sim.run_dynamic(lambda, dest, cycles),
+            Ok(text) => {
+                let (_, progress) = sim
+                    .restore(&text)
+                    .unwrap_or_else(|e| panic!("restoring {}: {e}", path.display()));
+                ran_out_dyn(sim.resume_dynamic(lambda, dest, cycles, progress, None))
+            }
+        };
+    }
+    match sim.run_dynamic_until(lambda, &mut dest, cycles, sp.at) {
+        DynamicOutcome::Finished(res) => res,
+        DynamicOutcome::Paused(progress) => {
+            write_snapshot(&sp, label, &sim.checkpoint(meta, &progress));
+            ran_out_dyn(sim.resume_dynamic(lambda, dest, cycles, progress, None))
+        }
+    }
+}
+
+/// [`dynamic_run`] on the sharded engine.
+#[allow(clippy::too_many_arguments)]
+fn dynamic_run_sharded<R, Rec, F>(
+    sim: &mut ShardedSimulator<R, Rec>,
+    lambda: f64,
+    dest: F,
+    cycles: u64,
+    snap: Option<SnapshotPolicy>,
+    meta: &str,
+    label: &str,
+) -> DynamicResult
+where
+    R: RoutingFunction + Clone + Send,
+    R::Msg: Send + SnapshotMsg,
+    Rec: ShardRecorder + Send,
+    F: Fn(usize, &mut StdRng) -> usize + Sync,
+{
+    let Some(sp) = snap else {
+        return sim.run_dynamic(lambda, dest, cycles);
+    };
+    if sp.resume {
+        let path = sp.path(label);
+        return match std::fs::read_to_string(&path) {
+            Err(_) => sim.run_dynamic(lambda, dest, cycles),
+            Ok(text) => {
+                let (_, progress) = sim
+                    .restore(&text)
+                    .unwrap_or_else(|e| panic!("restoring {}: {e}", path.display()));
+                ran_out_dyn(sim.resume_dynamic(lambda, dest, cycles, progress, None))
+            }
+        };
+    }
+    match sim.run_dynamic_until(lambda, &dest, cycles, sp.at) {
+        DynamicOutcome::Finished(res) => res,
+        DynamicOutcome::Paused(progress) => {
+            write_snapshot(&sp, label, &sim.checkpoint(meta, &progress));
+            ran_out_dyn(sim.resume_dynamic(lambda, dest, cycles, progress, None))
+        }
     }
 }
 
@@ -464,9 +722,23 @@ fn drive<R: RoutingFunction, Rec: Recorder>(
     opts: RunOptions,
     seed: u64,
     require_drain: bool,
-) -> (RowResult, Rec) {
+    label: &str,
+) -> (RowResult, Rec)
+where
+    R::Msg: SnapshotMsg,
+{
     let size = 1usize << n;
     let pattern = spec.pattern.compile(n, seed ^ 0x1e7e1);
+    let meta = crate::replay::meta_line(
+        label,
+        opts.algo,
+        spec.number,
+        n,
+        opts.queue_capacity,
+        opts.dynamic_cycles,
+        seed,
+        None,
+    );
     let row = match spec.packets {
         Some(per_node) => {
             let k = match per_node {
@@ -475,7 +747,7 @@ fn drive<R: RoutingFunction, Rec: Recorder>(
             };
             let mut rng = StdRng::seed_from_u64(seed ^ 0xbac1);
             let backlog = static_backlog(&pattern, size, k, &mut rng);
-            let res = sim.run_static(&backlog);
+            let res = static_run(&mut sim, &backlog, opts.snapshot, &meta, label);
             if require_drain {
                 assert!(res.drained, "table {} n={n} failed to drain", spec.number);
             }
@@ -488,10 +760,14 @@ fn drive<R: RoutingFunction, Rec: Recorder>(
             }
         }
         None => {
-            let res = sim.run_dynamic(
+            let res = dynamic_run(
+                &mut sim,
                 1.0,
                 move |s, rng| pattern.draw(s, size, rng),
                 opts.dynamic_cycles,
+                opts.snapshot,
+                &meta,
+                label,
             );
             RowResult {
                 n,
@@ -510,6 +786,7 @@ fn drive<R: RoutingFunction, Rec: Recorder>(
 /// any shard count (`tests/sharded_identity.rs` enforces this over all
 /// twelve tables). Also returns the engine watchdog's stall report so
 /// the recorded path can surface it.
+#[allow(clippy::too_many_arguments)]
 fn drive_sharded<R, Rec>(
     mut sim: ShardedSimulator<R, Rec>,
     spec: TableSpec,
@@ -517,14 +794,25 @@ fn drive_sharded<R, Rec>(
     opts: RunOptions,
     seed: u64,
     require_drain: bool,
+    label: &str,
 ) -> (RowResult, Option<StallReport>, Rec)
 where
     R: RoutingFunction + Clone + Send,
-    R::Msg: Send,
+    R::Msg: Send + SnapshotMsg,
     Rec: ShardRecorder + Send,
 {
     let size = 1usize << n;
     let pattern = spec.pattern.compile(n, seed ^ 0x1e7e1);
+    let meta = crate::replay::meta_line(
+        label,
+        opts.algo,
+        spec.number,
+        n,
+        opts.queue_capacity,
+        opts.dynamic_cycles,
+        seed,
+        None,
+    );
     let row = match spec.packets {
         Some(per_node) => {
             let k = match per_node {
@@ -533,7 +821,7 @@ where
             };
             let mut rng = StdRng::seed_from_u64(seed ^ 0xbac1);
             let backlog = static_backlog(&pattern, size, k, &mut rng);
-            let res = sim.run_static(&backlog);
+            let res = static_run_sharded(&mut sim, &backlog, opts.snapshot, &meta, label);
             if require_drain {
                 assert!(res.drained, "table {} n={n} failed to drain", spec.number);
             }
@@ -546,10 +834,14 @@ where
             }
         }
         None => {
-            let res = sim.run_dynamic(
+            let res = dynamic_run_sharded(
+                &mut sim,
                 1.0,
                 move |s, rng| pattern.draw(s, size, rng),
                 opts.dynamic_cycles,
+                opts.snapshot,
+                &meta,
+                label,
             );
             RowResult {
                 n,
@@ -569,10 +861,14 @@ where
 /// Results and sinks are bit-identical for any `shards` value; the
 /// watchdog handling matches `recorded_with` (per-shard sink sets carry
 /// no watchdog, the engine-level one's stall report is re-installed
-/// into the merged set).
+/// into the merged set). `snap`/`label` apply the checkpoint/resume
+/// policy to this point, with a sweep-supplied file-safe label (the
+/// snapshot's meta records `table=0` plus the injection rate, which is
+/// how `replay` knows to rebuild a uniform-random workload).
 #[allow(clippy::too_many_arguments)]
 pub fn dynamic_random_recorded<R>(
     rf: R,
+    algo: Algo,
     cfg: SimConfig,
     lambda: f64,
     cycles: u64,
@@ -580,16 +876,30 @@ pub fn dynamic_random_recorded<R>(
     shards: usize,
     partition: PartitionStrategy,
     faults: Option<&fadr_sim::FaultPlan>,
+    snap: Option<SnapshotPolicy>,
+    label: &str,
 ) -> (DynamicResult, SinkSet)
 where
     R: RoutingFunction + Clone + Send,
-    R::Msg: Send,
+    R::Msg: Send + SnapshotMsg,
 {
     let size = rf.topology().num_nodes();
     let classes = rf.num_classes();
+    let n = size.trailing_zeros() as usize;
+    let meta = crate::replay::meta_line(
+        label,
+        algo,
+        0,
+        n,
+        cfg.queue_capacity,
+        cycles,
+        cfg.seed,
+        Some(lambda),
+    );
     if shards > 1 {
         let shard_rc = RecordConfig {
             watchdog: None,
+            waitgraph: false,
             ..rc
         };
         let mut sim = ShardedSimulator::with_recorders_strategy(rf, cfg, shards, partition, |_| {
@@ -601,10 +911,14 @@ where
         if let Some(k) = rc.watchdog {
             sim = sim.with_watchdog(k);
         }
-        let res = sim.run_dynamic(
+        let res = dynamic_run_sharded(
+            &mut sim,
             lambda,
             move |s, rng| Pattern::Random.draw(s, size, rng),
             cycles,
+            snap,
+            &meta,
+            label,
         );
         let stall = sim.stall_report().cloned();
         let mut sinks = sim.into_recorder();
@@ -620,10 +934,14 @@ where
         if let Some(plan) = faults {
             sim = sim.with_faults(plan.clone());
         }
-        let res = sim.run_dynamic(
+        let res = dynamic_run(
+            &mut sim,
             lambda,
             move |s, rng| Pattern::Random.draw(s, size, rng),
             cycles,
+            snap,
+            &meta,
+            label,
         );
         let mut sinks = sim.into_recorder();
         sinks.flush();

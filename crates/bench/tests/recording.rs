@@ -18,6 +18,7 @@ fn full_config() -> RecordConfig {
         counters: true,
         trace: Some(16),
         watchdog: Some(100_000),
+        ..RecordConfig::default()
     }
 }
 
@@ -184,6 +185,7 @@ fn wedged_run_reports_stall_through_export() {
         counters: true,
         trace: None,
         watchdog: Some(200),
+        ..RecordConfig::default()
     };
     let recorded = run_rows_recorded(spec(2), &[4], o, 1, rc);
     let rows: Vec<MetricsRow> = recorded

@@ -64,6 +64,7 @@ fn recorded_rows_and_sinks_identical_at_two_shards() {
         counters: true,
         trace: Some(32),
         watchdog: None,
+        ..RecordConfig::default()
     };
     for t in [6usize, 9] {
         let seq = run_rows_recorded(spec(t), &[7], opts(1), 1, rc);

@@ -47,6 +47,7 @@ pub mod mesh;
 pub mod mesh_kd;
 pub mod sbp;
 pub mod shuffle;
+pub mod snapshot;
 pub mod torus;
 
 pub use hypercube::{EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang};

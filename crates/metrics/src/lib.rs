@@ -2,11 +2,13 @@
 //!
 //! Provides the measurements the paper's § 7 reports — average latency
 //! `L_avg`, maximum latency `L_max`, and effective injection rate `I_r` —
-//! plus latency histograms/percentiles, plain-text/CSV table rendering
-//! in the style of the paper's Tables 1–12, and the [`record`]
+//! plus latency histograms/percentiles (exact [`Histogram`] and
+//! log-bucketed [`LogHistogram`]), plain-text/CSV table rendering in
+//! the style of the paper's Tables 1–12, and the [`record`]
 //! observability layer (event [`Recorder`] trait, routing-decision
-//! [`CounterSink`], JSONL [`TraceSink`], and no-progress
-//! [`WatchdogSink`]).
+//! [`CounterSink`], JSONL [`TraceSink`], no-progress [`WatchdogSink`],
+//! replay [`JournalSink`], per-class [`LatencySink`], and live
+//! [`WaitGraphSink`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,9 +21,9 @@ pub mod timeseries;
 
 pub use partition::PartitionStats;
 pub use record::{
-    Control, CounterSink, NoRecorder, Recorder, ShardRecorder, SinkSet, StallReport, TraceSink,
-    TraceState, WatchdogSink,
+    Control, CounterSink, JournalEvent, JournalSink, LatencySink, NoRecorder, Recorder,
+    ShardRecorder, SinkSet, StallReport, TraceSink, TraceState, WaitGraphSink, WatchdogSink,
 };
-pub use stats::{Histogram, LatencyStats};
+pub use stats::{Histogram, LatencyStats, LogHistogram};
 pub use table::Table;
 pub use timeseries::TimeSeries;

@@ -27,11 +27,16 @@
 //!   [`WatchdogSink`] converts a wedged network from a hang into a
 //!   structured stall report).
 //!
-//! Three sinks are provided: [`CounterSink`] (routing-decision counters
+//! Six sinks are provided: [`CounterSink`] (routing-decision counters
 //! and per-queue occupancy statistics), [`TraceSink`] (bounded JSONL
-//! packet lifecycles), and [`WatchdogSink`] (K-cycle no-progress
-//! detection). [`SinkSet`] composes any subset and merges deterministically
-//! across parallel workers.
+//! packet lifecycles), [`WatchdogSink`] (K-cycle no-progress
+//! detection), [`JournalSink`] (bounded ring-buffer event journal with
+//! an order-insensitive stream hash, the replay substrate),
+//! [`LatencySink`] (per-class log-bucketed delivery-latency
+//! percentiles), and [`WaitGraphSink`] (per-cycle wait-for-graph probe
+//! reporting emerging cycle candidates *before* the watchdog fires).
+//! [`SinkSet`] composes any subset and merges deterministically across
+//! parallel workers.
 
 use std::fmt::Write as _;
 
@@ -101,17 +106,19 @@ pub trait Recorder {
     #[inline(always)]
     fn on_block(&mut self, cycle: u64, pkt: u64, node: u32, class: u8) {}
 
-    /// A packet reached its delivery queue.
+    /// A packet reached its delivery queue. `class` is the central-queue
+    /// class the packet last resided in (0 for a self-addressed packet
+    /// delivered straight from its injection buffer).
     #[inline(always)]
-    fn on_deliver(&mut self, cycle: u64, pkt: u64, latency: u64, hops: u32) {}
+    fn on_deliver(&mut self, cycle: u64, pkt: u64, latency: u64, hops: u32, class: u8) {}
 
     /// A scheduled fault event was applied; `kind` is a `FAULT_*`-style
     /// code (0 = link down, 1 = node down, 2 = queue freeze,
-    /// 3 = flaky link). A sharded engine fires this on exactly one shard
-    /// (the owner of the fault's primary node) so merged counts match a
-    /// sequential run.
+    /// 3 = flaky link) and `node` the fault's primary node. A sharded
+    /// engine fires this on exactly one shard (the owner of the fault's
+    /// primary node) so merged counts match a sequential run.
     #[inline(always)]
-    fn on_fault(&mut self, cycle: u64, kind: u8) {}
+    fn on_fault(&mut self, cycle: u64, kind: u8, node: u32) {}
 
     /// A packet was destroyed by a fault (its node died) and will never
     /// deliver. Watchdog-style recorders must stop counting it as
@@ -129,6 +136,39 @@ pub trait Recorder {
     /// cycle. Fired once per destination per (shard) simulator.
     #[inline(always)]
     fn on_partition(&mut self, cycle: u64, dst: u32) {}
+
+    /// The engine restored a checkpoint and will resume at `cycle`.
+    /// Fired *before* the restore-time priming events (re-fired
+    /// `on_inject`/`on_queue_enter` for live packets), letting
+    /// stateful sinks re-base: the [`WatchdogSink`] restarts its
+    /// no-progress window here, and the [`JournalSink`] floors its
+    /// stream so priming events (which carry pre-resume cycles) never
+    /// enter the journal.
+    #[inline(always)]
+    fn on_resume(&mut self, cycle: u64) {}
+
+    /// Per-cycle wait-for-graph probe: `edges` is the deduplicated,
+    /// sorted blocked wait-for relation this cycle — `(v, c, w, c2)`
+    /// meaning some packet in central queue `(v, c)` wants to move into
+    /// the *full* queue `(w, c2)`. Only fired when
+    /// [`Recorder::want_waitgraph`] returns `true` (edge collection is
+    /// not free, so the engine asks first).
+    #[inline(always)]
+    fn on_wait_probe(&mut self, cycle: u64, edges: &[(u32, u8, u32, u8)]) {}
+
+    /// The blocked wait-for relation at abort time (same edge encoding
+    /// as [`Recorder::on_wait_probe`]), fired once by the engine after a
+    /// watchdog stop so the [`StallReport`] can carry the wait-for
+    /// subgraph behind its verdict.
+    #[inline(always)]
+    fn on_stall_waits(&mut self, edges: &[(u32, u8, u32, u8)]) {}
+
+    /// Whether this recorder consumes [`Recorder::on_wait_probe`]; the
+    /// engine skips edge collection entirely when `false` (the default).
+    #[inline(always)]
+    fn want_waitgraph(&self) -> bool {
+        false
+    }
 
     /// The routing cycle ended; return [`Control::Stop`] to abort.
     #[inline(always)]
@@ -491,11 +531,11 @@ impl Recorder for CounterSink {
         self.blocked_cycles += 1;
     }
 
-    fn on_deliver(&mut self, _cycle: u64, _pkt: u64, _latency: u64, _hops: u32) {
+    fn on_deliver(&mut self, _cycle: u64, _pkt: u64, _latency: u64, _hops: u32, _class: u8) {
         self.delivered += 1;
     }
 
-    fn on_fault(&mut self, _cycle: u64, _kind: u8) {
+    fn on_fault(&mut self, _cycle: u64, _kind: u8, _node: u32) {
         self.faults_applied += 1;
     }
 
@@ -717,7 +757,7 @@ impl Recorder for TraceSink {
         }
     }
 
-    fn on_deliver(&mut self, cycle: u64, pkt: u64, latency: u64, _hops: u32) {
+    fn on_deliver(&mut self, cycle: u64, pkt: u64, latency: u64, _hops: u32, _class: u8) {
         if pkt >= self.limit {
             return;
         }
@@ -783,6 +823,12 @@ pub struct StallReport {
     /// *partition*, not a deadlock/livelock: the network lost the graph
     /// property the § 2 conditions presuppose.
     pub partitioned: Vec<u32>,
+    /// Blocked wait-for edges at abort time, `(v, c, w, c2)`: some
+    /// packet in central queue `(v, c)` wants to move into the full
+    /// queue `(w, c2)`. Sorted and deduplicated; a cycle in this
+    /// relation is the paper's § 2 deadlock witness. Empty when the
+    /// engine did not collect edges (e.g. an older report format).
+    pub waits: Vec<(u32, u8, u32, u8)>,
 }
 
 impl StallReport {
@@ -836,7 +882,61 @@ impl StallReport {
                 if i == 0 { "" } else { ", " }
             );
         }
+        out.push_str("], \"waits\": [");
+        for (i, (v, c, w, c2)) in self.waits.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}[{v}, {c}, {w}, {c2}]",
+                if i == 0 { "" } else { ", " }
+            );
+        }
         out.push_str("]}");
+        out
+    }
+
+    /// Render the blocked wait-for subgraph as Graphviz DOT: one graph
+    /// node per § 2 queue `q_class[node]` (annotated with its stall-time
+    /// occupancy when the snapshot has it), one edge per wait. Output is
+    /// string-stable — nodes and edges appear in sorted order — so it
+    /// can be regression-tested byte-for-byte.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph waits {\n");
+        let _ = writeln!(
+            out,
+            "  label=\"{} @ cycle {} (in_flight={})\";",
+            self.verdict(),
+            self.cycle,
+            self.in_flight
+        );
+        out.push_str("  node [shape=box];\n");
+        // Every queue that appears in an edge, sorted; occupancy lookup
+        // from the (already node-then-class sorted) queue snapshot.
+        let mut queues: Vec<(u32, u8)> = self
+            .waits
+            .iter()
+            .flat_map(|&(v, c, w, c2)| [(v, c), (w, c2)])
+            .collect();
+        queues.sort_unstable();
+        queues.dedup();
+        for (v, c) in queues {
+            let occ = self
+                .queues
+                .iter()
+                .find(|&&(n, cl, _)| n == v && cl == c)
+                .map(|&(_, _, o)| o);
+            match occ {
+                Some(o) => {
+                    let _ = writeln!(out, "  \"q{c}[{v}]\" [label=\"q{c}[{v}] occ={o}\"];");
+                }
+                None => {
+                    let _ = writeln!(out, "  \"q{c}[{v}]\";");
+                }
+            }
+        }
+        for &(v, c, w, c2) in &self.waits {
+            let _ = writeln!(out, "  \"q{c}[{v}]\" -> \"q{c2}[{w}]\";");
+        }
+        out.push_str("}\n");
         out
     }
 }
@@ -930,11 +1030,26 @@ impl Recorder for WatchdogSink {
         self.links_since_delivery += 1;
     }
 
-    fn on_deliver(&mut self, cycle: u64, pkt: u64, _latency: u64, _hops: u32) {
+    fn on_deliver(&mut self, cycle: u64, pkt: u64, _latency: u64, _hops: u32, _class: u8) {
         self.in_flight -= 1;
         self.live.remove(&pkt);
         self.last_delivery = cycle;
         self.links_since_delivery = 0;
+    }
+
+    fn on_resume(&mut self, cycle: u64) {
+        // A restored run re-bases the no-progress window at the resume
+        // cycle (the checkpoint does not carry watchdog state); the
+        // priming on_inject/on_queue_enter events that follow rebuild
+        // the live set and occupancy map from the snapshot.
+        self.last_delivery = cycle;
+        self.links_since_delivery = 0;
+    }
+
+    fn on_stall_waits(&mut self, edges: &[(u32, u8, u32, u8)]) {
+        if let Some(r) = &mut self.report {
+            r.waits = edges.to_vec();
+        }
     }
 
     fn on_drop(&mut self, _cycle: u64, pkt: u64) {
@@ -979,8 +1094,530 @@ impl Recorder for WatchdogSink {
                 .map(|(&pkt, &(inject, src, dst))| (pkt, src, dst, inject)),
             queues,
             partitioned,
+            waits: Vec::new(),
         });
         Control::Stop
+    }
+}
+
+// ---------------------------------------------------------------------
+// JournalSink
+// ---------------------------------------------------------------------
+
+/// One journaled event: `(cycle, kind, pkt, a, b, c, d)`. `kind` is one
+/// of the `EV_*` codes; the payload fields `a..d` depend on it (see
+/// [`JournalSink`]'s line renderer for the per-kind meaning).
+pub type JournalEvent = (u64, u8, u64, u32, u32, u32, u32);
+
+/// Journal event kinds, in sort order.
+pub mod journal_kind {
+    /// Packet injected: `a = src, b = dst`.
+    pub const INJECT: u8 = 0;
+    /// Packet entered queue: `a = node, b = class, c = occupancy`.
+    pub const QUEUE_ENTER: u8 = 1;
+    /// Packet left queue: `a = node, b = class, c = occupancy`.
+    pub const QUEUE_LEAVE: u8 = 2;
+    /// Link traversal: `a = from, b = to, c = dynamic, d = from_class << 8 | to_class`.
+    pub const LINK: u8 = 3;
+    /// Internal stutter: `a = node, b = from_class, c = to_class`.
+    pub const STUTTER: u8 = 4;
+    /// Blocked move: `a = node, b = class`.
+    pub const BLOCK: u8 = 5;
+    /// Delivery: `a = latency high bits, b = latency low bits, c = hops, d = class`.
+    pub const DELIVER: u8 = 6;
+    /// Fault applied: `a = kind code, b = node`.
+    pub const FAULT: u8 = 7;
+    /// Packet destroyed by a fault.
+    pub const DROP: u8 = 8;
+    /// Packet reabsorbed and rerouted: `a = node, b = class`.
+    pub const REROUTE: u8 = 9;
+    /// Destination partitioned: `a = dst`.
+    pub const PARTITION: u8 = 10;
+
+    /// Human-readable name of a kind code.
+    pub fn name(kind: u8) -> &'static str {
+        match kind {
+            INJECT => "inject",
+            QUEUE_ENTER => "queue_enter",
+            QUEUE_LEAVE => "queue_leave",
+            LINK => "link",
+            STUTTER => "stutter",
+            BLOCK => "block",
+            DELIVER => "deliver",
+            FAULT => "fault",
+            DROP => "drop",
+            REROUTE => "reroute",
+            PARTITION => "partition",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Bounded ring-buffer event journal with an order-insensitive stream
+/// hash — the flight recorder's replay substrate.
+///
+/// Events are staged per cycle and sorted by their full tuple at
+/// [`Recorder::on_cycle_end`], which makes the journal a *canonical*
+/// rendering of the cycle's event multiset: two runs producing the same
+/// events in any within-cycle order journal identically, which is what
+/// lets per-shard journals merge bit-identically to a sequential run's.
+///
+/// Memory is bounded by `capacity` events; older events fall off the
+/// front (counted in [`JournalSink::dropped`], never silent). The
+/// stream [`JournalSink::hash`] — a wrapping *sum* of per-event FNV-1a
+/// hashes — is commutative and accumulated at emit time, so it is
+/// independent of both ring truncation and shard-merge order: equal
+/// hashes + equal counts certify equal event streams without retaining
+/// them.
+///
+/// After [`Recorder::on_resume`], events at or before the resume cycle
+/// are excluded (the restore-time priming events re-announce pre-resume
+/// state and must not pollute the resumed journal); compare resumed
+/// against straight-through journals on cycles strictly after the
+/// checkpoint.
+#[derive(Debug, Clone)]
+pub struct JournalSink {
+    capacity: usize,
+    ring: std::collections::VecDeque<JournalEvent>,
+    batch: Vec<JournalEvent>,
+    hash: u64,
+    count: u64,
+    /// Events evicted from the ring (journal truncated, hash still exact).
+    pub dropped: u64,
+    /// Events at or before this cycle are ignored (set by a resume).
+    floor: Option<u64>,
+}
+
+impl JournalSink {
+    /// Default ring capacity (events).
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Journal bounded to `capacity` events (`>= 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "journal capacity must be at least 1");
+        Self {
+            capacity,
+            ring: std::collections::VecDeque::new(),
+            batch: Vec::new(),
+            hash: 0,
+            count: 0,
+            dropped: 0,
+            floor: None,
+        }
+    }
+
+    /// Order-insensitive stream hash: wrapping sum of per-event FNV-1a
+    /// hashes over every event emitted (including ring-evicted ones).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Total events emitted (including ring-evicted ones).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Retained events, oldest first (call after the run; the final
+    /// cycle's batch is folded in by its `on_cycle_end`).
+    pub fn events(&self) -> impl Iterator<Item = &JournalEvent> {
+        self.ring.iter()
+    }
+
+    /// Render the retained events one per line:
+    /// `<cycle> <kind> pkt=<pkt> <a> <b> <c> <d>`. Line-diffing two
+    /// journals localizes the first divergent event.
+    pub fn lines(&self) -> Vec<String> {
+        self.ring
+            .iter()
+            .map(|&(cycle, kind, pkt, a, b, c, d)| {
+                format!(
+                    "{cycle} {} pkt={pkt} {a} {b} {c} {d}",
+                    journal_kind::name(kind)
+                )
+            })
+            .collect()
+    }
+
+    fn fnv(ev: &JournalEvent) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&ev.0.to_le_bytes());
+        eat(&[ev.1]);
+        eat(&ev.2.to_le_bytes());
+        eat(&ev.3.to_le_bytes());
+        eat(&ev.4.to_le_bytes());
+        eat(&ev.5.to_le_bytes());
+        eat(&ev.6.to_le_bytes());
+        h
+    }
+
+    fn push(&mut self, ev: JournalEvent) {
+        if self.floor.is_some_and(|f| ev.0 <= f) {
+            return;
+        }
+        self.batch.push(ev);
+    }
+
+    /// Merge a sibling shard's journal from the same run: retained
+    /// events interleave into global tuple order (re-truncating to this
+    /// sink's capacity from the front, oldest evicted first), hashes
+    /// and counts add. Both sinks must have folded their final batch
+    /// (the run's last `on_cycle_end` does).
+    pub fn merge_shard(&mut self, other: &JournalSink) {
+        debug_assert!(self.batch.is_empty() && other.batch.is_empty());
+        let mut all: Vec<JournalEvent> = self.ring.drain(..).collect();
+        all.extend(other.ring.iter().copied());
+        all.sort_unstable();
+        let evict = all.len().saturating_sub(self.capacity);
+        self.dropped += other.dropped + evict as u64;
+        self.ring.extend(all.into_iter().skip(evict));
+        self.hash = self.hash.wrapping_add(other.hash);
+        self.count += other.count;
+        self.floor = self.floor.max(other.floor);
+    }
+}
+
+impl Recorder for JournalSink {
+    fn on_inject(&mut self, cycle: u64, pkt: u64, src: u32, dst: u32) {
+        self.push((cycle, journal_kind::INJECT, pkt, src, dst, 0, 0));
+    }
+
+    fn on_queue_enter(&mut self, cycle: u64, pkt: u64, node: u32, class: u8, occupancy: u32) {
+        self.push((
+            cycle,
+            journal_kind::QUEUE_ENTER,
+            pkt,
+            node,
+            u32::from(class),
+            occupancy,
+            0,
+        ));
+    }
+
+    fn on_queue_leave(&mut self, cycle: u64, pkt: u64, node: u32, class: u8, occupancy: u32) {
+        self.push((
+            cycle,
+            journal_kind::QUEUE_LEAVE,
+            pkt,
+            node,
+            u32::from(class),
+            occupancy,
+            0,
+        ));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_link(
+        &mut self,
+        cycle: u64,
+        pkt: u64,
+        from: u32,
+        to: u32,
+        dynamic: bool,
+        from_class: u8,
+        to_class: u8,
+    ) {
+        self.push((
+            cycle,
+            journal_kind::LINK,
+            pkt,
+            from,
+            to,
+            u32::from(dynamic),
+            u32::from(from_class) << 8 | u32::from(to_class),
+        ));
+    }
+
+    fn on_stutter(&mut self, cycle: u64, pkt: u64, node: u32, from_class: u8, to_class: u8) {
+        self.push((
+            cycle,
+            journal_kind::STUTTER,
+            pkt,
+            node,
+            u32::from(from_class),
+            u32::from(to_class),
+            0,
+        ));
+    }
+
+    fn on_block(&mut self, cycle: u64, pkt: u64, node: u32, class: u8) {
+        self.push((
+            cycle,
+            journal_kind::BLOCK,
+            pkt,
+            node,
+            u32::from(class),
+            0,
+            0,
+        ));
+    }
+
+    fn on_deliver(&mut self, cycle: u64, pkt: u64, latency: u64, hops: u32, class: u8) {
+        self.push((
+            cycle,
+            journal_kind::DELIVER,
+            pkt,
+            u32::try_from(latency >> 32).unwrap_or(u32::MAX),
+            latency as u32,
+            hops,
+            u32::from(class),
+        ));
+    }
+
+    fn on_fault(&mut self, cycle: u64, kind: u8, node: u32) {
+        self.push((cycle, journal_kind::FAULT, 0, u32::from(kind), node, 0, 0));
+    }
+
+    fn on_drop(&mut self, cycle: u64, pkt: u64) {
+        self.push((cycle, journal_kind::DROP, pkt, 0, 0, 0, 0));
+    }
+
+    fn on_reroute(&mut self, cycle: u64, pkt: u64, node: u32, class: u8) {
+        self.push((
+            cycle,
+            journal_kind::REROUTE,
+            pkt,
+            node,
+            u32::from(class),
+            0,
+            0,
+        ));
+    }
+
+    fn on_partition(&mut self, cycle: u64, dst: u32) {
+        self.push((cycle, journal_kind::PARTITION, 0, dst, 0, 0, 0));
+    }
+
+    fn on_resume(&mut self, cycle: u64) {
+        self.floor = Some(cycle);
+    }
+
+    fn on_cycle_end(&mut self, _cycle: u64) -> Control {
+        self.batch.sort_unstable();
+        for ev in self.batch.drain(..) {
+            self.hash = self.hash.wrapping_add(Self::fnv(&ev));
+            self.count += 1;
+            if self.ring.len() == self.capacity {
+                self.ring.pop_front();
+                self.dropped += 1;
+            }
+            self.ring.push_back(ev);
+        }
+        Control::Continue
+    }
+}
+
+// ---------------------------------------------------------------------
+// LatencySink
+// ---------------------------------------------------------------------
+
+/// Per-class delivery-latency distributions: one [`LogHistogram`] per
+/// central-queue class, keyed by the class the packet last resided in,
+/// exporting p50/p95/p99/max per class. Motivated by Faber's
+/// absolute-delivery-bound schemes (PAPERS.md): a bound violation shows
+/// up as a percentile tail, which a mean hides.
+///
+/// All state is integer, so shard merges are exact and
+/// order-insensitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySink {
+    classes: Vec<crate::LogHistogram>,
+}
+
+impl LatencySink {
+    /// Sink for a network with `num_classes` central-queue classes.
+    pub fn new(num_classes: usize) -> Self {
+        Self {
+            classes: vec![crate::LogHistogram::new(); num_classes.max(1)],
+        }
+    }
+
+    /// The histogram for `class` (empty histogram if out of range).
+    pub fn class(&self, class: usize) -> Option<&crate::LogHistogram> {
+        self.classes.get(class)
+    }
+
+    /// Total deliveries across all classes.
+    pub fn total(&self) -> u64 {
+        self.classes.iter().map(crate::LogHistogram::total).sum()
+    }
+
+    /// Merge another sink of the same shape (exact, order-insensitive).
+    pub fn merge(&mut self, other: &LatencySink) {
+        assert_eq!(
+            self.classes.len(),
+            other.classes.len(),
+            "merging latency sinks of different class counts"
+        );
+        for (a, b) in self.classes.iter_mut().zip(&other.classes) {
+            a.merge(b);
+        }
+    }
+
+    /// Serialize as a JSON object: per-class count, p50/p95/p99 (bucket
+    /// upper bounds, <25% overestimate), and the exact max.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"classes\": [");
+        for (i, h) in self.classes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"class\": {i}, \"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+                if i == 0 { "" } else { ", " },
+                h.total(),
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.percentile(0.99),
+                h.max()
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Recorder for LatencySink {
+    fn on_deliver(&mut self, _cycle: u64, _pkt: u64, latency: u64, _hops: u32, class: u8) {
+        if let Some(h) = self.classes.get_mut(usize::from(class)) {
+            h.record(latency);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// WaitGraphSink
+// ---------------------------------------------------------------------
+
+/// Live wait-for-graph probe: consumes the engine's per-cycle blocked
+/// wait-for relation ([`Recorder::on_wait_probe`]) and tracks (a) the
+/// longest blocked-chain depth seen and (b) cycles whose wait-for
+/// relation contained a directed cycle — an *emerging* § 2 deadlock
+/// candidate, visible before a watchdog's no-progress window elapses.
+///
+/// A cycle among full queues does not by itself prove deadlock (a
+/// packet may still drain around it), so these are reported as
+/// candidates; chain depth is the longest acyclic path in the relation
+/// (back edges contribute nothing), a deterministic lower bound on the
+/// true blocked-chain length when cycles are present.
+///
+/// This sink's semantics are global (a shard-local probe would miss
+/// cross-shard chains), so a [`SinkSet`] carrying one is not shardable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WaitGraphSink {
+    /// Probes consumed (one per cycle with collection enabled).
+    pub probes: u64,
+    /// Longest blocked-chain depth (queues in the chain) ever seen.
+    pub max_chain_depth: u32,
+    /// Cycle at which the deepest chain was first seen.
+    pub max_chain_cycle: u64,
+    /// First cycle whose wait-for relation contained a directed cycle.
+    pub first_cycle_candidate: Option<u64>,
+    /// Number of cycles whose relation contained a directed cycle.
+    pub cycle_candidate_cycles: u64,
+    /// Edge count of the most recent probe.
+    pub last_edges: usize,
+}
+
+impl WaitGraphSink {
+    /// New probe consumer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Longest-path + cycle analysis of a wait-for relation; returns
+    /// `(chain_depth, has_cycle)` where `chain_depth` counts queues
+    /// (edges + 1 on the longest acyclic path; 0 for an empty relation).
+    /// Deterministic: nodes are visited in sorted order.
+    fn analyze(edges: &[(u32, u8, u32, u8)]) -> (u32, bool) {
+        if edges.is_empty() {
+            return (0, false);
+        }
+        let mut nodes: Vec<(u32, u8)> = edges
+            .iter()
+            .flat_map(|&(v, c, w, c2)| [(v, c), (w, c2)])
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let id = |q: (u32, u8)| nodes.binary_search(&q).expect("endpoint indexed");
+        let mut adj = vec![Vec::new(); nodes.len()];
+        for &(v, c, w, c2) in edges {
+            adj[id((v, c))].push(id((w, c2)));
+        }
+        let mut color = vec![0u8; nodes.len()]; // 0 white, 1 gray, 2 black
+        let mut depth = vec![0u32; nodes.len()]; // longest path (edges) from node
+        let mut has_cycle = false;
+        for s in 0..nodes.len() {
+            if color[s] != 0 {
+                continue;
+            }
+            color[s] = 1;
+            let mut stack: Vec<(usize, usize)> = vec![(s, 0)];
+            while let Some(&(u, ci)) = stack.last() {
+                if ci < adj[u].len() {
+                    stack.last_mut().expect("frame exists").1 += 1;
+                    let v = adj[u][ci];
+                    match color[v] {
+                        0 => {
+                            color[v] = 1;
+                            stack.push((v, 0));
+                        }
+                        1 => has_cycle = true, // back edge: cycle candidate
+                        _ => depth[u] = depth[u].max(depth[v] + 1),
+                    }
+                } else {
+                    color[u] = 2;
+                    stack.pop();
+                    if let Some(&(p, _)) = stack.last() {
+                        depth[p] = depth[p].max(depth[u] + 1);
+                    }
+                }
+            }
+        }
+        (depth.iter().max().copied().unwrap_or(0) + 1, has_cycle)
+    }
+
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"probes\": {}, \"max_chain_depth\": {}, \"max_chain_cycle\": {}, \"cycle_candidate_cycles\": {}, \"first_cycle_candidate\": ",
+            self.probes, self.max_chain_depth, self.max_chain_cycle, self.cycle_candidate_cycles
+        );
+        match self.first_cycle_candidate {
+            Some(c) => {
+                let _ = write!(out, "{c}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(out, ", \"last_edges\": {}}}", self.last_edges);
+        out
+    }
+}
+
+impl Recorder for WaitGraphSink {
+    fn on_wait_probe(&mut self, cycle: u64, edges: &[(u32, u8, u32, u8)]) {
+        self.probes += 1;
+        self.last_edges = edges.len();
+        let (depth, has_cycle) = Self::analyze(edges);
+        if depth > self.max_chain_depth {
+            self.max_chain_depth = depth;
+            self.max_chain_cycle = cycle;
+        }
+        if has_cycle {
+            self.cycle_candidate_cycles += 1;
+            if self.first_cycle_candidate.is_none() {
+                self.first_cycle_candidate = Some(cycle);
+            }
+        }
+    }
+
+    fn want_waitgraph(&self) -> bool {
+        true
     }
 }
 
@@ -988,9 +1625,10 @@ impl Recorder for WatchdogSink {
 // SinkSet
 // ---------------------------------------------------------------------
 
-/// A composable bundle of the three sinks, itself a [`Recorder`]: the
-/// harness enables any subset via the `--trace` / `--metrics-out` /
-/// `--watchdog` flags and merges per-worker sets deterministically.
+/// A composable bundle of the sinks, itself a [`Recorder`]: the harness
+/// enables any subset via the `--trace` / `--metrics-out` /
+/// `--watchdog` / `--journal` / `--waitgraph` flags and merges
+/// per-worker sets deterministically.
 #[derive(Debug, Clone, Default)]
 pub struct SinkSet {
     /// Routing-decision counters, if enabled.
@@ -999,6 +1637,12 @@ pub struct SinkSet {
     pub trace: Option<TraceSink>,
     /// No-progress watchdog, if enabled.
     pub watchdog: Option<WatchdogSink>,
+    /// Ring-buffer event journal, if enabled.
+    pub journal: Option<JournalSink>,
+    /// Per-class delivery-latency percentiles, if enabled.
+    pub latency: Option<LatencySink>,
+    /// Live wait-for-graph probe, if enabled.
+    pub waitgraph: Option<WaitGraphSink>,
 }
 
 impl SinkSet {
@@ -1026,6 +1670,25 @@ impl SinkSet {
         self
     }
 
+    /// Add a [`JournalSink`] bounded to `capacity` events.
+    pub fn with_journal(mut self, capacity: usize) -> Self {
+        self.journal = Some(JournalSink::new(capacity));
+        self
+    }
+
+    /// Add a [`LatencySink`] for `num_classes` central-queue classes.
+    pub fn with_latency(mut self, num_classes: usize) -> Self {
+        self.latency = Some(LatencySink::new(num_classes));
+        self
+    }
+
+    /// Add a [`WaitGraphSink`] (makes the set non-shardable: the probe
+    /// is global).
+    pub fn with_waitgraph(mut self) -> Self {
+        self.waitgraph = Some(WaitGraphSink::new());
+        self
+    }
+
     /// Merge another set (same sink configuration) into this one. Call
     /// in a fixed order over per-worker sinks for deterministic output.
     pub fn merge(&mut self, other: &SinkSet) {
@@ -1043,6 +1706,20 @@ impl SinkSet {
             (Some(a), Some(b)) => a.merge(b),
             (slot @ None, Some(b)) => *slot = Some(b.clone()),
             _ => {}
+        }
+        match (&mut self.latency, &other.latency) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(b.clone()),
+            _ => {}
+        }
+        // Journals and wait-graph probes describe *one* run each; when
+        // merging across replications (row aggregation) the first
+        // non-empty one is kept rather than mixing streams.
+        if self.journal.is_none() {
+            self.journal.clone_from(&other.journal);
+        }
+        if self.waitgraph.is_none() {
+            self.waitgraph.clone_from(&other.waitgraph);
         }
     }
 
@@ -1068,6 +1745,18 @@ impl SinkSet {
             (slot @ None, Some(b)) => *slot = Some(b.clone()),
             _ => {}
         }
+        match (&mut self.journal, &other.journal) {
+            (Some(a), Some(b)) => a.merge_shard(b),
+            (slot @ None, Some(b)) => *slot = Some(b.clone()),
+            _ => {}
+        }
+        match (&mut self.latency, &other.latency) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(b.clone()),
+            _ => {}
+        }
+        // WaitGraphSink is never sharded (shardable() forbids it), so
+        // there is nothing to merge here.
     }
 
     /// Flush the trace sink (renders still-in-flight packets).
@@ -1087,8 +1776,9 @@ impl ShardRecorder for SinkSet {
     fn shardable(&self) -> bool {
         // A per-shard watchdog would see only its shard's deliveries and
         // stall-report a healthy network; sharded engines must run the
-        // watchdog globally and install the report post-run.
-        self.watchdog.is_none()
+        // watchdog globally and install the report post-run. A per-shard
+        // wait-graph probe would likewise miss cross-shard chains.
+        self.watchdog.is_none() && self.waitgraph.is_none()
     }
 
     fn snapshot_trace(&self, pkt: u64) -> Option<TraceState> {
@@ -1123,6 +1813,9 @@ impl Recorder for SinkSet {
         if let Some(w) = &mut self.watchdog {
             w.on_inject(cycle, pkt, src, dst);
         }
+        if let Some(j) = &mut self.journal {
+            j.on_inject(cycle, pkt, src, dst);
+        }
     }
 
     fn on_queue_enter(&mut self, cycle: u64, pkt: u64, node: u32, class: u8, occupancy: u32) {
@@ -1132,6 +1825,9 @@ impl Recorder for SinkSet {
         if let Some(w) = &mut self.watchdog {
             w.on_queue_enter(cycle, pkt, node, class, occupancy);
         }
+        if let Some(j) = &mut self.journal {
+            j.on_queue_enter(cycle, pkt, node, class, occupancy);
+        }
     }
 
     fn on_queue_leave(&mut self, cycle: u64, pkt: u64, node: u32, class: u8, occupancy: u32) {
@@ -1140,6 +1836,9 @@ impl Recorder for SinkSet {
         }
         if let Some(w) = &mut self.watchdog {
             w.on_queue_leave(cycle, pkt, node, class, occupancy);
+        }
+        if let Some(j) = &mut self.journal {
+            j.on_queue_leave(cycle, pkt, node, class, occupancy);
         }
     }
 
@@ -1163,6 +1862,9 @@ impl Recorder for SinkSet {
         if let Some(w) = &mut self.watchdog {
             w.on_link(cycle, pkt, from, to, dynamic, from_class, to_class);
         }
+        if let Some(j) = &mut self.journal {
+            j.on_link(cycle, pkt, from, to, dynamic, from_class, to_class);
+        }
     }
 
     fn on_stutter(&mut self, cycle: u64, pkt: u64, node: u32, from_class: u8, to_class: u8) {
@@ -1172,29 +1874,44 @@ impl Recorder for SinkSet {
         if let Some(t) = &mut self.trace {
             t.on_stutter(cycle, pkt, node, from_class, to_class);
         }
+        if let Some(j) = &mut self.journal {
+            j.on_stutter(cycle, pkt, node, from_class, to_class);
+        }
     }
 
     fn on_block(&mut self, cycle: u64, pkt: u64, node: u32, class: u8) {
         if let Some(c) = &mut self.counters {
             c.on_block(cycle, pkt, node, class);
         }
+        if let Some(j) = &mut self.journal {
+            j.on_block(cycle, pkt, node, class);
+        }
     }
 
-    fn on_deliver(&mut self, cycle: u64, pkt: u64, latency: u64, hops: u32) {
+    fn on_deliver(&mut self, cycle: u64, pkt: u64, latency: u64, hops: u32, class: u8) {
         if let Some(c) = &mut self.counters {
-            c.on_deliver(cycle, pkt, latency, hops);
+            c.on_deliver(cycle, pkt, latency, hops, class);
         }
         if let Some(t) = &mut self.trace {
-            t.on_deliver(cycle, pkt, latency, hops);
+            t.on_deliver(cycle, pkt, latency, hops, class);
         }
         if let Some(w) = &mut self.watchdog {
-            w.on_deliver(cycle, pkt, latency, hops);
+            w.on_deliver(cycle, pkt, latency, hops, class);
+        }
+        if let Some(j) = &mut self.journal {
+            j.on_deliver(cycle, pkt, latency, hops, class);
+        }
+        if let Some(l) = &mut self.latency {
+            l.on_deliver(cycle, pkt, latency, hops, class);
         }
     }
 
-    fn on_fault(&mut self, cycle: u64, kind: u8) {
+    fn on_fault(&mut self, cycle: u64, kind: u8, node: u32) {
         if let Some(c) = &mut self.counters {
-            c.on_fault(cycle, kind);
+            c.on_fault(cycle, kind, node);
+        }
+        if let Some(j) = &mut self.journal {
+            j.on_fault(cycle, kind, node);
         }
     }
 
@@ -1208,6 +1925,9 @@ impl Recorder for SinkSet {
         if let Some(w) = &mut self.watchdog {
             w.on_drop(cycle, pkt);
         }
+        if let Some(j) = &mut self.journal {
+            j.on_drop(cycle, pkt);
+        }
     }
 
     fn on_reroute(&mut self, cycle: u64, pkt: u64, node: u32, class: u8) {
@@ -1217,17 +1937,51 @@ impl Recorder for SinkSet {
         if let Some(t) = &mut self.trace {
             t.on_reroute(cycle, pkt, node, class);
         }
+        if let Some(j) = &mut self.journal {
+            j.on_reroute(cycle, pkt, node, class);
+        }
     }
 
     fn on_partition(&mut self, cycle: u64, dst: u32) {
         if let Some(w) = &mut self.watchdog {
             w.on_partition(cycle, dst);
         }
+        if let Some(j) = &mut self.journal {
+            j.on_partition(cycle, dst);
+        }
+    }
+
+    fn on_resume(&mut self, cycle: u64) {
+        if let Some(w) = &mut self.watchdog {
+            w.on_resume(cycle);
+        }
+        if let Some(j) = &mut self.journal {
+            j.on_resume(cycle);
+        }
+    }
+
+    fn on_wait_probe(&mut self, cycle: u64, edges: &[(u32, u8, u32, u8)]) {
+        if let Some(g) = &mut self.waitgraph {
+            g.on_wait_probe(cycle, edges);
+        }
+    }
+
+    fn on_stall_waits(&mut self, edges: &[(u32, u8, u32, u8)]) {
+        if let Some(w) = &mut self.watchdog {
+            w.on_stall_waits(edges);
+        }
+    }
+
+    fn want_waitgraph(&self) -> bool {
+        self.waitgraph.is_some()
     }
 
     fn on_cycle_end(&mut self, cycle: u64) -> Control {
         if let Some(c) = &mut self.counters {
             let _ = c.on_cycle_end(cycle);
+        }
+        if let Some(j) = &mut self.journal {
+            let _ = j.on_cycle_end(cycle);
         }
         if let Some(w) = &mut self.watchdog {
             if w.on_cycle_end(cycle) == Control::Stop {
@@ -1252,7 +2006,7 @@ mod tests {
         rec.on_block(3, 0, 2, 1);
         rec.on_queue_leave(4, 0, 2, 1, 0);
         rec.on_link(4, 0, 2, 3, true, 1, 1);
-        rec.on_deliver(5, 0, 11, 2);
+        rec.on_deliver(5, 0, 11, 2, 1);
         assert_eq!(rec.on_cycle_end(5), Control::Continue);
     }
 
@@ -1341,7 +2095,7 @@ mod tests {
         w.on_inject(0, 0, 0, 1);
         w.on_inject(0, 1, 1, 0);
         assert_eq!(w.on_cycle_end(0), Control::Continue);
-        w.on_deliver(1, 0, 3, 1);
+        w.on_deliver(1, 0, 3, 1, 0);
         assert_eq!(w.on_cycle_end(1), Control::Continue);
         assert_eq!(w.on_cycle_end(2), Control::Continue);
         // Last delivery at cycle 1; window 2 elapses at cycle 3.
@@ -1398,8 +2152,8 @@ mod tests {
             let _ = a.on_cycle_end(c);
             let _ = b.on_cycle_end(c);
         }
-        a.on_deliver(2, 0, 5, 1);
-        b.on_deliver(2, 1, 7, 2);
+        a.on_deliver(2, 0, 5, 1, 0);
+        b.on_deliver(2, 1, 7, 2, 0);
         a.merge_shard(&b);
         assert_eq!(a.cycles, 3);
         assert_eq!(a.delivered, 2);
@@ -1414,7 +2168,7 @@ mod tests {
         whole.on_inject(0, 0, 1, 2);
         whole.on_link(1, 0, 1, 2, false, 0, 0);
         whole.on_link(2, 0, 2, 3, true, 0, 1);
-        whole.on_deliver(3, 0, 7, 2);
+        whole.on_deliver(3, 0, 7, 2, 1);
         whole.flush();
 
         let mut s0 = TraceSink::new(4);
@@ -1427,7 +2181,7 @@ mod tests {
         s1.adopt_state(0, st);
         s1.on_link(2, 0, 2, 3, true, 0, 1);
         s0.discard_state(0);
-        s1.on_deliver(3, 0, 7, 2);
+        s1.on_deliver(3, 0, 7, 2, 1);
         s0.merge(&s1);
         s0.flush();
         assert_eq!(s0.lines(), whole.lines());
@@ -1439,8 +2193,8 @@ mod tests {
         t.on_inject(0, 0, 1, 2);
         t.on_inject(0, 1, 2, 3);
         // Packet 1 delivers before packet 0.
-        t.on_deliver(1, 1, 3, 1);
-        t.on_deliver(2, 0, 5, 1);
+        t.on_deliver(1, 1, 3, 1, 0);
+        t.on_deliver(2, 0, 5, 1, 0);
         t.flush();
         assert!(t.lines()[0].starts_with("{\"pkt\": 0,"));
         assert!(t.lines()[1].starts_with("{\"pkt\": 1,"));
@@ -1467,8 +2221,8 @@ mod tests {
     #[test]
     fn counter_sink_counts_fault_events() {
         let mut c = CounterSink::new(4, 2);
-        c.on_fault(3, 0);
-        c.on_fault(3, 1);
+        c.on_fault(3, 0, 4);
+        c.on_fault(3, 1, 5);
         c.on_drop(3, 0);
         c.on_reroute(4, 1, 2, 0);
         assert_eq!(c.faults_applied, 2);
@@ -1516,6 +2270,7 @@ mod tests {
             oldest: None,
             queues: vec![],
             partitioned: vec![],
+            waits: vec![],
         };
         assert_eq!(base.verdict(), "deadlock");
         let live = StallReport {
@@ -1528,6 +2283,188 @@ mod tests {
             ..base
         };
         assert_eq!(part.verdict(), "partitioned");
+    }
+
+    #[test]
+    fn journal_is_canonical_within_cycles() {
+        // Same per-cycle event multiset in different arrival order must
+        // journal identically (the per-cycle sort canonicalizes).
+        let mut a = JournalSink::new(64);
+        let mut b = JournalSink::new(64);
+        a.on_inject(0, 0, 1, 2);
+        a.on_inject(0, 1, 3, 4);
+        b.on_inject(0, 1, 3, 4);
+        b.on_inject(0, 0, 1, 2);
+        let _ = a.on_cycle_end(0);
+        let _ = b.on_cycle_end(0);
+        a.on_link(1, 0, 1, 2, false, 0, 1);
+        a.on_deliver(1, 1, 3, 1, 0);
+        b.on_deliver(1, 1, 3, 1, 0);
+        b.on_link(1, 0, 1, 2, false, 0, 1);
+        let _ = a.on_cycle_end(1);
+        let _ = b.on_cycle_end(1);
+        assert_eq!(a.lines(), b.lines());
+        assert_eq!(a.hash(), b.hash());
+        assert_eq!(a.count(), 4);
+        assert_eq!(b.count(), 4);
+        assert_eq!(a.dropped, 0);
+    }
+
+    #[test]
+    fn journal_ring_truncates_but_hash_survives() {
+        let mut big = JournalSink::new(1024);
+        let mut small = JournalSink::new(2);
+        for cyc in 0..10u64 {
+            big.on_inject(cyc, cyc, 0, 1);
+            small.on_inject(cyc, cyc, 0, 1);
+            let _ = big.on_cycle_end(cyc);
+            let _ = small.on_cycle_end(cyc);
+        }
+        assert_eq!(small.lines().len(), 2);
+        assert_eq!(small.dropped, 8);
+        // The hash covers evicted events too: truncation-independent.
+        assert_eq!(small.hash(), big.hash());
+        assert_eq!(small.count(), big.count());
+        // The retained tail is the *latest* events.
+        assert!(small.lines()[1].starts_with("9 inject"));
+    }
+
+    #[test]
+    fn journal_merge_shard_matches_sequential() {
+        // Split one run's events across two shards by packet parity; the
+        // merged journal must equal the sequential one byte-for-byte.
+        let mut seq = JournalSink::new(256);
+        let mut s0 = JournalSink::new(256);
+        let mut s1 = JournalSink::new(256);
+        for cyc in 0..5u64 {
+            for pkt in 0..6u64 {
+                let (v, w) = (pkt as u32, (pkt as u32 + 1) % 6);
+                seq.on_link(cyc, pkt, v, w, pkt % 2 == 0, 0, 1);
+                if pkt % 2 == 0 {
+                    s0.on_link(cyc, pkt, v, w, true, 0, 1);
+                } else {
+                    s1.on_link(cyc, pkt, v, w, false, 0, 1);
+                }
+            }
+            let _ = seq.on_cycle_end(cyc);
+            let _ = s0.on_cycle_end(cyc);
+            let _ = s1.on_cycle_end(cyc);
+        }
+        s0.merge_shard(&s1);
+        assert_eq!(s0.lines(), seq.lines());
+        assert_eq!(s0.hash(), seq.hash());
+        assert_eq!(s0.count(), seq.count());
+    }
+
+    #[test]
+    fn journal_resume_floor_drops_priming_events() {
+        let mut j = JournalSink::new(64);
+        j.on_resume(10);
+        // Priming events re-announce pre-resume state (cycle <= 10).
+        j.on_inject(3, 0, 1, 2);
+        j.on_queue_enter(10, 0, 1, 0, 1);
+        // Genuine post-resume events pass.
+        j.on_link(11, 0, 1, 2, false, 0, 0);
+        let _ = j.on_cycle_end(11);
+        assert_eq!(j.count(), 1);
+        assert!(j.lines()[0].starts_with("11 link"));
+    }
+
+    #[test]
+    fn latency_sink_tracks_per_class_percentiles() {
+        let mut l = LatencySink::new(2);
+        for v in 1..=100u64 {
+            l.on_deliver(0, v, v, 1, 0);
+        }
+        l.on_deliver(0, 200, 1000, 1, 1);
+        assert_eq!(l.total(), 101);
+        let c0 = l.class(0).unwrap();
+        assert!(c0.percentile(0.5) >= 50 && c0.percentile(0.5) <= 63);
+        assert_eq!(c0.max(), 100);
+        assert_eq!(l.class(1).unwrap().max(), 1000);
+        // Shard-split merge is exact.
+        let mut a = LatencySink::new(2);
+        let mut b = LatencySink::new(2);
+        for v in 1..=100u64 {
+            if v % 2 == 0 {
+                a.on_deliver(0, v, v, 1, 0);
+            } else {
+                b.on_deliver(0, v, v, 1, 0);
+            }
+        }
+        a.on_deliver(0, 200, 1000, 1, 1);
+        a.merge(&b);
+        assert_eq!(a, l);
+        let j = l.to_json();
+        assert!(j.contains("\"class\": 0"));
+        assert!(j.contains("\"max\": 1000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn waitgraph_tracks_chain_depth_and_cycle_candidates() {
+        let mut g = WaitGraphSink::new();
+        assert!(g.want_waitgraph());
+        // A 3-edge chain: depth 4 queues, no cycle.
+        g.on_wait_probe(5, &[(0, 0, 1, 0), (1, 0, 2, 1), (2, 1, 3, 1)]);
+        assert_eq!(g.max_chain_depth, 4);
+        assert_eq!(g.max_chain_cycle, 5);
+        assert_eq!(g.first_cycle_candidate, None);
+        // Close the loop: a directed cycle appears.
+        g.on_wait_probe(6, &[(0, 0, 1, 0), (1, 0, 2, 1), (2, 1, 0, 0)]);
+        assert_eq!(g.first_cycle_candidate, Some(6));
+        assert_eq!(g.cycle_candidate_cycles, 1);
+        assert_eq!(g.probes, 2);
+        let j = g.to_json();
+        assert!(j.contains("\"first_cycle_candidate\": 6"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // Empty probe: no chain, no candidate.
+        let mut e = WaitGraphSink::new();
+        e.on_wait_probe(0, &[]);
+        assert_eq!(e.max_chain_depth, 0);
+    }
+
+    #[test]
+    fn stall_report_dot_is_string_stable() {
+        let r = StallReport {
+            cycle: 42,
+            in_flight: 3,
+            window: 10,
+            links_in_window: 0,
+            oldest: None,
+            queues: vec![(0, 0, 2), (1, 1, 1)],
+            partitioned: vec![],
+            waits: vec![(0, 0, 1, 1), (1, 1, 0, 0)],
+        };
+        let dot = r.to_dot();
+        assert_eq!(
+            dot,
+            "digraph waits {\n  label=\"deadlock @ cycle 42 (in_flight=3)\";\n  node [shape=box];\n  \"q0[0]\" [label=\"q0[0] occ=2\"];\n  \"q1[1]\" [label=\"q1[1] occ=1\"];\n  \"q0[0]\" -> \"q1[1]\";\n  \"q1[1]\" -> \"q0[0]\";\n}\n"
+        );
+        assert!(r
+            .to_json()
+            .contains("\"waits\": [[0, 0, 1, 1], [1, 1, 0, 0]]"));
+    }
+
+    #[test]
+    fn sink_set_forwards_new_sinks() {
+        let mut s = SinkSet::new()
+            .with_counters(4, 2)
+            .with_journal(64)
+            .with_latency(2)
+            .with_waitgraph();
+        assert!(s.want_waitgraph());
+        assert!(!s.shardable(), "wait-graph probe is global");
+        feed(&mut s);
+        assert!(s.journal.as_ref().unwrap().count() > 0);
+        assert_eq!(s.latency.as_ref().unwrap().total(), 1);
+        s.on_wait_probe(3, &[(0, 0, 1, 0)]);
+        assert_eq!(s.waitgraph.as_ref().unwrap().probes, 1);
+        let shardable = SinkSet::new()
+            .with_counters(4, 2)
+            .with_journal(64)
+            .with_latency(2);
+        assert!(shardable.shardable());
     }
 
     #[test]

@@ -37,6 +37,27 @@ impl TimeSeries {
         }
     }
 
+    /// Rebuild a series from its raw parts, e.g. when restoring an engine
+    /// checkpoint. `sums` are the per-window sums exactly as returned by
+    /// [`TimeSeries::windows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `sums` exceeds
+    /// [`TimeSeries::MAX_WINDOWS`] slots.
+    pub fn from_raw(window: u64, sums: Vec<f64>, saturated: bool) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(
+            sums.len() <= Self::MAX_WINDOWS,
+            "too many windows for a time series"
+        );
+        Self {
+            window,
+            sums,
+            saturated,
+        }
+    }
+
     /// Add `value` at time `t` (times may arrive in any order). Times at
     /// or beyond window [`TimeSeries::MAX_WINDOWS`] saturate into the
     /// last representable window (see the type-level memory model).
@@ -202,6 +223,15 @@ mod tests {
         // Further saturating records accumulate in the last window.
         ts.record(u64::MAX - 5, 3.0);
         assert_eq!(ts.windows()[TimeSeries::MAX_WINDOWS - 1], 5.0);
+    }
+
+    #[test]
+    fn from_raw_round_trips() {
+        let mut ts = TimeSeries::new(25);
+        ts.record(0, 1.0);
+        ts.record(60, 2.5);
+        let back = TimeSeries::from_raw(ts.window(), ts.windows().to_vec(), ts.saturated());
+        assert_eq!(back, ts);
     }
 
     #[test]

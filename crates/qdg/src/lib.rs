@@ -139,6 +139,21 @@ pub enum BufferClass {
     Dynamic,
 }
 
+/// Fixed-width encoding of a message's routing state for engine snapshots.
+///
+/// The simulator's checkpoint format (`fadr-snapshot/1`) serializes each
+/// in-flight packet's [`RoutingFunction::Msg`] as a short sequence of `u64`
+/// words. Implementations must round-trip exactly: `decode(encode(m)) ==
+/// Some(m)`, and `decode` must reject word slices of the wrong length so a
+/// corrupted snapshot fails loudly instead of resuming a different run.
+pub trait SnapshotMsg: Sized {
+    /// Append the message's fields to `out` as `u64` words.
+    fn encode(&self, out: &mut Vec<u64>);
+    /// Rebuild a message from the words written by [`SnapshotMsg::encode`];
+    /// `None` if `words` has the wrong length or invalid field values.
+    fn decode(words: &[u64]) -> Option<Self>;
+}
+
 /// A routing function `R̃` in the paper's § 2 sense, together with enough
 /// structure to drive both the model checker and the packet simulator.
 ///

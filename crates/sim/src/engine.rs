@@ -15,12 +15,13 @@ use rand::{Rng, SeedableRng};
 use fadr_metrics::{
     Control, LatencyStats, NoRecorder, Recorder, ShardRecorder, TimeSeries, TraceState,
 };
-use fadr_qdg::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction};
+use fadr_qdg::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction, SnapshotMsg};
 use fadr_topology::NodeId;
 
 use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::layout::{Layout, NONE};
 use crate::partition::OwnedNodes;
+use crate::snapshot::{self, Loc, PacketRec, ParsedSnapshot};
 use crate::store::{BitSet, MoveOpt, OptionArena, PacketInit, PacketStore};
 use crate::{FillOrder, SimConfig};
 
@@ -195,6 +196,62 @@ impl DynamicResult {
             self.injected as f64 / self.attempts as f64
         }
     }
+}
+
+/// Injection-side progress of a paused run: the workload cursors and
+/// counters that live in the run *loop* rather than in the engine state,
+/// and therefore must ride along with a checkpoint. Returned by the
+/// `*_until` run methods on pause and fed back into the `resume_*`
+/// methods (or serialized into the snapshot by
+/// [`Simulator::checkpoint`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunProgress {
+    /// A static-injection run.
+    Static {
+        /// Per-node backlog cursor (a dead source node's cursor is
+        /// already exhausted, so its write-off is never repeated).
+        next_idx: Vec<usize>,
+        /// Backlog entries written off because their source node died.
+        lost: u64,
+    },
+    /// A dynamic-injection run (the RNG streams are *not* stored: they
+    /// are fast-forwarded deterministically on resume).
+    Dynamic {
+        /// Injection attempts so far.
+        attempts: u64,
+        /// Successful injections so far.
+        injected: u64,
+    },
+}
+
+/// Outcome of a pausable static run: finished, or paused at the
+/// requested cycle with the progress needed to resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StaticOutcome {
+    /// The run ended (drained, aborted, or hit the cycle cap).
+    Finished(StaticResult),
+    /// The run paused at the requested cycle (post-injection); the
+    /// engine now sits at the checkpointable pause point.
+    Paused(RunProgress),
+}
+
+/// Outcome of a pausable dynamic run; see [`StaticOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DynamicOutcome {
+    /// The run ended (horizon reached or aborted).
+    Finished(DynamicResult),
+    /// The run paused at the requested cycle (post-injection).
+    Paused(RunProgress),
+}
+
+/// Internal parameter pack for [`Simulator::dynamic_loop`].
+struct DynState {
+    lambda: f64,
+    cycles: u64,
+    attempts: u64,
+    injected: u64,
+    pause_at: Option<u64>,
+    resumed: bool,
 }
 
 /// The packet-routing simulator; see the crate docs for the model.
@@ -458,25 +515,82 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// `backlog[v]` (in order) as fast as its injection buffer frees up,
     /// and the run ends when the network drains.
     pub fn run_static(&mut self, backlog: &[Vec<NodeId>]) -> StaticResult {
+        match self.run_static_until(backlog, None) {
+            StaticOutcome::Finished(r) => r,
+            StaticOutcome::Paused(_) => unreachable!("no pause requested"),
+        }
+    }
+
+    /// [`Simulator::run_static`] with an optional pause point: with
+    /// `pause_at = Some(p)` the run stops at cycle `p` *after* the
+    /// injection pass but *before* the routing step — the engine's
+    /// checkpointable pause point (see [`crate::snapshot`]) — and
+    /// returns the loop progress needed to resume.
+    pub fn run_static_until(
+        &mut self,
+        backlog: &[Vec<NodeId>],
+        pause_at: Option<u64>,
+    ) -> StaticOutcome {
         assert_eq!(backlog.len(), self.num_nodes());
         self.reset();
-        let mut next_idx = vec![0usize; backlog.len()];
+        self.static_loop(backlog, vec![0usize; backlog.len()], 0, pause_at, false)
+    }
+
+    /// Continue a static run from a restored checkpoint (see
+    /// [`Simulator::restore`]). The engine must already hold the
+    /// restored state; `backlog` must be the original workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `progress` is not [`RunProgress::Static`] or its cursor
+    /// vector does not match `backlog`.
+    pub fn resume_static(
+        &mut self,
+        backlog: &[Vec<NodeId>],
+        progress: RunProgress,
+        pause_at: Option<u64>,
+    ) -> StaticOutcome {
+        assert_eq!(backlog.len(), self.num_nodes());
+        let RunProgress::Static { next_idx, lost } = progress else {
+            panic!("resume_static needs static progress");
+        };
+        assert_eq!(next_idx.len(), backlog.len(), "progress/backlog mismatch");
+        self.static_loop(backlog, next_idx, lost, pause_at, true)
+    }
+
+    fn static_loop(
+        &mut self,
+        backlog: &[Vec<NodeId>],
+        mut next_idx: Vec<usize>,
+        mut lost: u64,
+        pause_at: Option<u64>,
+        mut resumed: bool,
+    ) -> StaticOutcome {
         let total: u64 = backlog.iter().map(|b| b.len() as u64).sum();
         let mut aborted = false;
-        let mut lost = 0u64;
         while self.delivered + self.dropped + lost < total && self.cycle < self.cfg.max_cycles {
-            for v in 0..backlog.len() {
-                if next_idx[v] >= backlog[v].len() {
-                    continue;
+            if resumed {
+                // The restored cycle already performed its injections
+                // (the pause point is post-injection); run its routing
+                // step directly.
+                resumed = false;
+            } else {
+                for v in 0..backlog.len() {
+                    if next_idx[v] >= backlog[v].len() {
+                        continue;
+                    }
+                    if !self.node_alive(v) {
+                        // A dead node's remaining backlog is never offered.
+                        lost += (backlog[v].len() - next_idx[v]) as u64;
+                        next_idx[v] = backlog[v].len();
+                    } else if self.inj_buf[v] == NONE {
+                        let dst = backlog[v][next_idx[v]];
+                        next_idx[v] += 1;
+                        self.inj_buf[v] = self.alloc_packet(v, dst);
+                    }
                 }
-                if !self.node_alive(v) {
-                    // A dead node's remaining backlog is never offered.
-                    lost += (backlog[v].len() - next_idx[v]) as u64;
-                    next_idx[v] = backlog[v].len();
-                } else if self.inj_buf[v] == NONE {
-                    let dst = backlog[v][next_idx[v]];
-                    next_idx[v] += 1;
-                    self.inj_buf[v] = self.alloc_packet(v, dst);
+                if pause_at == Some(self.cycle) {
+                    return StaticOutcome::Paused(RunProgress::Static { next_idx, lost });
                 }
             }
             if self.step() == Control::Stop {
@@ -494,7 +608,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         } else {
             StopReason::MaxCycles
         };
-        StaticResult {
+        StaticOutcome::Finished(StaticResult {
             stats: self.stats.clone(),
             cycles: self.cycle,
             delivered: self.delivered,
@@ -503,7 +617,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             dropped: self.dropped,
             lost,
             stop,
-        }
+        })
     }
 
     /// Run a dynamic-injection experiment for `cycles` routing cycles:
@@ -523,31 +637,120 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     pub fn run_dynamic(
         &mut self,
         lambda: f64,
-        mut dest: impl FnMut(NodeId, &mut StdRng) -> NodeId,
+        dest: impl FnMut(NodeId, &mut StdRng) -> NodeId,
         cycles: u64,
     ) -> DynamicResult {
+        match self.run_dynamic_until(lambda, dest, cycles, None) {
+            DynamicOutcome::Finished(r) => r,
+            DynamicOutcome::Paused(_) => unreachable!("no pause requested"),
+        }
+    }
+
+    /// [`Simulator::run_dynamic`] with an optional pause point (see
+    /// [`Simulator::run_static_until`] for the pause-point semantics).
+    pub fn run_dynamic_until(
+        &mut self,
+        lambda: f64,
+        mut dest: impl FnMut(NodeId, &mut StdRng) -> NodeId,
+        cycles: u64,
+        pause_at: Option<u64>,
+    ) -> DynamicOutcome {
         assert!((0.0..=1.0).contains(&lambda));
         self.reset();
         let seed = self.cfg.seed;
-        let mut rngs: Vec<StdRng> = (0..self.num_nodes()).map(|v| node_rng(seed, v)).collect();
-        let mut attempts = 0u64;
-        let mut injected = 0u64;
-        let mut stop = StopReason::HorizonReached;
-        for _ in 0..cycles {
-            for (v, rng) in rngs.iter_mut().enumerate() {
-                if lambda < 1.0 && !rng.gen_bool(lambda) {
-                    continue;
+        let rngs: Vec<StdRng> = (0..self.num_nodes()).map(|v| node_rng(seed, v)).collect();
+        let st = DynState {
+            lambda,
+            cycles,
+            attempts: 0,
+            injected: 0,
+            pause_at,
+            resumed: false,
+        };
+        self.dynamic_loop(st, &mut dest, rngs)
+    }
+
+    /// Continue a dynamic run from a restored checkpoint. `lambda`,
+    /// `dest`, and `cycles` must be the original workload parameters:
+    /// the per-node RNG streams are not stored in the snapshot but
+    /// *fast-forwarded* — each node's stream is replayed through the
+    /// draws the paused run already consumed (one Bernoulli trial plus,
+    /// on success, one destination draw per cycle, destinations drawn
+    /// unconditionally by the run loop), which is only possible because
+    /// the draw discipline is a pure function of `(seed, λ, cycle)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `progress` is not [`RunProgress::Dynamic`].
+    pub fn resume_dynamic(
+        &mut self,
+        lambda: f64,
+        mut dest: impl FnMut(NodeId, &mut StdRng) -> NodeId,
+        cycles: u64,
+        progress: RunProgress,
+        pause_at: Option<u64>,
+    ) -> DynamicOutcome {
+        assert!((0.0..=1.0).contains(&lambda));
+        let RunProgress::Dynamic { attempts, injected } = progress else {
+            panic!("resume_dynamic needs dynamic progress");
+        };
+        let seed = self.cfg.seed;
+        // The pause point is post-injection at cycle P, so each stream
+        // has consumed exactly P + 1 per-cycle draw rounds.
+        let rounds = self.cycle + 1;
+        let rngs: Vec<StdRng> = (0..self.num_nodes())
+            .map(|v| {
+                let mut rng = node_rng(seed, v);
+                for _ in 0..rounds {
+                    let _ = draw(&mut rng, lambda, v, &mut dest);
                 }
-                attempts += 1;
-                // Drawn unconditionally: a blocked attempt discards the
-                // destination instead of deferring the draw, keeping the
-                // per-node stream independent of buffer occupancy (and of
-                // fault-induced node deaths — a dead node keeps drawing
-                // and discarding).
-                let dst = dest(v, rng);
-                if self.inj_buf[v] == NONE && self.node_alive(v) {
-                    self.inj_buf[v] = self.alloc_packet(v, dst);
-                    injected += 1;
+                rng
+            })
+            .collect();
+        let st = DynState {
+            lambda,
+            cycles,
+            attempts,
+            injected,
+            pause_at,
+            resumed: true,
+        };
+        self.dynamic_loop(st, &mut dest, rngs)
+    }
+
+    fn dynamic_loop(
+        &mut self,
+        mut st: DynState,
+        dest: &mut impl FnMut(NodeId, &mut StdRng) -> NodeId,
+        mut rngs: Vec<StdRng>,
+    ) -> DynamicOutcome {
+        let mut stop = StopReason::HorizonReached;
+        while self.cycle < st.cycles {
+            if st.resumed {
+                // The restored cycle already performed its injections.
+                st.resumed = false;
+            } else {
+                for (v, rng) in rngs.iter_mut().enumerate() {
+                    // Destinations are drawn unconditionally (see
+                    // `draw`): a blocked attempt discards the draw
+                    // instead of deferring it, keeping the per-node
+                    // stream independent of buffer occupancy (and of
+                    // fault-induced node deaths — a dead node keeps
+                    // drawing and discarding).
+                    let Some(dst) = draw(rng, st.lambda, v, dest) else {
+                        continue;
+                    };
+                    st.attempts += 1;
+                    if self.inj_buf[v] == NONE && self.node_alive(v) {
+                        self.inj_buf[v] = self.alloc_packet(v, dst);
+                        st.injected += 1;
+                    }
+                }
+                if st.pause_at == Some(self.cycle) {
+                    return DynamicOutcome::Paused(RunProgress::Dynamic {
+                        attempts: st.attempts,
+                        injected: st.injected,
+                    });
                 }
             }
             if self.step() == Control::Stop {
@@ -559,15 +762,15 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
                 break;
             }
         }
-        DynamicResult {
+        DynamicOutcome::Finished(DynamicResult {
             stats: self.stats.clone(),
-            attempts,
-            injected,
+            attempts: st.attempts,
+            injected: st.injected,
             delivered: self.delivered,
             cycles: self.cycle,
             dropped: self.dropped,
             stop,
-        }
+        })
     }
 
     fn alloc_packet(&mut self, src: NodeId, dst: NodeId) -> u32 {
@@ -606,6 +809,13 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         if self.cfg.track_occupancy {
             self.sample_occupancy(&OwnedNodes::all(self.layout.num_nodes));
         }
+        if Rec::ENABLED && self.rec.want_waitgraph() {
+            // Live wait-for-graph probe: collected only when a sink asks
+            // for it, so the unobserved hot path pays one (inlined,
+            // constant-false) check.
+            let edges = self.local_wait_edges();
+            self.rec.on_wait_probe(self.cycle, &edges);
+        }
         let mut ctl = self.end_cycle();
         if !self.partitioned.is_empty() {
             // A partitioned destination can never drain: stop at the end
@@ -613,8 +823,60 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             // cycle cap.
             ctl = Control::Stop;
         }
+        if Rec::ENABLED && ctl == Control::Stop {
+            // A stopping run (watchdog stall, partition) gets the
+            // blocked wait-for relation attached to its stall evidence.
+            let edges = self.local_wait_edges();
+            self.rec.on_stall_waits(&edges);
+        }
         self.cycle += 1;
         ctl
+    }
+
+    /// The blocked wait-for relation over the queued packets of `nodes`:
+    /// an edge `(v, c, w, c')` records that some packet resident in
+    /// central queue `(v, c)` has a cached link option into queue
+    /// `(w, c')` which `is_full` reports at capacity. Sorted and
+    /// deduplicated, so sequential and (merged) sharded probes agree. A
+    /// cycle in this relation among *fully*-blocked queues is exactly
+    /// the deadlock configuration the paper's QDG argument excludes.
+    pub(crate) fn wait_edges(
+        &self,
+        nodes: &OwnedNodes,
+        is_full: &dyn Fn(u32, u8) -> bool,
+    ) -> Vec<(u32, u8, u32, u8)> {
+        let mut edges = Vec::new();
+        for v in nodes.iter() {
+            for &p in &self.node_fifo[v] {
+                let class = self.store.class[p as usize];
+                for i in self.store.opt_range(p) {
+                    let buf = self.opts.buf[i];
+                    if buf == NONE {
+                        continue;
+                    }
+                    let chan = self.buf_chan[buf as usize] as usize;
+                    let w = self.layout.chan_to[chan];
+                    let c2 = self.opts.to_class[i];
+                    if is_full(w, c2) {
+                        edges.push((v as u32, class, w, c2));
+                    }
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
+    /// [`Simulator::wait_edges`] over all nodes against this engine's
+    /// own queue lengths (the sequential probe; shards must consult the
+    /// merged cross-shard occupancy instead).
+    fn local_wait_edges(&self) -> Vec<(u32, u8, u32, u8)> {
+        let cap = self.cfg.queue_capacity;
+        let full = |w: u32, c: u8| {
+            self.queue_len[w as usize * self.num_classes + usize::from(c)] as usize >= cap
+        };
+        self.wait_edges(&OwnedNodes::all(self.layout.num_nodes), &full)
     }
 
     /// Record one occupancy sample over the queues of `nodes` (a shard
@@ -1072,6 +1334,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
                 self.store.uid[pi],
                 latency,
                 u32::from(self.store.hops[pi]),
+                self.store.class[pi],
             );
         }
         if self.cfg.check_minimality {
@@ -1292,7 +1555,8 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
             let ev = fs.plan.events[fs.next_event];
             fs.next_event += 1;
             if Rec::ENABLED && nodes.contains(ev.kind.primary_node() as usize) {
-                self.rec.on_fault(cycle, ev.kind.code());
+                self.rec
+                    .on_fault(cycle, ev.kind.code(), ev.kind.primary_node());
             }
             match ev.kind {
                 FaultKind::LinkDown { from, to } => {
@@ -1530,8 +1794,10 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     // only the node range it owns; the methods below expose exactly the
     // per-node/per-channel state transitions the shard workers need.
 
-    /// Current routing cycle.
-    pub(crate) fn cycle(&self) -> u64 {
+    /// Current routing cycle (after a [`Simulator::restore`], the
+    /// checkpoint cycle — the replay harness reports its resume window
+    /// from this).
+    pub fn cycle(&self) -> u64 {
         self.cycle
     }
 
@@ -1616,6 +1882,394 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
                 )
             })
             .min_by_key(|&(uid, ..)| uid)
+    }
+
+    /// Current `next_uid` frontier. At the sharded pause point the
+    /// driver replicates the global frontier into every shard, so any
+    /// shard's value is the run's.
+    pub(crate) fn next_uid(&self) -> u64 {
+        self.next_uid
+    }
+
+    /// Number of central-queue classes per node.
+    pub(crate) fn classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Occupancy of central queue `q` (`node * num_classes + class`).
+    pub(crate) fn queue_len_at(&self, q: usize) -> u32 {
+        self.queue_len[q]
+    }
+
+    /// Round-robin pointer of channel `chan` (meaningful on the shard
+    /// that executes the channel's link pass).
+    pub(crate) fn chan_rr_at(&self, chan: usize) -> u16 {
+        self.chan_rr[chan]
+    }
+
+    /// Sparse flaky-link consecutive-down counters (empty without a
+    /// fault plan). Meaningful on the shard owning each channel's
+    /// source node.
+    pub(crate) fn flaky_fail_counts(&self) -> Vec<(u32, u32)> {
+        self.faults
+            .as_ref()
+            .map_or_else(Vec::new, FaultState::fail_counts)
+    }
+}
+
+/// Checkpoint/restore (the flight recorder's snapshot layer). Available
+/// whenever the routing function's message type knows how to serialize
+/// itself (every algorithm in `fadr-core` does).
+impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec>
+where
+    R::Msg: SnapshotMsg,
+{
+    /// Serialize the complete engine state as a `fadr-snapshot/1`
+    /// document. Only valid at the pause point a `*_until` run method
+    /// stops at (cycle `P`, post-injection, pre-fault-application):
+    /// there no packet is staged mid-move, so the placement alone
+    /// determines all derived state. `progress` is the loop progress the
+    /// pause returned; `meta` is a free-form single-line label echoed
+    /// back by [`Simulator::restore`].
+    #[must_use]
+    pub fn checkpoint(&self, meta: &str, progress: &RunProgress) -> String {
+        debug_assert!(
+            self.partitioned.is_empty(),
+            "checkpointing a partitioned run"
+        );
+        let n = self.layout.num_nodes;
+        let mut lines = String::new();
+        let mut count = 0usize;
+        for v in 0..n {
+            count += self.push_queued_packets(v, &mut lines);
+        }
+        for v in 0..n {
+            count += self.push_inj_packet(v, &mut lines);
+        }
+        for b in 0..self.layout.num_buffers() {
+            count += self.push_out_packet(b, &mut lines);
+        }
+        for b in 0..self.layout.num_buffers() {
+            count += self.push_in_packet(b, &mut lines);
+        }
+        let g = snapshot::Globals {
+            cfg: &self.cfg,
+            dims: (
+                n,
+                self.num_classes,
+                self.layout.num_buffers(),
+                self.layout.num_channels(),
+            ),
+            cycle: self.cycle,
+            next_uid: self.next_uid,
+            delivered: self.delivered,
+            dropped: self.dropped,
+            minviol: self.minimality_violations,
+            chan_rr: self.chan_rr.clone(),
+            fail: self.flaky_fail_counts(),
+            stats: &self.stats,
+            occupancy: self.cfg.track_occupancy.then_some(&self.occupancy),
+            throughput: self.throughput.as_ref(),
+        };
+        snapshot::assemble(meta, &g, count, &lines, progress)
+    }
+
+    /// Load a `fadr-snapshot/1` document, replacing the engine state
+    /// with the snapshot's. Returns the snapshot's meta label and the
+    /// loop progress to feed into the matching `resume_*` run method.
+    ///
+    /// The snapshot's configuration and network shape must match this
+    /// simulator's exactly (resuming under different parameters would
+    /// silently be a different run). On error the engine is left
+    /// mid-restore; call a `run_*` method (which resets) before reusing
+    /// it.
+    pub fn restore(&mut self, text: &str) -> Result<(String, RunProgress), String> {
+        let snap: ParsedSnapshot<R::Msg> = snapshot::parse(text)?;
+        self.restore_from(&snap)?;
+        Ok((snap.meta, snap.progress))
+    }
+
+    /// Append the packet lines of node `v`'s central queues (FIFO
+    /// order); returns how many were written.
+    pub(crate) fn push_queued_packets(&self, v: usize, out: &mut String) -> usize {
+        for &p in &self.node_fifo[v] {
+            snapshot::push_packet_line(out, &self.packet_rec(Loc::Queue(v as u32), p));
+        }
+        self.node_fifo[v].len()
+    }
+
+    /// Append node `v`'s injection-buffer packet line, if occupied.
+    pub(crate) fn push_inj_packet(&self, v: usize, out: &mut String) -> usize {
+        let p = self.inj_buf[v];
+        if p == NONE {
+            return 0;
+        }
+        snapshot::push_packet_line(out, &self.packet_rec(Loc::Inj(v as u32), p));
+        1
+    }
+
+    /// Append output buffer `b`'s packet line, if occupied.
+    pub(crate) fn push_out_packet(&self, b: usize, out: &mut String) -> usize {
+        let p = self.outbuf[b];
+        if p == NONE {
+            return 0;
+        }
+        snapshot::push_packet_line(out, &self.packet_rec(Loc::Out(b as u32), p));
+        1
+    }
+
+    /// Append input buffer `b`'s packet line, if occupied.
+    pub(crate) fn push_in_packet(&self, b: usize, out: &mut String) -> usize {
+        let p = self.inbuf[b];
+        if p == NONE {
+            return 0;
+        }
+        snapshot::push_packet_line(out, &self.packet_rec(Loc::In(b as u32), p));
+        1
+    }
+
+    fn packet_rec(&self, loc: Loc, p: u32) -> PacketRec<R::Msg> {
+        let pi = p as usize;
+        PacketRec {
+            loc,
+            src: self.store.src[pi],
+            dst: self.store.dst[pi],
+            uid: self.store.uid[pi],
+            hops: self.store.hops[pi],
+            inject_cycle: self.store.inject_cycle[pi],
+            enqueued_at: self.store.enqueued_at[pi],
+            moved_at: self.store.moved_at[pi],
+            class: self.store.class[pi],
+            next_class: self.store.next_class[pi],
+            escape: self.store.escape[pi],
+            msg: self.store.msg[pi].clone(),
+        }
+    }
+
+    /// Load a parsed snapshot (possibly filtered to this shard's nodes
+    /// by the sharded driver): reset, restore the global counters and
+    /// accumulators, replay the fault schedule up to the snapshot cycle,
+    /// prime the recorder, place every packet, and recompute the cached
+    /// routing options against the replayed fault flags.
+    pub(crate) fn restore_from(&mut self, snap: &ParsedSnapshot<R::Msg>) -> Result<(), String> {
+        let dims = (
+            self.layout.num_nodes,
+            self.num_classes,
+            self.layout.num_buffers(),
+            self.layout.num_channels(),
+        );
+        if snap.dims != dims {
+            return Err(format!(
+                "snapshot network shape {:?} does not match the engine's {dims:?}",
+                snap.dims
+            ));
+        }
+        if snap.cfg != self.cfg {
+            return Err("snapshot configuration does not match the engine's".into());
+        }
+        self.reset();
+        self.cycle = snap.cycle;
+        self.next_uid = snap.next_uid;
+        self.delivered = snap.delivered;
+        self.dropped = snap.dropped;
+        self.minimality_violations = snap.minviol;
+        self.stats = snap.stats.clone();
+        if let Some(occ) = &snap.occupancy {
+            if occ.max.len() != self.queue_len.len() || occ.sum.len() != self.queue_len.len() {
+                return Err("snapshot occupancy table has the wrong shape".into());
+            }
+            self.occupancy = occ.clone();
+        }
+        if let Some(ts) = &snap.throughput {
+            if ts.window() != self.cfg.throughput_window {
+                return Err("snapshot throughput window differs from the configuration".into());
+            }
+            self.throughput = Some(ts.clone());
+        }
+        if snap.chan_rr.len() != self.chan_rr.len() {
+            return Err("snapshot chan_rr table has the wrong length".into());
+        }
+        self.chan_rr.copy_from_slice(&snap.chan_rr);
+        self.replay_faults(snap.cycle, &snap.fail)?;
+        if Rec::ENABLED {
+            self.rec.on_resume(snap.cycle);
+        }
+        for r in &snap.packets {
+            self.place_packet(r)?;
+        }
+        // Cached option segments are derived state: recompute them for
+        // every queued packet, after the fault replay so degraded-mode
+        // filtering sees the same dead topology as the original run.
+        for v in 0..self.layout.num_nodes {
+            let mut i = 0;
+            while i < self.node_fifo[v].len() {
+                let p = self.node_fifo[v][i];
+                let class = self.store.class[p as usize];
+                self.compute_options(p, v, class);
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-apply the flag effects of every fault event before `cycle`
+    /// (packet surgery is unnecessary: the snapshot's placement already
+    /// reflects it), then restore the sparse flaky retry counters.
+    fn replay_faults(&mut self, cycle: u64, fail: &[(u32, u32)]) -> Result<(), String> {
+        let Some(mut fs) = self.faults.take() else {
+            if fail.is_empty() {
+                return Ok(());
+            }
+            return Err("snapshot carries fault counters but no fault plan is attached".into());
+        };
+        let mut permanent = false;
+        while fs.next_event < fs.plan.events.len() && fs.plan.events[fs.next_event].cycle < cycle {
+            let ev = fs.plan.events[fs.next_event];
+            fs.next_event += 1;
+            match ev.kind {
+                FaultKind::LinkDown { from, to } => {
+                    permanent = true;
+                    for chan in 0..self.layout.num_channels() {
+                        if self.layout.chan_from[chan] == from && self.layout.chan_to[chan] == to {
+                            fs.kill_chan(chan as u32);
+                        }
+                    }
+                }
+                FaultKind::NodeDown { node } => {
+                    let v = node as usize;
+                    if v >= self.layout.num_nodes || !fs.kill_node(v) {
+                        continue;
+                    }
+                    permanent = true;
+                    for chan in 0..self.layout.num_channels() {
+                        let cf = self.layout.chan_from[chan] as usize;
+                        let ct = self.layout.chan_to[chan] as usize;
+                        if cf == v || ct == v {
+                            fs.kill_chan(chan as u32);
+                        }
+                    }
+                }
+                FaultKind::QueueFreeze {
+                    node,
+                    class,
+                    duration,
+                } => {
+                    let v = node as usize;
+                    let c = usize::from(class);
+                    if v < self.layout.num_nodes && c < self.num_classes {
+                        fs.freeze(v * self.num_classes + c, ev.cycle + duration);
+                    }
+                }
+                FaultKind::FlakyLink {
+                    from,
+                    to,
+                    until,
+                    threshold,
+                } => {
+                    for chan in 0..self.layout.num_channels() {
+                        if self.layout.chan_from[chan] == from && self.layout.chan_to[chan] == to {
+                            fs.set_flaky(chan as u32, until, threshold);
+                        }
+                    }
+                }
+            }
+        }
+        if permanent {
+            fs.clear_distances();
+        }
+        for &(chan, cnt) in fail {
+            if !fs.set_fail_count(chan, cnt) {
+                self.faults = Some(fs);
+                return Err(format!("snapshot fail counter for unknown channel {chan}"));
+            }
+        }
+        self.faults = Some(fs);
+        Ok(())
+    }
+
+    /// Insert one snapshot packet at its serialized location, priming
+    /// the recorder (`on_inject`, plus `on_queue_enter` for queued
+    /// packets) so per-packet sinks see every live packet once.
+    fn place_packet(&mut self, r: &PacketRec<R::Msg>) -> Result<(), String> {
+        let nc = self.num_classes;
+        if usize::from(r.class) >= nc || usize::from(r.next_class) >= nc {
+            return Err(format!(
+                "packet {} names an out-of-range queue class",
+                r.uid
+            ));
+        }
+        if r.src as usize >= self.layout.num_nodes || r.dst as usize >= self.layout.num_nodes {
+            return Err(format!("packet {} has out-of-range endpoints", r.uid));
+        }
+        if Rec::ENABLED {
+            self.rec.on_inject(r.inject_cycle, r.uid, r.src, r.dst);
+        }
+        let slot = self.store.insert(PacketInit {
+            src: r.src,
+            dst: r.dst,
+            uid: r.uid,
+            hops: r.hops,
+            inject_cycle: r.inject_cycle,
+            enqueued_at: r.enqueued_at,
+            moved_at: r.moved_at,
+            class: r.class,
+            next_class: r.next_class,
+            // The pause point sits between the injection pass and the
+            // fill pass, where no packet is staged (fill clears the
+            // flag in the same cycle it sets it).
+            staged: false,
+            escape: r.escape,
+            msg: r.msg.clone(),
+        });
+        match r.loc {
+            Loc::Queue(v) => {
+                let v = v as usize;
+                if v >= self.layout.num_nodes {
+                    return Err(format!("packet {} queued at an unknown node", r.uid));
+                }
+                let q = v * nc + usize::from(r.class);
+                self.queue_len[q] += 1;
+                if Rec::ENABLED {
+                    self.rec.on_queue_enter(
+                        self.cycle,
+                        r.uid,
+                        v as u32,
+                        r.class,
+                        self.queue_len[q],
+                    );
+                }
+                self.node_fifo[v].push(slot);
+            }
+            Loc::Inj(v) => {
+                let v = v as usize;
+                if v >= self.layout.num_nodes || self.inj_buf[v] != NONE {
+                    return Err(format!("packet {} in a bad injection slot", r.uid));
+                }
+                self.inj_buf[v] = slot;
+            }
+            Loc::Out(b) => {
+                let b = b as usize;
+                if b >= self.outbuf.len() || self.outbuf[b] != NONE {
+                    return Err(format!("packet {} in a bad output buffer", r.uid));
+                }
+                self.outbuf[b] = slot;
+                self.out_occ.set(b);
+                let chan = self.buf_chan[b] as usize;
+                self.chan_pending[chan] += 1;
+                self.chan_live.set(chan);
+            }
+            Loc::In(b) => {
+                let b = b as usize;
+                if b >= self.inbuf.len() || self.inbuf[b] != NONE {
+                    return Err(format!("packet {} in a bad input buffer", r.uid));
+                }
+                self.inbuf[b] = slot;
+                self.in_occ.set(b);
+                let chan = self.buf_chan[b] as usize;
+                self.in_occupied[self.layout.chan_to[chan] as usize] += 1;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1829,6 +2483,23 @@ pub(crate) fn node_rng(seed: u64, v: usize) -> StdRng {
     // Golden-ratio multiply decorrelates consecutive node ids before
     // `seed_from_u64`'s SplitMix64 scrambling.
     StdRng::seed_from_u64(seed ^ (v as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// One per-cycle injection draw of node `v`'s stream: the Bernoulli
+/// trial (skipped at λ = 1) and, on success, the destination draw.
+/// This is *the* RNG consumption contract of a dynamic run — both run
+/// loops and the checkpoint-resume fast-forward replay exactly this, so
+/// a resumed stream continues bit-identically.
+pub(crate) fn draw(
+    rng: &mut StdRng,
+    lambda: f64,
+    v: NodeId,
+    dest: &mut impl FnMut(NodeId, &mut StdRng) -> NodeId,
+) -> Option<NodeId> {
+    if lambda < 1.0 && !rng.gen_bool(lambda) {
+        return None;
+    }
+    Some(dest(v, rng))
 }
 
 #[cfg(test)]

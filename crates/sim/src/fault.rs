@@ -587,6 +587,30 @@ impl FaultState {
         self.fail_count[chan as usize] = 0;
     }
 
+    /// Non-zero consecutive-down counters as `(chan, count)`, ascending
+    /// by channel — the only per-run fault state a checkpoint must carry
+    /// (dead/frozen/flaky flags are replayed from the plan on restore).
+    pub(crate) fn fail_counts(&self) -> Vec<(u32, u32)> {
+        self.fail_count
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(chan, &c)| (chan as u32, c))
+            .collect()
+    }
+
+    /// Restore one consecutive-down counter from a checkpoint; false if
+    /// the channel id is out of range.
+    pub(crate) fn set_fail_count(&mut self, chan: u32, count: u32) -> bool {
+        match self.fail_count.get_mut(chan as usize) {
+            Some(slot) => {
+                *slot = count;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Invalidate the surviving-graph distance cache (call on any
     /// permanent topology change).
     pub(crate) fn clear_distances(&mut self) {

@@ -56,20 +56,25 @@ mod layout;
 pub mod node_design;
 mod partition;
 mod sharded;
+pub mod snapshot;
 mod store;
 
-pub use engine::{DynamicResult, OccupancyProbe, Simulator, StaticResult, StopReason};
+pub use engine::{
+    DynamicOutcome, DynamicResult, OccupancyProbe, RunProgress, Simulator, StaticOutcome,
+    StaticResult, StopReason,
+};
 pub use fadr_metrics::{
     Control, CounterSink, NoRecorder, PartitionStats, Recorder, ShardRecorder, SinkSet,
     StallReport, TraceSink, TraceState, WatchdogSink,
 };
+pub use fadr_qdg::SnapshotMsg;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use layout::Layout;
 pub use partition::{Partition, PartitionError, PartitionStrategy};
 pub use sharded::ShardedSimulator;
 
 /// Simulator configuration (§ 7.1 defaults).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// Capacity of each central queue (`q_A`/`q_B` size; the paper
     /// fixes 5). A capacity of 0 deliberately wedges the network —

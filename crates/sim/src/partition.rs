@@ -224,10 +224,9 @@ fn resolve(strategy: PartitionStrategy, hint: &PartitionHint, n: usize) -> Resol
         }
         // Hamming prefixes only make sense on hypercube addressing.
         (PartitionStrategy::HammingPrefix | PartitionStrategy::BfsGrowth, _)
-        | (
-            PartitionStrategy::Bisection | PartitionStrategy::Auto,
-            PartitionHint::Irregular,
-        ) => Resolved::Bfs,
+        | (PartitionStrategy::Bisection | PartitionStrategy::Auto, PartitionHint::Irregular) => {
+            Resolved::Bfs
+        }
     }
 }
 

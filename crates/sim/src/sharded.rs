@@ -63,14 +63,18 @@ use rand::Rng;
 use fadr_metrics::{
     Control, LatencyStats, NoRecorder, PartitionStats, ShardRecorder, StallReport, TimeSeries,
 };
-use fadr_qdg::RoutingFunction;
+use fadr_qdg::{RoutingFunction, SnapshotMsg};
 use fadr_topology::NodeId;
 
-use crate::engine::{node_rng, OfferItem, Simulator};
+use crate::engine::{draw, node_rng, OfferItem, Simulator};
 use crate::fault::FaultPlan;
 use crate::layout::Layout;
 use crate::partition::{OwnedNodes, Partition, PartitionStrategy};
-use crate::{DynamicResult, OccupancyProbe, SimConfig, StaticResult, StopReason};
+use crate::snapshot::{self, Loc, ParsedSnapshot};
+use crate::{
+    DynamicOutcome, DynamicResult, OccupancyProbe, RunProgress, SimConfig, StaticOutcome,
+    StaticResult, StopReason,
+};
 
 /// Locks a mutex, ignoring poisoning: mailbox state is phase-owned (a
 /// panicking sibling is surfaced through the barrier instead).
@@ -173,6 +177,115 @@ struct WorkerOut {
     lost: u64,
     aborted: bool,
     stall: Option<StallInfo>,
+    /// The worker stopped at the requested pause cycle (all workers
+    /// agree: the pause condition is evaluated on replicated state).
+    paused: bool,
+    /// This shard's `(node, next_idx)` backlog cursors at the pause
+    /// (empty for dynamic runs).
+    progress: Vec<(u32, usize)>,
+    /// Backlog entries this shard wrote off in the pause cycle itself —
+    /// published but never folded into `lost` (the loop exited first).
+    lost_pending: u64,
+}
+
+/// Replicated global counters a resumed run starts from (identical on
+/// every worker; derived from the restored shard state by the driver).
+#[derive(Clone, Copy)]
+struct ResumeBase {
+    delivered: u64,
+    dropped: u64,
+    lost: u64,
+}
+
+/// A shard's injection planner: decides, one cycle ahead, which owned
+/// nodes inject what. A trait rather than a closure so a pausing worker
+/// can extract the cursor state a checkpoint must carry.
+trait Planner<R: RoutingFunction, Rec: ShardRecorder> {
+    /// Plan next cycle's injections into `pending` (ascending node id);
+    /// returns `(attempts, lost)` for the cycle.
+    fn plan(&mut self, sim: &Simulator<R, Rec>, pending: &mut Vec<(u32, u32)>) -> (u64, u64);
+
+    /// This shard's `(node, next_idx)` backlog cursors (empty for
+    /// planners without cursor state, i.e. dynamic injection).
+    fn pause_progress(&self) -> Vec<(u32, usize)>;
+}
+
+/// Static-injection planner: per-node backlog cursors, the sharded
+/// mirror of the sequential engine's `static_loop` injection pass.
+struct StaticPlanner<'a> {
+    backlog: &'a [Vec<NodeId>],
+    nodes: Vec<u32>,
+    next_idx: Vec<usize>,
+}
+
+impl<R: RoutingFunction, Rec: ShardRecorder> Planner<R, Rec> for StaticPlanner<'_> {
+    fn plan(&mut self, sim: &Simulator<R, Rec>, pending: &mut Vec<(u32, u32)>) -> (u64, u64) {
+        let mut lost = 0u64;
+        for (i, &v32) in self.nodes.iter().enumerate() {
+            let v = v32 as usize;
+            if self.next_idx[i] >= self.backlog[v].len() {
+                continue;
+            }
+            if !sim.node_alive(v) {
+                // Same write-off as the sequential loop: a dead node's
+                // remaining backlog is never offered.
+                lost += (self.backlog[v].len() - self.next_idx[i]) as u64;
+                self.next_idx[i] = self.backlog[v].len();
+            } else if sim.inj_free(v) {
+                pending.push((v32, self.backlog[v][self.next_idx[i]] as u32));
+                self.next_idx[i] += 1;
+            }
+        }
+        (0, lost)
+    }
+
+    fn pause_progress(&self) -> Vec<(u32, usize)> {
+        self.nodes
+            .iter()
+            .copied()
+            .zip(self.next_idx.iter().copied())
+            .collect()
+    }
+}
+
+/// Dynamic-injection planner: Bernoulli(λ) per owned node with the same
+/// per-node RNG streams as the sequential engine.
+struct DynPlanner<'a, F> {
+    lambda: f64,
+    dest: &'a F,
+    nodes: Vec<u32>,
+    rngs: Vec<StdRng>,
+}
+
+impl<F, R, Rec> Planner<R, Rec> for DynPlanner<'_, F>
+where
+    F: Fn(NodeId, &mut StdRng) -> NodeId,
+    R: RoutingFunction,
+    Rec: ShardRecorder,
+{
+    fn plan(&mut self, sim: &Simulator<R, Rec>, pending: &mut Vec<(u32, u32)>) -> (u64, u64) {
+        let mut att = 0u64;
+        for (i, &v32) in self.nodes.iter().enumerate() {
+            let v = v32 as usize;
+            let rng = &mut self.rngs[i];
+            if self.lambda < 1.0 && !rng.gen_bool(self.lambda) {
+                continue;
+            }
+            att += 1;
+            // Drawn unconditionally, like the sequential engine: a dead
+            // node keeps drawing and discarding so the per-node stream
+            // is fault-independent.
+            let dst = (self.dest)(v, rng);
+            if sim.inj_free(v) && sim.node_alive(v) {
+                pending.push((v32, dst as u32));
+            }
+        }
+        (att, 0)
+    }
+
+    fn pause_progress(&self) -> Vec<(u32, usize)> {
+        Vec::new()
+    }
 }
 
 /// A barrier that propagates panics: a worker that unwinds poisons it
@@ -321,8 +434,16 @@ fn rank_uids(
 /// set, synchronizing with siblings twice per cycle. Control flow
 /// mirrors `Simulator::run_static`/`run_dynamic` exactly — same loop
 /// conditions, evaluated on identically-replicated state.
+///
+/// With `pause_at = Some(p)` every worker stops in lockstep at cycle
+/// `p`, post-injection and pre-fault-application — the checkpointable
+/// pause point — before that iteration's first barrier, so no sibling
+/// is left waiting. A `resume` base restarts from restored shard state:
+/// the pre-loop planning pass is skipped (the pause cycle's injections
+/// are already in the snapshot) and the replicated counters start from
+/// the restored globals.
 #[allow(clippy::too_many_arguments)]
-fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
+fn run_worker<R: RoutingFunction, Rec: ShardRecorder, P: Planner<R, Rec>>(
     sim: &mut Simulator<R, Rec>,
     sid: usize,
     plan: &ShardPlan,
@@ -332,7 +453,9 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
     watchdog: Option<u64>,
     max_cycles: u64,
     track_occupancy: bool,
-    mut planner: impl FnMut(&Simulator<R, Rec>, &mut Vec<(u32, u32)>) -> (u64, u64),
+    mut planner: P,
+    pause_at: Option<u64>,
+    resume: Option<ResumeBase>,
 ) -> WorkerOut {
     let _guard = PoisonGuard(&mb.barrier);
     let shards = plan.nodes.len();
@@ -342,28 +465,38 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
     let mut uids: Vec<u64> = Vec::new();
     let mut cursors = vec![0usize; shards];
 
-    // Plan cycle 0's injections, publish their node ids, and rank them
-    // into the global injection order before starting.
-    let (mut att_next, mut lost_next) = planner(sim, &mut pending);
-    {
-        let mut b = lock(&mb.inj_nodes[sid]);
-        b.clear();
-        b.extend(pending.iter().map(|&(v, _)| v));
-    }
-    mb.barrier.wait();
     // Replicated global state (every worker computes the same values).
-    let mut next_uid_global = rank_uids(sid, &mb.inj_nodes, &pending, 0, &mut uids, &mut cursors);
-    let mut delivered_global: u64 = 0;
-    let mut dropped_global: u64 = 0;
-    let mut lost_global: u64 = 0;
-    let mut last_delivery: u64 = 0;
+    let mut resumed = resume.is_some();
+    let mut att_next = 0u64;
+    let mut lost_next = 0u64;
+    let (mut next_uid_global, mut delivered_global, mut dropped_global, mut lost_global) =
+        if let Some(rb) = resume {
+            // The restored engines all carry the global uid frontier;
+            // the first loop iteration re-executes the pause cycle's
+            // routing step, so nothing is planned or ranked here.
+            (sim.next_uid(), rb.delivered, rb.dropped, rb.lost)
+        } else {
+            // Plan cycle 0's injections, publish their node ids, and
+            // rank them into the global injection order before starting.
+            let next = planner.plan(sim, &mut pending);
+            att_next = next.0;
+            lost_next = next.1;
+            {
+                let mut b = lock(&mb.inj_nodes[sid]);
+                b.clear();
+                b.extend(pending.iter().map(|&(v, _)| v));
+            }
+            mb.barrier.wait();
+            let frontier = rank_uids(sid, &mb.inj_nodes, &pending, 0, &mut uids, &mut cursors);
+            (frontier, 0, 0, 0)
+        };
+    let mut last_delivery: u64 = sim.cycle();
     let mut links_since_delivery: u64 = 0;
 
     let mut attempts = 0u64;
     let mut injected = 0u64;
-    let mut prev_delivered = 0u64;
-    let mut prev_dropped = 0u64;
-    let mut iter = 0u64;
+    let mut prev_delivered = sim.delivered_count();
+    let mut prev_dropped = sim.dropped_count();
     let mut aborted = false;
     let mut stall: Option<StallInfo> = None;
 
@@ -377,7 +510,7 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
                 }
             }
             Horizon::Cycles(n) => {
-                if iter >= n {
+                if sim.cycle() >= n {
                     break;
                 }
             }
@@ -400,6 +533,27 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
             sim.inject(v as usize, dst as usize);
         }
         pending.clear();
+        if resumed {
+            // First iteration after a resume re-executes the pause
+            // cycle's routing step; its injections were restored, and
+            // pausing again at the same cycle would checkpoint nothing.
+            resumed = false;
+        } else if pause_at == Some(sim.cycle()) {
+            // Align every shard's uid frontier with the replicated
+            // global one so any shard's engine serializes the run's
+            // `next_uid` (and resume can read it back from any shard).
+            sim.set_next_uid(next_uid_global);
+            return WorkerOut {
+                attempts,
+                injected,
+                lost: lost_global,
+                aborted: false,
+                stall: None,
+                paused: true,
+                progress: planner.pause_progress(),
+                lost_pending: lost_cycle,
+            };
+        }
         // Faults fire after this cycle's injections and before its fill
         // pass, exactly where the sequential `step` applies them. The
         // ack drain above must precede this: a packet that crossed last
@@ -473,7 +627,7 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
         let dropped_cycle = sim.dropped_count() - prev_dropped;
         prev_dropped = sim.dropped_count();
         let ctl = sim.end_cycle();
-        let next = planner(sim, &mut pending);
+        let next = planner.plan(sim, &mut pending);
         att_next = next.0;
         lost_next = next.1;
         {
@@ -550,7 +704,6 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
             &mut cursors,
         );
         sim.advance_cycle();
-        iter += 1;
         if aborted {
             break;
         }
@@ -574,6 +727,9 @@ fn run_worker<R: RoutingFunction, Rec: ShardRecorder>(
         lost: lost_global,
         aborted,
         stall,
+        paused: false,
+        progress: Vec::new(),
+        lost_pending: 0,
     }
 }
 
@@ -758,31 +914,101 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
         R::Msg: Send,
         Rec: Send,
     {
+        match self.run_static_until(backlog, None) {
+            StaticOutcome::Finished(res) => res,
+            StaticOutcome::Paused(_) => unreachable!("no pause cycle was requested"),
+        }
+    }
+
+    /// Sharded equivalent of [`Simulator::run_static_until`]: run from a
+    /// fresh network, pausing every shard in lockstep at cycle `pause_at`
+    /// (post-injection, the checkpointable pause point).
+    pub fn run_static_until(
+        &mut self,
+        backlog: &[Vec<NodeId>],
+        pause_at: Option<u64>,
+    ) -> StaticOutcome
+    where
+        R: Send,
+        R::Msg: Send,
+        Rec: Send,
+    {
         assert_eq!(backlog.len(), self.num_nodes());
         let total: u64 = backlog.iter().map(|b| b.len() as u64).sum();
-        let outs = self.run_shards(Horizon::Drain { total }, |sid, plan| {
-            let nodes = plan.nodes[sid].clone();
-            let mut next_idx = vec![0usize; nodes.len()];
-            move |sim: &Simulator<R, Rec>, pending: &mut Vec<(u32, u32)>| {
-                let mut lost = 0u64;
-                for (i, &v32) in nodes.iter().enumerate() {
-                    let v = v32 as usize;
-                    if next_idx[i] >= backlog[v].len() {
-                        continue;
-                    }
-                    if !sim.node_alive(v) {
-                        // Same write-off as the sequential loop: a dead
-                        // node's remaining backlog is never offered.
-                        lost += (backlog[v].len() - next_idx[i]) as u64;
-                        next_idx[i] = backlog[v].len();
-                    } else if sim.inj_free(v) {
-                        pending.push((v32, backlog[v][next_idx[i]] as u32));
-                        next_idx[i] += 1;
-                    }
+        let outs = self.run_shards(
+            Horizon::Drain { total },
+            |sid, plan| StaticPlanner {
+                backlog,
+                nodes: plan.nodes[sid].clone(),
+                next_idx: vec![0usize; plan.nodes[sid].len()],
+            },
+            pause_at,
+            None,
+        );
+        self.finish_static(total, &outs)
+    }
+
+    /// Sharded equivalent of [`Simulator::resume_static`]: continue a
+    /// static run from restored shard state (see
+    /// [`ShardedSimulator::restore`]). `backlog` must be the original
+    /// workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `progress` is not [`RunProgress::Static`].
+    pub fn resume_static(
+        &mut self,
+        backlog: &[Vec<NodeId>],
+        progress: RunProgress,
+        pause_at: Option<u64>,
+    ) -> StaticOutcome
+    where
+        R: Send,
+        R::Msg: Send,
+        Rec: Send,
+    {
+        assert_eq!(backlog.len(), self.num_nodes());
+        let RunProgress::Static { next_idx, lost } = progress else {
+            panic!("resume_static needs static progress");
+        };
+        assert_eq!(next_idx.len(), backlog.len(), "progress/backlog mismatch");
+        let total: u64 = backlog.iter().map(|b| b.len() as u64).sum();
+        let resume = ResumeBase {
+            delivered: self.delivered(),
+            dropped: self.dropped(),
+            lost,
+        };
+        let next_idx = &next_idx;
+        let outs = self.run_shards(
+            Horizon::Drain { total },
+            |sid, plan| StaticPlanner {
+                backlog,
+                nodes: plan.nodes[sid].clone(),
+                next_idx: plan.nodes[sid]
+                    .iter()
+                    .map(|&v| next_idx[v as usize])
+                    .collect(),
+            },
+            pause_at,
+            Some(resume),
+        );
+        self.finish_static(total, &outs)
+    }
+
+    fn finish_static(&mut self, total: u64, outs: &[WorkerOut]) -> StaticOutcome {
+        if outs[0].paused {
+            // The pause cycle's own write-offs were published but never
+            // folded into the replicated `lost` (the workers returned
+            // before phase 3); the per-shard pending counts carry them.
+            let mut next_idx = vec![0usize; self.num_nodes()];
+            for out in outs {
+                for &(v, idx) in &out.progress {
+                    next_idx[v as usize] = idx;
                 }
-                (0, lost)
             }
-        });
+            let lost = outs[0].lost + outs.iter().map(|o| o.lost_pending).sum::<u64>();
+            return StaticOutcome::Paused(RunProgress::Static { next_idx, lost });
+        }
         let delivered = self.delivered();
         let dropped = self.dropped();
         let lost = outs[0].lost;
@@ -797,7 +1023,7 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
             StopReason::MaxCycles
         };
         self.stall = outs[0].stall.map(|info| self.build_stall_report(info));
-        StaticResult {
+        StaticOutcome::Finished(StaticResult {
             stats: self.merged_stats(),
             cycles: self.shards[0].cycle(),
             delivered,
@@ -806,7 +1032,7 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
             dropped,
             lost,
             stop,
-        }
+        })
     }
 
     /// Sharded equivalent of [`Simulator::run_dynamic`]: each node
@@ -825,32 +1051,122 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
         R::Msg: Send,
         Rec: Send,
     {
+        match self.run_dynamic_until(lambda, dest, cycles, None) {
+            DynamicOutcome::Finished(res) => res,
+            DynamicOutcome::Paused(_) => unreachable!("no pause cycle was requested"),
+        }
+    }
+
+    /// Sharded equivalent of [`Simulator::run_dynamic_until`]: run from
+    /// a fresh network, pausing every shard in lockstep at cycle
+    /// `pause_at` (post-injection).
+    pub fn run_dynamic_until(
+        &mut self,
+        lambda: f64,
+        dest: impl Fn(NodeId, &mut StdRng) -> NodeId + Sync,
+        cycles: u64,
+        pause_at: Option<u64>,
+    ) -> DynamicOutcome
+    where
+        R: Send,
+        R::Msg: Send,
+        Rec: Send,
+    {
         assert!((0.0..=1.0).contains(&lambda));
         let seed = self.cfg.seed;
         let dest = &dest;
-        let outs = self.run_shards(Horizon::Cycles(cycles), |sid, plan| {
-            let nodes = plan.nodes[sid].clone();
-            let mut rngs: Vec<StdRng> = nodes.iter().map(|&v| node_rng(seed, v as usize)).collect();
-            move |sim: &Simulator<R, Rec>, pending: &mut Vec<(u32, u32)>| {
-                let mut att = 0u64;
-                for (i, &v32) in nodes.iter().enumerate() {
-                    let v = v32 as usize;
-                    let rng = &mut rngs[i];
-                    if lambda < 1.0 && !rng.gen_bool(lambda) {
-                        continue;
-                    }
-                    att += 1;
-                    // Drawn unconditionally, like the sequential engine:
-                    // a dead node keeps drawing and discarding so the
-                    // per-node stream is fault-independent.
-                    let dst = dest(v, rng);
-                    if sim.inj_free(v) && sim.node_alive(v) {
-                        pending.push((v32, dst as u32));
-                    }
+        let outs = self.run_shards(
+            Horizon::Cycles(cycles),
+            |sid, plan| {
+                let nodes = plan.nodes[sid].clone();
+                let rngs = nodes.iter().map(|&v| node_rng(seed, v as usize)).collect();
+                DynPlanner {
+                    lambda,
+                    dest,
+                    nodes,
+                    rngs,
                 }
-                (att, 0)
-            }
-        });
+            },
+            pause_at,
+            None,
+        );
+        self.finish_dynamic(0, 0, &outs)
+    }
+
+    /// Sharded equivalent of [`Simulator::resume_dynamic`]: continue a
+    /// dynamic run from restored shard state. `lambda`, `dest`, and
+    /// `cycles` must be the original workload parameters — the per-node
+    /// RNG streams are fast-forwarded through the draws the paused run
+    /// already consumed, exactly as in the sequential engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `progress` is not [`RunProgress::Dynamic`].
+    pub fn resume_dynamic(
+        &mut self,
+        lambda: f64,
+        dest: impl Fn(NodeId, &mut StdRng) -> NodeId + Sync,
+        cycles: u64,
+        progress: RunProgress,
+        pause_at: Option<u64>,
+    ) -> DynamicOutcome
+    where
+        R: Send,
+        R::Msg: Send,
+        Rec: Send,
+    {
+        assert!((0.0..=1.0).contains(&lambda));
+        let RunProgress::Dynamic { attempts, injected } = progress else {
+            panic!("resume_dynamic needs dynamic progress");
+        };
+        let seed = self.cfg.seed;
+        // The pause point is post-injection at cycle P, so each stream
+        // has consumed exactly P + 1 per-cycle draw rounds.
+        let rounds = self.shards[0].cycle() + 1;
+        let dest = &dest;
+        let resume = ResumeBase {
+            delivered: self.delivered(),
+            dropped: self.dropped(),
+            lost: 0,
+        };
+        let outs = self.run_shards(
+            Horizon::Cycles(cycles),
+            |sid, plan| {
+                let nodes = plan.nodes[sid].clone();
+                let rngs = nodes
+                    .iter()
+                    .map(|&v| {
+                        let mut rng = node_rng(seed, v as usize);
+                        for _ in 0..rounds {
+                            let _ = draw(&mut rng, lambda, v as usize, &mut |w, r| dest(w, r));
+                        }
+                        rng
+                    })
+                    .collect();
+                DynPlanner {
+                    lambda,
+                    dest,
+                    nodes,
+                    rngs,
+                }
+            },
+            pause_at,
+            Some(resume),
+        );
+        self.finish_dynamic(attempts, injected, &outs)
+    }
+
+    fn finish_dynamic(
+        &mut self,
+        base_attempts: u64,
+        base_injected: u64,
+        outs: &[WorkerOut],
+    ) -> DynamicOutcome {
+        let attempts = base_attempts + outs.iter().map(|o| o.attempts).sum::<u64>();
+        let injected = base_injected + outs.iter().map(|o| o.injected).sum::<u64>();
+        if outs[0].paused {
+            return DynamicOutcome::Paused(RunProgress::Dynamic { attempts, injected });
+        }
         self.stall = outs[0].stall.map(|info| self.build_stall_report(info));
         let stop = if !self.partitioned_destinations().is_empty() {
             StopReason::Partitioned
@@ -859,33 +1175,38 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
         } else {
             StopReason::HorizonReached
         };
-        DynamicResult {
+        DynamicOutcome::Finished(DynamicResult {
             stats: self.merged_stats(),
-            attempts: outs.iter().map(|o| o.attempts).sum(),
-            injected: outs.iter().map(|o| o.injected).sum(),
+            attempts,
+            injected,
             delivered: self.delivered(),
             cycles: self.shards[0].cycle(),
             dropped: self.dropped(),
             stop,
-        }
+        })
     }
 
     /// Spawn one worker per shard and run the common cycle loop;
-    /// `mk_planner` builds each shard's injection planner.
+    /// `mk_planner` builds each shard's injection planner. A `resume`
+    /// base skips the reset (the shards carry restored state).
     fn run_shards<'a, P>(
         &mut self,
         horizon: Horizon,
         mk_planner: impl Fn(usize, &ShardPlan) -> P + Sync,
+        pause_at: Option<u64>,
+        resume: Option<ResumeBase>,
         // The planner borrows per-worker state created inside the scope.
     ) -> Vec<WorkerOut>
     where
         R: Send,
         R::Msg: Send,
         Rec: Send,
-        P: FnMut(&Simulator<R, Rec>, &mut Vec<(u32, u32)>) -> (u64, u64) + 'a,
+        P: Planner<R, Rec> + 'a,
     {
-        for sim in &mut self.shards {
-            sim.reset();
+        if resume.is_none() {
+            for sim in &mut self.shards {
+                sim.reset();
+            }
         }
         self.stall = None;
         let mb: Mailboxes<R::Msg> = Mailboxes::new(self.shards.len());
@@ -905,7 +1226,7 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
                         let planner = mk_planner(sid, plan);
                         run_worker(
                             sim, sid, plan, layout, mb_ref, horizon, watchdog, max_cycles, track,
-                            planner,
+                            planner, pause_at, resume,
                         )
                     })
                 })
@@ -947,6 +1268,26 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
             .iter()
             .filter_map(Simulator::oldest_live)
             .min_by_key(|&(uid, ..)| uid);
+        // Wait-for edges need the *global* queue-full table: a blocked
+        // head's target queue may live on another shard.
+        let nc = self.shards[0].classes();
+        let cap = self.cfg.queue_capacity;
+        let mut full = vec![false; self.num_nodes() * nc];
+        for (sid, sim) in self.shards.iter().enumerate() {
+            for &v in &self.plan.nodes[sid] {
+                for c in 0..nc {
+                    let q = v as usize * nc + c;
+                    full[q] = sim.queue_len_at(q) as usize >= cap;
+                }
+            }
+        }
+        let is_full = move |w: u32, c: u8| full[w as usize * nc + usize::from(c)];
+        let mut waits = Vec::new();
+        for (sid, sim) in self.shards.iter().enumerate() {
+            waits.extend(sim.wait_edges(&self.plan.owned[sid], &is_full));
+        }
+        waits.sort_unstable();
+        waits.dedup();
         StallReport {
             cycle: info.cycle,
             in_flight: info.in_flight,
@@ -955,6 +1296,7 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
             partitioned: self.partitioned_destinations(),
             oldest,
             queues,
+            waits,
         }
     }
 
@@ -1012,6 +1354,158 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
             rec.merge_shard(&sim.into_recorder());
         }
         rec
+    }
+}
+
+/// Checkpoint/restore for sharded runs. The snapshot text is assembled
+/// piecewise from the shard that owns each piece of state, in the same
+/// canonical order the sequential engine writes — so a sharded
+/// checkpoint is byte-identical to a sequential one of the same run,
+/// and either engine can restore the other's snapshot.
+impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec>
+where
+    R::Msg: SnapshotMsg,
+{
+    /// Which shard executes channel `c`'s link pass (and owns its
+    /// round-robin pointer and input buffers).
+    fn chan_exec_shard(&self, c: usize) -> usize {
+        self.plan.node_shard[self.layout.chan_to[c] as usize] as usize
+    }
+
+    /// Which shard owns channel `c`'s source node (and its output
+    /// buffers and flaky retry counters).
+    fn chan_src_shard(&self, c: usize) -> usize {
+        self.plan.node_shard[self.layout.chan_from[c] as usize] as usize
+    }
+
+    /// Buffer id → channel id, derived from the shared layout.
+    fn buf_chan_map(&self) -> Vec<u32> {
+        let mut buf_chan = vec![0u32; self.layout.num_buffers()];
+        for c in 0..self.layout.num_channels() {
+            let start = self.layout.chan_buf_start[c] as usize;
+            let len = usize::from(self.layout.chan_buf_len[c]);
+            buf_chan[start..start + len].fill(u32::try_from(c).expect("channel id fits u32"));
+        }
+        buf_chan
+    }
+
+    /// Sharded equivalent of [`Simulator::checkpoint`]: serialize the
+    /// merged engine state as a `fadr-snapshot/1` document, byte-for-byte
+    /// equal to what a sequential engine paused at the same cycle writes.
+    #[must_use]
+    pub fn checkpoint(&self, meta: &str, progress: &RunProgress) -> String {
+        let n = self.num_nodes();
+        let nb = self.layout.num_buffers();
+        let nch = self.layout.num_channels();
+        let buf_chan = self.buf_chan_map();
+        let mut lines = String::new();
+        let mut count = 0usize;
+        for v in 0..n {
+            let s = self.plan.node_shard[v] as usize;
+            count += self.shards[s].push_queued_packets(v, &mut lines);
+        }
+        for v in 0..n {
+            let s = self.plan.node_shard[v] as usize;
+            count += self.shards[s].push_inj_packet(v, &mut lines);
+        }
+        for (b, &bc) in buf_chan.iter().enumerate() {
+            let s = self.chan_src_shard(bc as usize);
+            count += self.shards[s].push_out_packet(b, &mut lines);
+        }
+        for (b, &bc) in buf_chan.iter().enumerate() {
+            let s = self.chan_exec_shard(bc as usize);
+            count += self.shards[s].push_in_packet(b, &mut lines);
+        }
+        let chan_rr: Vec<u16> = (0..nch)
+            .map(|c| self.shards[self.chan_exec_shard(c)].chan_rr_at(c))
+            .collect();
+        let mut fail: Vec<(u32, u32)> = Vec::new();
+        for (sid, sim) in self.shards.iter().enumerate() {
+            fail.extend(
+                sim.flaky_fail_counts()
+                    .into_iter()
+                    .filter(|&(chan, _)| self.chan_src_shard(chan as usize) == sid),
+            );
+        }
+        fail.sort_unstable();
+        let stats = self.merged_stats();
+        let occupancy = self.cfg.track_occupancy.then(|| self.occupancy());
+        let throughput = self.throughput();
+        let g = snapshot::Globals {
+            cfg: &self.cfg,
+            dims: (n, self.shards[0].classes(), nb, nch),
+            cycle: self.shards[0].cycle(),
+            next_uid: self.shards[0].next_uid(),
+            delivered: self.delivered(),
+            dropped: self.dropped(),
+            minviol: self.minimality_violations(),
+            chan_rr,
+            fail,
+            stats: &stats,
+            occupancy: occupancy.as_ref(),
+            throughput: throughput.as_ref(),
+        };
+        snapshot::assemble(meta, &g, count, &lines, progress)
+    }
+
+    /// Sharded equivalent of [`Simulator::restore`]: load a
+    /// `fadr-snapshot/1` document (from either engine), scattering each
+    /// packet to the shard that owns its location. Merged global state
+    /// (latency statistics, occupancy, throughput, delivered/dropped
+    /// totals) is carried by shard 0 — the merge accessors and the
+    /// resumed workers' replicated counters reassemble the totals.
+    pub fn restore(&mut self, text: &str) -> Result<(String, RunProgress), String> {
+        let snap: ParsedSnapshot<R::Msg> = snapshot::parse(text)?;
+        let buf_chan = self.buf_chan_map();
+        let nb = self.layout.num_buffers();
+        for sid in 0..self.shards.len() {
+            let packets: Vec<_> = snap
+                .packets
+                .iter()
+                .filter(|r| {
+                    let owner = match r.loc {
+                        Loc::Queue(v) | Loc::Inj(v) => {
+                            self.plan.node_shard.get(v as usize).copied().unwrap_or(0) as usize
+                        }
+                        Loc::Out(b) if (b as usize) < nb => {
+                            self.chan_src_shard(buf_chan[b as usize] as usize)
+                        }
+                        Loc::In(b) if (b as usize) < nb => {
+                            self.chan_exec_shard(buf_chan[b as usize] as usize)
+                        }
+                        // Out-of-range locations go to shard 0, whose
+                        // `restore_from` rejects them with a real error.
+                        Loc::Out(_) | Loc::In(_) => 0,
+                    };
+                    owner == sid
+                })
+                .cloned()
+                .collect();
+            let first = sid == 0;
+            let shard_snap = ParsedSnapshot {
+                meta: String::new(),
+                cfg: snap.cfg,
+                dims: snap.dims,
+                cycle: snap.cycle,
+                next_uid: snap.next_uid,
+                delivered: if first { snap.delivered } else { 0 },
+                dropped: if first { snap.dropped } else { 0 },
+                minviol: if first { snap.minviol } else { 0 },
+                packets,
+                chan_rr: snap.chan_rr.clone(),
+                fail: snap.fail.clone(),
+                stats: if first {
+                    snap.stats.clone()
+                } else {
+                    LatencyStats::new()
+                },
+                occupancy: if first { snap.occupancy.clone() } else { None },
+                throughput: if first { snap.throughput.clone() } else { None },
+                progress: snap.progress.clone(),
+            };
+            self.shards[sid].restore_from(&shard_snap)?;
+        }
+        Ok((snap.meta, snap.progress))
     }
 }
 

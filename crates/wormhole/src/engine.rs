@@ -568,7 +568,7 @@ impl<R: RoutingFunction, Rec: Recorder> WormholeSim<R, Rec> {
         debug_assert_eq!(self.worms[w].delivered_flits, self.worms[w].total_flits);
         let latency = self.cycle - self.worms[w].inject_cycle + 1;
         if Rec::ENABLED {
-            self.rec.on_deliver(self.cycle, w as u64, latency, 0);
+            self.rec.on_deliver(self.cycle, w as u64, latency, 0, 0);
         }
         self.stats.record(latency);
         self.delivered += 1;
