@@ -7,6 +7,8 @@
 //! wall-clock cost, and each group prints the measured mean latency once
 //! at setup so ablation *quality* (latency) is visible alongside speed.
 
+#![forbid(unsafe_code)]
+
 use fadr_bench::perf::{report_line, time};
 use fadr_core::{EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang, ShuffleExchangeRouting};
 use fadr_qdg::RoutingFunction;

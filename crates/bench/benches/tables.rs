@@ -2,6 +2,8 @@
 //! short dynamic horizon) so a full `cargo bench` stays tractable; the
 //! `tables` binary regenerates the paper-scale numbers.
 
+#![forbid(unsafe_code)]
+
 use fadr_bench::perf::{report_line, time};
 use fadr_bench::runner::{run_row, spec, RunOptions};
 

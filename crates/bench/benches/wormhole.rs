@@ -1,6 +1,8 @@
 //! Timing benches of the wormhole (flit-level) mode: adaptive vs
 //! escape-only, and message-length scaling.
 
+#![forbid(unsafe_code)]
+
 use fadr_bench::perf::{report_line, time};
 use fadr_core::HypercubeFullyAdaptive;
 use fadr_workloads::{static_backlog, Pattern};

@@ -14,6 +14,8 @@
 //! Without `--out`, everything is printed to stdout; with `--out DIR`,
 //! files `figure<K>.dot` / `figure<K>.txt` are written.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 

@@ -39,6 +39,8 @@
 //!   table workloads and the instrumented re-runs (measures the
 //!   degraded-mode overhead; the `--large` scenarios ignore it).
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use std::time::{SystemTime, UNIX_EPOCH};
 

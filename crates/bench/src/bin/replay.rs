@@ -24,6 +24,9 @@
 //!   one (post-checkpoint fault events replay from the schedule).
 //! * `--dot PATH` — write the stall report's wait-for graph as Graphviz
 //!   DOT when the watchdog fires.
+//!
+//! Exit status follows the workspace-wide convention: 0 clean, 1 when a
+//! divergence is found, 2 on usage or I/O errors.
 
 #![forbid(unsafe_code)]
 
@@ -99,22 +102,26 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
+            if e == USAGE {
+                println!("{e}");
+                return ExitCode::SUCCESS;
+            }
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let text = match std::fs::read_to_string(&args.snapshot) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("--snapshot {}: {e}", args.snapshot.display());
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let out = match replay(&text, &args.ro) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("replay failed: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     println!(
@@ -153,7 +160,7 @@ fn main() -> ExitCode {
         if let Some(path) = &args.dot {
             if let Err(e) = std::fs::write(path, s.to_dot()) {
                 eprintln!("--dot {}: {e}", path.display());
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
             println!("wait-for graph written to {}", path.display());
         }
@@ -175,7 +182,7 @@ fn main() -> ExitCode {
         }
         if let Err(e) = std::fs::write(path, body) {
             eprintln!("--journal-out {}: {e}", path.display());
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
         println!("journal written to {}", path.display());
     }
@@ -184,7 +191,7 @@ fn main() -> ExitCode {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("--diff {}: {e}", path.display());
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
         };
         let ref_lines: Vec<String> = ref_text.lines().map(str::to_string).collect();
@@ -196,7 +203,7 @@ fn main() -> ExitCode {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("--diff {}: {e}", path.display());
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
         };
         let reference = journal_window(&section, out.start_cycle, Some(out.end_cycle));

@@ -24,6 +24,8 @@
 //! unchanged by recording). `--faults PLAN.json` injects a
 //! `fadr-faults/1` plan into every sweep point (degraded-mode routing).
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use fadr_bench::exec;

@@ -29,6 +29,8 @@
 //!   run (degraded-mode routing; rows that abort on a fault partition
 //!   are flagged like watchdog aborts).
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use fadr_bench::exec;

@@ -1,0 +1,11 @@
+//! Static scheme analyzer: run the paper-condition lint battery over a
+//! scheme × topology (and optionally a fault plan). See `lint --help`
+//! and `lint --list`.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    fadr_lint::cli::main()
+}

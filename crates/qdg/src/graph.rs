@@ -269,6 +269,25 @@ impl Digraph {
         best
     }
 
+    /// The subgraph keeping only edges whose *both* endpoints satisfy
+    /// `keep` (the vertex set is unchanged, so indices stay valid).
+    /// Used to ask order questions of one buffer class at a time, e.g.
+    /// "does this class have a static cycle entirely within itself?".
+    pub fn restricted(&self, keep: &dyn Fn(usize) -> bool) -> Digraph {
+        let mut g = Digraph::new(self.adj.len());
+        for (a, succs) in self.adj.iter().enumerate() {
+            if !keep(a) {
+                continue;
+            }
+            for &b in succs {
+                if keep(b) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        g
+    }
+
     /// The paper's `Level(q)`: length of the longest path from any source
     /// (in-degree-0 vertex) to each vertex. Panics if cyclic.
     pub fn levels(&self) -> Vec<usize> {
@@ -397,6 +416,25 @@ mod tests {
         for i in 0..c.len() {
             assert!(g.has_edge(c[i], c[(i + 1) % c.len()]));
         }
+    }
+
+    #[test]
+    fn restricted_keeps_only_edges_within_the_kept_set() {
+        // 0 -> 1 -> 2 -> 0 with a chord 1 -> 3.
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(1, 3);
+        let sub = g.restricted(&|v| v != 2);
+        assert_eq!(sub.num_vertices(), 4);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 3));
+        assert!(!sub.has_edge(1, 2));
+        assert!(!sub.has_edge(2, 0));
+        assert!(sub.is_acyclic());
+        // Keeping everything reproduces the cycle.
+        assert!(!g.restricted(&|_| true).is_acyclic());
     }
 
     #[test]

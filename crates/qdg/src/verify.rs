@@ -452,14 +452,16 @@ pub fn verify_all<R: RoutingFunction + ?Sized>(
     })
 }
 
-/// Minimal routing functions used by this crate's own tests: a
-/// single-queue e-cube (whose QDG is *cyclic* — the classic
-/// store-and-forward deadlock) and the paper's underlying two-queue
-/// "hang" function without dynamic links (acyclic, partially adaptive).
-#[cfg(test)]
+/// Minimal routing functions used as known-outcome fixtures by this
+/// crate's own tests and by downstream analysis suites (`fadr-lint`'s
+/// negative corpus): a single-queue e-cube (whose QDG is *cyclic* — the
+/// classic store-and-forward deadlock) and the paper's underlying
+/// two-queue "hang" function without dynamic links (acyclic, partially
+/// adaptive).
 pub mod test_fixtures {
     use fadr_topology::{Hypercube, NodeId, Port, Topology};
 
+    use crate::sym::Symmetry;
     use crate::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction, Transition};
 
     /// Message state for the test fixtures: just the destination.
@@ -559,6 +561,10 @@ pub mod test_fixtures {
             "ecube-1q (test fixture)".into()
         }
     }
+
+    // Identity symmetry (sound for any scheme) so the fixtures plug
+    // straight into class-graph-based analyses.
+    impl Symmetry for EcubeHypercube {}
 
     /// The paper's *underlying* hypercube routing function (§ 3): hang the
     /// cube from 0…0, correct 0→1 in phase A (queue class 0), then 1→0 in
@@ -674,6 +680,8 @@ pub mod test_fixtures {
             "hang-static (test fixture)".into()
         }
     }
+
+    impl Symmetry for HangHypercubeStatic {}
 }
 
 #[cfg(test)]

@@ -55,6 +55,22 @@ pub fn bfs_distances(topo: &dyn Topology, from: NodeId) -> Vec<usize> {
     dist
 }
 
+/// Reverse adjacency: `result[v]` lists the nodes `u` with a directed
+/// link `u -> v`. One pass over all ports; used for distance-*to*-node
+/// tables on directed topologies (BFS from `v` over the reverse lists).
+pub fn reverse_adjacency(topo: &dyn Topology) -> Vec<Vec<NodeId>> {
+    let n = topo.num_nodes();
+    let mut rev = vec![Vec::new(); n];
+    for u in 0..n {
+        for p in 0..topo.max_ports() {
+            if let Some(v) = topo.neighbor(u, p) {
+                rev[v].push(u);
+            }
+        }
+    }
+    rev
+}
+
 /// Whether every node can reach every other node over directed links.
 ///
 /// Checked by one forward BFS and one BFS on the transposed graph from
@@ -200,6 +216,22 @@ mod tests {
         // (0,0) -> (2,2): C(4,2) = 6 monotone lattice paths.
         let paths = all_shortest_paths(&m, m.node_at(0, 0), m.node_at(2, 2));
         assert_eq!(paths.len(), 6);
+    }
+
+    #[test]
+    fn reverse_adjacency_inverts_directed_edges() {
+        // SE's shuffle links are one-way: u -> v must appear as v's
+        // reverse entry, and total entry count equals the edge count.
+        let se = ShuffleExchange::new(3);
+        let rev = reverse_adjacency(&se);
+        let mut entries = 0;
+        for u in 0..se.num_nodes() {
+            for (_, v) in crate::out_edges(&se, u) {
+                assert!(rev[v].contains(&u), "missing reverse entry {v} <- {u}");
+            }
+            entries += rev[u].len();
+        }
+        assert_eq!(entries, num_directed_edges(&se));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Certify a routing scheme's deadlock freedom — see `fadr_verify::cli`.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -14,8 +14,12 @@
 //! the independent checker, printed as a summary, and (with `--out` /
 //! `--out-dir`) written as `fadr-verify/1` JSON. On rejection the
 //! violation, the counterexample cycle with its route witnesses, and
-//! (with `--dot`) a Graphviz rendering are produced; exit status 1
-//! unless `--expect-reject`.
+//! (with `--dot`) a Graphviz rendering are produced. With `--lint` the
+//! fadr-lint battery runs first and lint errors skip certification.
+//!
+//! Exit status follows the workspace-wide convention: 0 clean, 1
+//! findings (rejection, or acceptance under `--expect-reject`), 2 on
+//! usage or I/O errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,6 +29,7 @@ use fadr_core::{
     EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang, MeshFullyAdaptive, MeshStaticHang,
     MeshXY, ShuffleExchangeRouting, TorusTwoPhase,
 };
+use fadr_lint::{lint_scheme, LintConfig};
 use fadr_qdg::sym::Symmetry;
 
 struct Opts {
@@ -38,6 +43,7 @@ struct Opts {
     dot: Option<PathBuf>,
     faults: Option<PathBuf>,
     expect_reject: bool,
+    lint: bool,
 }
 
 fn usage() -> &'static str {
@@ -53,6 +59,7 @@ fn usage() -> &'static str {
      --out-dir DIR     write the certificate JSON to DIR/<scheme>.json\n\
      --dot FILE        write the counterexample cycle as Graphviz on rejection\n\
      --faults FILE     certify the degraded QDG after FILE's fadr-faults/1 plan\n\
+     --lint            run the fadr-lint battery first; skip certification on lint errors\n\
      --expect-reject   exit 0 iff the scheme is rejected"
 }
 
@@ -68,6 +75,7 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Opts, String> {
         dot: None,
         faults: None,
         expect_reject: false,
+        lint: false,
     };
     let want = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or(format!("{flag} needs a value"))
@@ -84,6 +92,7 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Opts, String> {
             "--dot" => o.dot = Some(PathBuf::from(want(&mut args, "--dot")?)),
             "--faults" => o.faults = Some(PathBuf::from(want(&mut args, "--faults")?)),
             "--expect-reject" => o.expect_reject = true,
+            "--lint" => o.lint = true,
             "--help" | "-h" => return Err(usage().into()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -107,10 +116,14 @@ pub fn main() -> ExitCode {
     let opts = match parse(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("{e}");
             // `--help` surfaces the usage text through the same path but
             // is not an error.
-            return ExitCode::from(u8::from(e != usage()) * 2);
+            if e == usage() {
+                println!("{e}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("{e}");
+            return ExitCode::from(2);
         }
     };
     let code = match (opts.family.as_str(), opts.algo.as_str()) {
@@ -166,6 +179,22 @@ fn run<R: Symmetry>(rf: &R, opts: &Opts) -> u8 {
 }
 
 fn run_scheme<R: Symmetry + ?Sized>(rf: &R, opts: &Opts) -> u8 {
+    if opts.lint {
+        // Static pre-pass on the scheme about to be certified (the
+        // degraded wrapper when --faults is in play): lint errors are
+        // certain rejections with a localized clause, so skip the
+        // counterexample search and gate on them directly.
+        let report = lint_scheme(rf, &LintConfig::default());
+        print!("{}", report.render_text());
+        if report.errors() > 0 {
+            println!(
+                "LINT-GATED {} ({} error(s)); certification skipped",
+                rf.name(),
+                report.errors()
+            );
+            return u8::from(!opts.expect_reject);
+        }
+    }
     let started = std::time::Instant::now();
     let outcome = certify(rf);
     let elapsed = started.elapsed();
@@ -216,7 +245,7 @@ fn run_scheme<R: Symmetry + ?Sized>(rf: &R, opts: &Opts) -> u8 {
             for path in out_paths(opts, &cert.algorithm) {
                 if let Err(e) = std::fs::write(&path, &json) {
                     eprintln!("cannot write {}: {e}", path.display());
-                    return 1;
+                    return 2;
                 }
                 println!("  certificate:     {}", path.display());
             }
@@ -236,7 +265,7 @@ fn run_scheme<R: Symmetry + ?Sized>(rf: &R, opts: &Opts) -> u8 {
                 if let Some(path) = &opts.dot {
                     if let Err(e) = std::fs::write(path, &cx.dot) {
                         eprintln!("cannot write {}: {e}", path.display());
-                        return 1;
+                        return 2;
                     }
                     println!("  rendered: {}", path.display());
                 }

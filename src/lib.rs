@@ -13,6 +13,8 @@
 //! * [`qdg`] — queue dependency graphs and the § 2 model checker;
 //! * [`verify`] — symmetry-reduced deadlock-freedom certifier with
 //!   machine-checkable certificates and counterexample extraction;
+//! * [`lint`] — static scheme analyzer: the paper-condition lint
+//!   battery with `fadr-lint/1` diagnostics, run before certification;
 //! * [`routing`] — the paper's algorithms (§§ 3–5) and baselines;
 //! * [`sim`] — the § 6/§ 7.1 node model and simulator;
 //! * [`workloads`] — § 7 traffic patterns and injection models;
@@ -46,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub use fadr_core as routing;
+pub use fadr_lint as lint;
 pub use fadr_metrics as metrics;
 pub use fadr_qdg as qdg;
 pub use fadr_sim as sim;
@@ -60,6 +63,7 @@ pub mod prelude {
         AdaptiveSbp, EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang, MeshFullyAdaptive,
         MeshKDFullyAdaptive, MeshStaticHang, MeshXY, ShuffleExchangeRouting, TorusTwoPhase,
     };
+    pub use fadr_lint::{lint_scheme, LintConfig, LintId};
     pub use fadr_metrics::{LatencyStats, Table};
     pub use fadr_qdg::{BufferClass, HopKind, LinkKind, QueueId, QueueKind, RoutingFunction};
     pub use fadr_sim::{
