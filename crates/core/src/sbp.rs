@@ -84,6 +84,18 @@ impl<T: Topology> AdaptiveSbp<T> {
     }
 }
 
+// Manual impl: a derive would put `T: Clone` on the type itself; here it
+// only gates the impl, so non-Clone topologies still get the scheme.
+impl<T: Topology + Clone> Clone for AdaptiveSbp<T> {
+    fn clone(&self) -> Self {
+        Self {
+            topo: self.topo.clone(),
+            dist: self.dist.clone(),
+            diameter: self.diameter,
+        }
+    }
+}
+
 impl<T: Topology> RoutingFunction for AdaptiveSbp<T> {
     type Msg = SbpMsg;
 

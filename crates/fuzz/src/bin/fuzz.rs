@@ -1,0 +1,138 @@
+//! `fuzz` — the differential fuzz campaign driver.
+//!
+//! ```text
+//! fuzz [--seed N] [--cases N] [--out DIR] [--verbose]   run a campaign
+//! fuzz --replay PATH [--replay PATH ...]                replay case files / corpus dirs
+//! ```
+//!
+//! Exit status: 0 = clean, 1 = counterexample found (or a replayed case
+//! failed), 2 = usage error. Campaigns are pure functions of
+//! `(--seed, --cases)`, so any failure line is a complete repro recipe.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fadr_fuzz::{fuzz, replay_file, FuzzConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fuzz [--seed N] [--cases N] [--out DIR] [--verbose]\n       fuzz --replay PATH [--replay PATH ...]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = FuzzConfig::default();
+    let mut replay: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let Some(v) = args.next().and_then(|s| parse_u64(&s)) else {
+                    return usage();
+                };
+                cfg.seed = v;
+            }
+            "--cases" => {
+                let Some(v) = args.next().and_then(|s| parse_u64(&s)) else {
+                    return usage();
+                };
+                cfg.cases = v;
+            }
+            "--out" => {
+                let Some(dir) = args.next() else {
+                    return usage();
+                };
+                cfg.out_dir = Some(PathBuf::from(dir));
+            }
+            "--replay" => {
+                let Some(path) = args.next() else {
+                    return usage();
+                };
+                replay.push(PathBuf::from(path));
+            }
+            "--verbose" => cfg.verbose = true,
+            _ => return usage(),
+        }
+    }
+
+    if !replay.is_empty() {
+        return replay_all(&replay);
+    }
+
+    let outcome = fuzz(&cfg);
+    if outcome.failures.is_empty() {
+        println!("fuzz: {} cases clean (seed {:#x})", outcome.ran, cfg.seed);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "fuzz: {} of {} cases FAILED (seed {:#x})",
+            outcome.failures.len(),
+            outcome.ran,
+            cfg.seed
+        );
+        for f in &outcome.failures {
+            println!(
+                "  case {}: {} [shrunk to {} nodes] {}",
+                f.index,
+                f.shrunk_failure,
+                f.shrunk.scheme.num_nodes(),
+                f.shrunk.to_json()
+            );
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Replay explicit case files, or every `*.json` in a directory.
+fn replay_all(paths: &[PathBuf]) -> ExitCode {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            let mut entries: Vec<PathBuf> = match std::fs::read_dir(p) {
+                Ok(rd) => rd
+                    .filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .filter(|e| e.extension().is_some_and(|x| x == "json"))
+                    .collect(),
+                Err(e) => {
+                    eprintln!("{}: {e}", p.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(p.clone());
+        }
+    }
+    if files.is_empty() {
+        eprintln!("replay: no case files found");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = 0usize;
+    for f in &files {
+        match replay_file(f) {
+            Ok(()) => println!("PASS {}", f.display()),
+            Err(e) => {
+                println!("FAIL {e}");
+                failed += 1;
+            }
+        }
+    }
+    if failed == 0 {
+        println!("replay: {} case(s) pass", files.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("replay: {failed} of {} case(s) FAILED", files.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}

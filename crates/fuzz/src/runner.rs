@@ -1,0 +1,142 @@
+//! The fuzz loop: generate → run → shrink → persist.
+//!
+//! Engine panics are contained per case (`catch_unwind` around the
+//! property battery, on top of the sharded engine's own worker-panic
+//! containment), so one counterexample never aborts the campaign — it
+//! becomes a shrunk, replayable `fadr-fuzz/1` case file instead.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use crate::gen::gen_case;
+use crate::props::{run_case, Failure, PropertyId};
+use crate::shrink::shrink;
+use crate::spec::CaseSpec;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; the whole campaign is a pure function of it.
+    pub seed: u64,
+    /// Number of cases to draw.
+    pub cases: u64,
+    /// Where shrunk counterexample files go (`None`: don't persist).
+    pub out_dir: Option<PathBuf>,
+    /// Print per-case progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xFADF_0221,
+            cases: 200,
+            out_dir: None,
+            verbose: false,
+        }
+    }
+}
+
+/// A failing case, before and after shrinking.
+#[derive(Debug, Clone)]
+pub struct FoundCase {
+    /// Index in the campaign (replay with the same master seed).
+    pub index: u64,
+    /// The spec as drawn.
+    pub original: CaseSpec,
+    /// The failure the original produced.
+    pub failure: Failure,
+    /// The shrunk spec (== `original` when no move was accepted).
+    pub shrunk: CaseSpec,
+    /// The failure the shrunk spec produces (same property family).
+    pub shrunk_failure: Failure,
+    /// Where the case file was written, if persistence was on.
+    pub path: Option<PathBuf>,
+}
+
+/// Campaign result.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzOutcome {
+    /// Cases executed.
+    pub ran: u64,
+    /// Counterexamples found (shrunk).
+    pub failures: Vec<FoundCase>,
+}
+
+/// Run one case with panic containment: an engine/oracle panic becomes
+/// a [`PropertyId::Differential`] failure (panics are engine bugs by
+/// definition here — the certifier and checkers return typed errors).
+///
+/// # Errors
+///
+/// Returns the property [`Failure`] the case produced, if any.
+pub fn run_case_guarded(spec: &CaseSpec) -> Result<(), Failure> {
+    match catch_unwind(AssertUnwindSafe(|| run_case(spec))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(Failure {
+                property: PropertyId::Differential,
+                detail: format!("panic: {msg}"),
+            })
+        }
+    }
+}
+
+/// Run a fuzz campaign.
+pub fn fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
+    let mut outcome = FuzzOutcome::default();
+    for idx in 0..cfg.cases {
+        let spec = gen_case(cfg.seed, idx);
+        if cfg.verbose {
+            eprintln!("case {idx}: {}", spec.to_json());
+        }
+        outcome.ran += 1;
+        let Err(failure) = run_case_guarded(&spec) else {
+            continue;
+        };
+        eprintln!("case {idx} FAILED: {failure}");
+        let (shrunk, shrunk_failure) = shrink(&spec, &failure);
+        eprintln!(
+            "  shrunk to {} nodes: {shrunk_failure}",
+            shrunk.scheme.num_nodes()
+        );
+        let path = cfg.out_dir.as_ref().map(|dir| {
+            let path = dir.join(format!("case-{:016x}-{idx}.json", cfg.seed));
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("  cannot create {}: {e}", dir.display());
+            }
+            match std::fs::write(&path, format!("{}\n", shrunk.to_json())) {
+                Ok(()) => eprintln!("  wrote {}", path.display()),
+                Err(e) => eprintln!("  cannot write {}: {e}", path.display()),
+            }
+            path
+        });
+        outcome.failures.push(FoundCase {
+            index: idx,
+            original: spec,
+            failure,
+            shrunk,
+            shrunk_failure,
+            path,
+        });
+    }
+    outcome
+}
+
+/// Replay one persisted case file. `Ok(())` means the case passes (its
+/// bug is fixed and stays fixed).
+///
+/// # Errors
+///
+/// Returns the parse error or the reproduced property failure, as text.
+pub fn replay_file(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let spec = CaseSpec::parse(text.trim())
+        .map_err(|e| format!("{}: bad case file: {e}", path.display()))?;
+    run_case_guarded(&spec).map_err(|f| format!("{}: {f}", path.display()))
+}

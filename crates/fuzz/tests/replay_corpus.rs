@@ -1,0 +1,38 @@
+//! Replays the committed regression corpus: every case in
+//! `regressions/` is a once-failing, now-fixed bug and must PASS.
+
+use std::path::PathBuf;
+
+use fadr_fuzz::replay_file;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("regressions")
+}
+
+#[test]
+fn every_regression_case_passes() {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("regressions/ directory exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 2,
+        "corpus holds at least the two fuzzer-found engine bugs"
+    );
+    let mut failures = Vec::new();
+    for f in &files {
+        if let Err(e) = replay_file(f) {
+            failures.push(e);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} corpus case(s) regressed:\n{}",
+        failures.len(),
+        files.len(),
+        failures.join("\n")
+    );
+}

@@ -240,6 +240,9 @@ pub(crate) fn run<R: Symmetry + ?Sized>(rf: &R, col: &mut Collector<'_>) -> Stat
     stats
 }
 
+// Cast audit: state indices are dense positions in the per-destination
+// exploration, which is itself bounded far below `u32::MAX` states by
+// memory long before this cast could fail.
 fn as_u32(n: usize) -> u32 {
     u32::try_from(n).expect("state count fits u32")
 }
@@ -477,9 +480,26 @@ fn provisioning_lints<R: Symmetry + ?Sized>(
             });
         }
     }
+    // Class ids are 8-bit throughout the § 6 buffer encoding; a scheme
+    // declaring more classes than fit is a structural finding, not a
+    // cast panic (the fuzzer's mutation axis constructs exactly this).
+    if rf.num_classes() > 256 {
+        col.emit(Finding {
+            lint: LintId::ClassCountOverflow,
+            message: format!(
+                "num_classes = {} exceeds the 256-class id space of the \
+                 § 6 buffer encoding",
+                rf.num_classes()
+            ),
+            queues: Vec::new(),
+            nodes: Vec::new(),
+            dst: None,
+            state: None,
+        });
+    }
     if col.enabled(LintId::UnreachableClass) {
-        for c in 0..rf.num_classes() {
-            let c = u8::try_from(c).expect("class count fits u8");
+        for c in 0..rf.num_classes().min(256) {
+            let c = u8::try_from(c).expect("class index bounded to 256 above");
             if !used_central_classes.contains(&c) {
                 col.emit(Finding {
                     lint: LintId::UnreachableClass,

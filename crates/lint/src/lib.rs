@@ -109,6 +109,11 @@ pub enum LintId {
     ShadowedBufferClass,
     /// A central queue class below `num_classes()` is never occupied.
     UnreachableClass,
+    /// The scheme declares more than 256 central queue classes: class
+    /// ids are 8-bit throughout the § 6 buffer encoding, so such a
+    /// declaration cannot be provisioned (and would previously panic
+    /// the analyzer instead of producing a finding).
+    ClassCountOverflow,
     /// The scheme's declared symmetry quotient is cyclic although the
     /// concrete static QDG is acyclic: the certifier must fall back.
     NonMonotoneClassOrder,
@@ -134,6 +139,7 @@ pub const ALL_LINTS: &[LintId] = &[
     LintId::UndeclaredBufferClass,
     LintId::ShadowedBufferClass,
     LintId::UnreachableClass,
+    LintId::ClassCountOverflow,
     LintId::NonMonotoneClassOrder,
     LintId::FaultDeadEnd,
     LintId::FaultOutOfRange,
@@ -154,6 +160,7 @@ impl LintId {
             LintId::UndeclaredBufferClass => "undeclared-buffer-class",
             LintId::ShadowedBufferClass => "shadowed-buffer-class",
             LintId::UnreachableClass => "unreachable-class",
+            LintId::ClassCountOverflow => "class-count-overflow",
             LintId::NonMonotoneClassOrder => "non-monotone-class-order",
             LintId::FaultDeadEnd => "fault-dead-end",
             LintId::FaultOutOfRange => "fault-out-of-range",
@@ -177,6 +184,7 @@ impl LintId {
             | LintId::UnrankableClassOrder
             | LintId::ClassCapacityExhausted
             | LintId::UndeclaredBufferClass
+            | LintId::ClassCountOverflow
             | LintId::FaultDeadEnd
             | LintId::FaultOutOfRange => Severity::Error,
             LintId::ShadowedBufferClass
@@ -202,6 +210,7 @@ impl LintId {
             LintId::UndeclaredBufferClass => "§ 6 (buffer provisioning: undeclared class in use)",
             LintId::ShadowedBufferClass => "§ 6 (buffer provisioning: declared class never used)",
             LintId::UnreachableClass => "§ 6 (central queue class never occupied)",
+            LintId::ClassCountOverflow => "§ 6 (class ids are 8-bit; num_classes must be ≤ 256)",
             LintId::NonMonotoneClassOrder => {
                 "§ 2 condition 1 (declared symmetry quotient unrankable)"
             }
@@ -235,6 +244,7 @@ impl LintId {
                 "remove the declared class from this channel (unused buffers cost hardware)"
             }
             LintId::UnreachableClass => "lower num_classes or route traffic through the class",
+            LintId::ClassCountOverflow => "declare at most 256 central queue classes",
             LintId::NonMonotoneClassOrder => {
                 "refine queue_class so static class edges ascend (avoids the exact fallback pass)"
             }

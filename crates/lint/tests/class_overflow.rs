@@ -1,0 +1,108 @@
+//! Boundary tests for the 8-bit class-id space: a scheme declaring 256
+//! classes is provisionable (the last id is 255), one declaring 257 is
+//! not — and the analyzer must say so with a finding, not a cast panic.
+//! (Found by the fuzzer's class-inflation mutation; pinned here.)
+
+use fadr_core::HypercubeFullyAdaptive;
+use fadr_lint::{lint_scheme, LintConfig, LintId, Severity};
+use fadr_qdg::{BufferClass, QueueId, RoutingFunction, Transition};
+use fadr_topology::{NodeId, Port, Topology};
+
+/// A scheme claiming `classes` central queue classes while routing with
+/// the wrapped scheme's (smaller) real class set.
+struct InflateClasses<R: RoutingFunction> {
+    inner: R,
+    classes: usize,
+}
+
+impl<R: RoutingFunction> RoutingFunction for InflateClasses<R> {
+    type Msg = R::Msg;
+
+    fn topology(&self) -> &dyn Topology {
+        self.inner.topology()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn initial_msg(&self, src: NodeId, dst: NodeId) -> Self::Msg {
+        self.inner.initial_msg(src, dst)
+    }
+
+    fn destination(&self, msg: &Self::Msg) -> NodeId {
+        self.inner.destination(msg)
+    }
+
+    fn deliverable(&self, node: NodeId, msg: &Self::Msg) -> bool {
+        self.inner.deliverable(node, msg)
+    }
+
+    fn for_each_transition(
+        &self,
+        at: QueueId,
+        msg: &Self::Msg,
+        f: &mut dyn FnMut(Transition<Self::Msg>),
+    ) {
+        self.inner.for_each_transition(at, msg, f);
+    }
+
+    fn buffer_classes(&self, node: NodeId, port: Port) -> Vec<BufferClass> {
+        self.inner.buffer_classes(node, port)
+    }
+
+    fn is_minimal(&self) -> bool {
+        self.inner.is_minimal()
+    }
+
+    fn max_hops(&self) -> usize {
+        self.inner.max_hops()
+    }
+
+    fn name(&self) -> String {
+        format!("{}+inflated({})", self.inner.name(), self.classes)
+    }
+}
+
+impl<R: RoutingFunction> fadr_qdg::sym::Symmetry for InflateClasses<R> {}
+
+fn inflated(classes: usize) -> InflateClasses<HypercubeFullyAdaptive> {
+    InflateClasses {
+        inner: HypercubeFullyAdaptive::new(2),
+        classes,
+    }
+}
+
+#[test]
+fn class_count_256_is_in_range() {
+    let rep = lint_scheme(&inflated(256), &LintConfig::default());
+    assert!(
+        !rep.has(LintId::ClassCountOverflow),
+        "{}",
+        rep.render_text()
+    );
+    // The inflation itself is still flagged, as unreachable classes.
+    assert!(rep.has(LintId::UnreachableClass));
+}
+
+#[test]
+fn class_count_257_is_a_finding_not_a_panic() {
+    let rep = lint_scheme(&inflated(257), &LintConfig::default());
+    assert!(rep.has(LintId::ClassCountOverflow), "{}", rep.render_text());
+    assert!(rep.errors() > 0);
+    let f = rep
+        .findings
+        .iter()
+        .find(|f| f.lint == LintId::ClassCountOverflow)
+        .unwrap();
+    assert_eq!(f.severity(), Severity::Error);
+    assert!(f.message.contains("257"), "{}", f.message);
+}
+
+#[test]
+fn overflow_lint_id_roundtrips() {
+    assert_eq!(
+        LintId::from_id("class-count-overflow"),
+        Some(LintId::ClassCountOverflow)
+    );
+}

@@ -1268,16 +1268,38 @@ impl JournalSink {
     /// sink's capacity from the front, oldest evicted first), hashes
     /// and counts add. Both sinks must have folded their final batch
     /// (the run's last `on_cycle_end` does).
+    ///
+    /// `PARTITION` events are canonicalized to one per destination (the
+    /// earliest): a sequential run's `partitioned.contains` guard
+    /// reports each unreachable destination once, but shard replicas
+    /// keep independent guards, so two shards holding packets for the
+    /// same dead destination would otherwise both journal it and the
+    /// merged stream could never equal the sequential one. Duplicates
+    /// are removed from the ring, hash, and count alike (exact as long
+    /// as they were retained — the capacity caveat above).
     pub fn merge_shard(&mut self, other: &JournalSink) {
         debug_assert!(self.batch.is_empty() && other.batch.is_empty());
         let mut all: Vec<JournalEvent> = self.ring.drain(..).collect();
         all.extend(other.ring.iter().copied());
         all.sort_unstable();
+        self.hash = self.hash.wrapping_add(other.hash);
+        self.count += other.count;
+        let mut seen_partition: Vec<u32> = Vec::new();
+        all.retain(|ev| {
+            if ev.1 != journal_kind::PARTITION {
+                return true;
+            }
+            if seen_partition.contains(&ev.3) {
+                self.hash = self.hash.wrapping_sub(Self::fnv(ev));
+                self.count -= 1;
+                return false;
+            }
+            seen_partition.push(ev.3);
+            true
+        });
         let evict = all.len().saturating_sub(self.capacity);
         self.dropped += other.dropped + evict as u64;
         self.ring.extend(all.into_iter().skip(evict));
-        self.hash = self.hash.wrapping_add(other.hash);
-        self.count += other.count;
         self.floor = self.floor.max(other.floor);
     }
 }
@@ -2346,6 +2368,34 @@ mod tests {
                     s1.on_link(cyc, pkt, v, w, false, 0, 1);
                 }
             }
+            let _ = seq.on_cycle_end(cyc);
+            let _ = s0.on_cycle_end(cyc);
+            let _ = s1.on_cycle_end(cyc);
+        }
+        s0.merge_shard(&s1);
+        assert_eq!(s0.lines(), seq.lines());
+        assert_eq!(s0.hash(), seq.hash());
+        assert_eq!(s0.count(), seq.count());
+    }
+
+    #[test]
+    fn journal_merge_shard_dedups_partition_events() {
+        // Shard replicas keep independent `partitioned` guards, so two
+        // shards holding packets for the same dead destination both
+        // journal it; the sequential run journals each destination once
+        // (the earliest detection). The merge must canonicalize.
+        let mut seq = JournalSink::new(256);
+        let mut s0 = JournalSink::new(256);
+        let mut s1 = JournalSink::new(256);
+        seq.on_partition(4, 7);
+        s0.on_partition(4, 7);
+        s1.on_partition(4, 7); // same cycle, both shards
+        seq.on_link(5, 1, 0, 2, false, 0, 0);
+        s0.on_link(5, 1, 0, 2, false, 0, 0);
+        seq.on_partition(5, 3);
+        s1.on_partition(5, 3);
+        s0.on_partition(6, 3); // later re-detection on the other shard
+        for cyc in 4..=6u64 {
             let _ = seq.on_cycle_end(cyc);
             let _ = s0.on_cycle_end(cyc);
             let _ = s1.on_cycle_end(cyc);

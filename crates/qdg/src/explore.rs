@@ -54,10 +54,11 @@ impl Qdg {
             .map(|c| c.into_iter().map(|i| self.queues[i]).collect())
     }
 
-    /// The paper's `Level(q)` over the static DAG. Panics if cyclic.
-    pub fn static_levels(&self) -> HashMap<QueueId, usize> {
-        let lv = self.static_graph.levels();
-        self.queues.iter().copied().zip(lv).collect()
+    /// The paper's `Level(q)` over the static DAG; `None` if the static
+    /// QDG is cyclic (the scheme is rejected — levels don't exist).
+    pub fn static_levels(&self) -> Option<HashMap<QueueId, usize>> {
+        let lv = self.static_graph.levels()?;
+        Some(self.queues.iter().copied().zip(lv).collect())
     }
 }
 
@@ -203,6 +204,9 @@ mod tests {
         assert!(qdg.dynamic_edges.is_empty());
         assert!(!qdg.static_is_acyclic());
         assert!(qdg.static_cycle().is_some());
+        // Levels are undefined on a cyclic static QDG: callers get None,
+        // not a panic (the fuzzer feeds cyclic QDGs deliberately).
+        assert!(qdg.static_levels().is_none());
         // 8 inject + 8 central + 8 deliver queues.
         assert_eq!(qdg.queues.len(), 24);
     }
@@ -213,7 +217,7 @@ mod tests {
         let rf = HangHypercubeStatic::new(3);
         let qdg = build_qdg(&rf);
         assert!(qdg.static_is_acyclic());
-        let levels = qdg.static_levels();
+        let levels = qdg.static_levels().expect("acyclic static QDG has levels");
         // Injection queues are sources (level 0), and phase-B queues sit
         // strictly above the phase-A queue of the same node.
         for v in 0..rf.topology().num_nodes() {

@@ -289,16 +289,19 @@ impl Digraph {
     }
 
     /// The paper's `Level(q)`: length of the longest path from any source
-    /// (in-degree-0 vertex) to each vertex. Panics if cyclic.
-    pub fn levels(&self) -> Vec<usize> {
-        let order = self.topological_order().expect("levels require a DAG");
+    /// (in-degree-0 vertex) to each vertex. `None` if the graph is
+    /// cyclic (levels are only defined on a DAG) — callers deciding
+    /// deadlock freedom must treat that as a rejection, not a crash:
+    /// the fuzzer feeds cyclic QDGs on purpose.
+    pub fn levels(&self) -> Option<Vec<usize>> {
+        let order = self.topological_order()?;
         let mut level = vec![0usize; self.adj.len()];
         for &v in &order {
             for &b in &self.adj[v] {
                 level[b] = level[b].max(level[v] + 1);
             }
         }
-        level
+        Some(level)
     }
 }
 
@@ -313,7 +316,7 @@ mod tests {
         g.add_edge(1, 2);
         g.add_edge(2, 3);
         assert!(g.is_acyclic());
-        assert_eq!(g.levels(), vec![0, 1, 2, 3]);
+        assert_eq!(g.levels().unwrap(), vec![0, 1, 2, 3]);
         assert!(g.find_cycle().is_none());
     }
 
@@ -356,7 +359,20 @@ mod tests {
         g.add_edge(0, 2);
         g.add_edge(1, 2);
         g.add_edge(2, 3);
-        assert_eq!(g.levels(), vec![0, 1, 2, 3]);
+        assert_eq!(g.levels().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn levels_of_a_cyclic_graph_are_none() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        assert_eq!(g.levels(), None);
+        // A self-loop is also cyclic.
+        let mut s = Digraph::new(1);
+        s.add_edge(0, 0);
+        assert_eq!(s.levels(), None);
     }
 
     #[test]

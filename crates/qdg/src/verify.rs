@@ -71,6 +71,16 @@ fn fail_at(check: &'static str, detail: String, queues: Vec<QueueId>) -> Result<
 pub fn verify_structure<R: RoutingFunction + ?Sized>(rf: &R) -> Result<(), Violation> {
     let topo = rf.topology();
     let n = topo.num_nodes();
+    // Cast audit: the identity classifier (`QueueClass::concrete`)
+    // encodes node ids as `u32` levels. A (lazy) topology claiming more
+    // nodes than fit is a typed rejection here, not a cast panic in the
+    // certifier's classification pass.
+    if u32::try_from(n).is_err() {
+        return fail(
+            "structure",
+            format!("num_nodes = {n} exceeds the u32 node-id space of the class encoding"),
+        );
+    }
     for src in 0..n {
         for dst in 0..n {
             if src == dst {
@@ -692,6 +702,78 @@ mod tests {
     #[test]
     fn ecube_structure_is_sound() {
         verify_structure(&EcubeHypercube::new(3)).unwrap();
+    }
+
+    /// A lazy topology may claim more nodes than `u32` node ids can
+    /// encode; the structure check rejects it with a typed violation
+    /// before any classifier can hit the cast.
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn structure_rejects_node_counts_beyond_u32() {
+        use fadr_topology::{NodeId, Port, Topology};
+
+        struct HugeLazyTopo;
+        impl Topology for HugeLazyTopo {
+            fn num_nodes(&self) -> usize {
+                (u32::MAX as usize) + 2
+            }
+            fn max_ports(&self) -> usize {
+                0
+            }
+            fn neighbor(&self, _node: NodeId, _port: Port) -> Option<NodeId> {
+                None
+            }
+            fn name(&self) -> String {
+                "huge-lazy".into()
+            }
+            fn reverse_port(&self, _node: NodeId, _port: Port) -> Option<Port> {
+                None
+            }
+            fn as_dyn(&self) -> &dyn Topology {
+                self
+            }
+        }
+
+        struct HugeLazy(HugeLazyTopo);
+        impl RoutingFunction for HugeLazy {
+            type Msg = ();
+            fn topology(&self) -> &dyn Topology {
+                &self.0
+            }
+            fn num_classes(&self) -> usize {
+                1
+            }
+            fn initial_msg(&self, _src: NodeId, _dst: NodeId) {}
+            fn destination(&self, (): &()) -> NodeId {
+                0
+            }
+            fn deliverable(&self, _node: NodeId, (): &()) -> bool {
+                false
+            }
+            fn for_each_transition(
+                &self,
+                _at: QueueId,
+                (): &(),
+                _f: &mut dyn FnMut(Transition<()>),
+            ) {
+            }
+            fn buffer_classes(&self, _node: NodeId, _port: Port) -> Vec<crate::BufferClass> {
+                Vec::new()
+            }
+            fn is_minimal(&self) -> bool {
+                false
+            }
+            fn max_hops(&self) -> usize {
+                1
+            }
+            fn name(&self) -> String {
+                "huge-lazy".into()
+            }
+        }
+
+        let err = verify_structure(&HugeLazy(HugeLazyTopo)).unwrap_err();
+        assert_eq!(err.check, "structure");
+        assert!(err.detail.contains("u32"), "{}", err.detail);
     }
 
     #[test]

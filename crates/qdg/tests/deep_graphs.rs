@@ -23,7 +23,7 @@ fn deep_path_graph_is_traversed_without_overflow() {
     assert!(g.find_cycle().is_none());
     let order = g.topological_order().unwrap();
     assert_eq!(order.len(), DEEP);
-    let lv = g.levels();
+    let lv = g.levels().unwrap();
     assert_eq!(lv[0], 0);
     assert_eq!(lv[DEEP - 1], DEEP - 1);
     let comps = g.sccs();

@@ -89,7 +89,7 @@ fn levels_increase_along_edges() {
             }
         }
         if g.is_acyclic() {
-            let lv = g.levels();
+            let lv = g.levels().expect("acyclic graphs have levels");
             for v in 0..10 {
                 for &b in g.successors(v) {
                     assert!(lv[b] > lv[v], "level not monotone on {v}->{b}");

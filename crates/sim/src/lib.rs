@@ -71,7 +71,7 @@ pub use fadr_qdg::SnapshotMsg;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use layout::Layout;
 pub use partition::{Partition, PartitionError, PartitionStrategy};
-pub use sharded::ShardedSimulator;
+pub use sharded::{ShardPanicked, ShardedSimulator};
 
 /// Simulator configuration (§ 7.1 defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -288,6 +288,48 @@ where
     }
 }
 
+/// Panic message of a worker woken by a poisoned barrier (as opposed to
+/// the worker that panicked first): [`run_shards`] filters these out
+/// when deciding which shard to blame in [`ShardPanicked`].
+const SIBLING_PANIC: &str = "sibling shard worker panicked";
+
+/// A shard worker thread panicked during a run.
+///
+/// The error names the shard whose worker unwound *first* (siblings
+/// woken by the poisoned phase barrier are filtered out) and carries
+/// the stringified panic payload. After this error the simulator's
+/// shard state is mid-cycle and unspecified — drop it or build a fresh
+/// one; the error exists so a long-lived harness (the fuzzer,
+/// `fadr-serve`) can report the failure instead of aborting with the
+/// worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPanicked {
+    /// Shard whose worker panicked first.
+    pub shard: usize,
+    /// The panic payload, stringified (`&str`/`String` payloads verbatim,
+    /// anything else a placeholder).
+    pub payload: String,
+}
+
+impl std::fmt::Display for ShardPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {} worker panicked: {}", self.shard, self.payload)
+    }
+}
+
+impl std::error::Error for ShardPanicked {}
+
+/// Stringify a worker's panic payload.
+fn panic_payload(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// A barrier that propagates panics: a worker that unwinds poisons it
 /// (via [`PoisonGuard`]), waking every sibling into a panic instead of
 /// leaving them blocked forever.
@@ -315,7 +357,7 @@ impl PoisonBarrier {
 
     fn wait(&self) {
         let mut s = lock(&self.state);
-        assert!(!s.poisoned, "sibling shard worker panicked");
+        assert!(!s.poisoned, "{SIBLING_PANIC}");
         let generation = s.generation;
         s.count += 1;
         if s.count == self.n {
@@ -330,7 +372,7 @@ impl PoisonBarrier {
                 .wait(s)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
-        assert!(!s.poisoned, "sibling shard worker panicked");
+        assert!(!s.poisoned, "{SIBLING_PANIC}");
     }
 
     fn poison(&self) {
@@ -914,8 +956,26 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
         R::Msg: Send,
         Rec: Send,
     {
-        match self.run_static_until(backlog, None) {
-            StaticOutcome::Finished(res) => res,
+        self.try_run_static(backlog)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ShardedSimulator::run_static`], but a worker panic is returned
+    /// as [`ShardPanicked`] instead of aborting the caller. The
+    /// simulator's shard state is unspecified after an error — drop it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardPanicked`] naming the first shard whose worker
+    /// panicked, with its stringified panic payload.
+    pub fn try_run_static(&mut self, backlog: &[Vec<NodeId>]) -> Result<StaticResult, ShardPanicked>
+    where
+        R: Send,
+        R::Msg: Send,
+        Rec: Send,
+    {
+        match self.try_run_static_until(backlog, None)? {
+            StaticOutcome::Finished(res) => Ok(res),
             StaticOutcome::Paused(_) => unreachable!("no pause cycle was requested"),
         }
     }
@@ -933,6 +993,27 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
         R::Msg: Send,
         Rec: Send,
     {
+        self.try_run_static_until(backlog, pause_at)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ShardedSimulator::run_static_until`], but a worker panic is
+    /// returned as [`ShardPanicked`] instead of aborting the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardPanicked`] naming the first shard whose worker
+    /// panicked, with its stringified panic payload.
+    pub fn try_run_static_until(
+        &mut self,
+        backlog: &[Vec<NodeId>],
+        pause_at: Option<u64>,
+    ) -> Result<StaticOutcome, ShardPanicked>
+    where
+        R: Send,
+        R::Msg: Send,
+        Rec: Send,
+    {
         assert_eq!(backlog.len(), self.num_nodes());
         let total: u64 = backlog.iter().map(|b| b.len() as u64).sum();
         let outs = self.run_shards(
@@ -944,8 +1025,8 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
             },
             pause_at,
             None,
-        );
-        self.finish_static(total, &outs)
+        )?;
+        Ok(self.finish_static(total, &outs))
     }
 
     /// Sharded equivalent of [`Simulator::resume_static`]: continue a
@@ -979,19 +1060,21 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
             lost,
         };
         let next_idx = &next_idx;
-        let outs = self.run_shards(
-            Horizon::Drain { total },
-            |sid, plan| StaticPlanner {
-                backlog,
-                nodes: plan.nodes[sid].clone(),
-                next_idx: plan.nodes[sid]
-                    .iter()
-                    .map(|&v| next_idx[v as usize])
-                    .collect(),
-            },
-            pause_at,
-            Some(resume),
-        );
+        let outs = self
+            .run_shards(
+                Horizon::Drain { total },
+                |sid, plan| StaticPlanner {
+                    backlog,
+                    nodes: plan.nodes[sid].clone(),
+                    next_idx: plan.nodes[sid]
+                        .iter()
+                        .map(|&v| next_idx[v as usize])
+                        .collect(),
+                },
+                pause_at,
+                Some(resume),
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
         self.finish_static(total, &outs)
     }
 
@@ -1051,8 +1134,31 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
         R::Msg: Send,
         Rec: Send,
     {
-        match self.run_dynamic_until(lambda, dest, cycles, None) {
-            DynamicOutcome::Finished(res) => res,
+        self.try_run_dynamic(lambda, dest, cycles)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ShardedSimulator::run_dynamic`], but a worker panic is returned
+    /// as [`ShardPanicked`] instead of aborting the caller. The
+    /// simulator's shard state is unspecified after an error — drop it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardPanicked`] naming the first shard whose worker
+    /// panicked, with its stringified panic payload.
+    pub fn try_run_dynamic(
+        &mut self,
+        lambda: f64,
+        dest: impl Fn(NodeId, &mut StdRng) -> NodeId + Sync,
+        cycles: u64,
+    ) -> Result<DynamicResult, ShardPanicked>
+    where
+        R: Send,
+        R::Msg: Send,
+        Rec: Send,
+    {
+        match self.try_run_dynamic_until(lambda, dest, cycles, None)? {
+            DynamicOutcome::Finished(res) => Ok(res),
             DynamicOutcome::Paused(_) => unreachable!("no pause cycle was requested"),
         }
     }
@@ -1067,6 +1173,29 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
         cycles: u64,
         pause_at: Option<u64>,
     ) -> DynamicOutcome
+    where
+        R: Send,
+        R::Msg: Send,
+        Rec: Send,
+    {
+        self.try_run_dynamic_until(lambda, dest, cycles, pause_at)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ShardedSimulator::run_dynamic_until`], but a worker panic is
+    /// returned as [`ShardPanicked`] instead of aborting the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardPanicked`] naming the first shard whose worker
+    /// panicked, with its stringified panic payload.
+    pub fn try_run_dynamic_until(
+        &mut self,
+        lambda: f64,
+        dest: impl Fn(NodeId, &mut StdRng) -> NodeId + Sync,
+        cycles: u64,
+        pause_at: Option<u64>,
+    ) -> Result<DynamicOutcome, ShardPanicked>
     where
         R: Send,
         R::Msg: Send,
@@ -1089,8 +1218,8 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
             },
             pause_at,
             None,
-        );
-        self.finish_dynamic(0, 0, &outs)
+        )?;
+        Ok(self.finish_dynamic(0, 0, &outs))
     }
 
     /// Sharded equivalent of [`Simulator::resume_dynamic`]: continue a
@@ -1129,30 +1258,32 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
             dropped: self.dropped(),
             lost: 0,
         };
-        let outs = self.run_shards(
-            Horizon::Cycles(cycles),
-            |sid, plan| {
-                let nodes = plan.nodes[sid].clone();
-                let rngs = nodes
-                    .iter()
-                    .map(|&v| {
-                        let mut rng = node_rng(seed, v as usize);
-                        for _ in 0..rounds {
-                            let _ = draw(&mut rng, lambda, v as usize, &mut |w, r| dest(w, r));
-                        }
-                        rng
-                    })
-                    .collect();
-                DynPlanner {
-                    lambda,
-                    dest,
-                    nodes,
-                    rngs,
-                }
-            },
-            pause_at,
-            Some(resume),
-        );
+        let outs = self
+            .run_shards(
+                Horizon::Cycles(cycles),
+                |sid, plan| {
+                    let nodes = plan.nodes[sid].clone();
+                    let rngs = nodes
+                        .iter()
+                        .map(|&v| {
+                            let mut rng = node_rng(seed, v as usize);
+                            for _ in 0..rounds {
+                                let _ = draw(&mut rng, lambda, v as usize, &mut |w, r| dest(w, r));
+                            }
+                            rng
+                        })
+                        .collect();
+                    DynPlanner {
+                        lambda,
+                        dest,
+                        nodes,
+                        rngs,
+                    }
+                },
+                pause_at,
+                Some(resume),
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
         self.finish_dynamic(attempts, injected, &outs)
     }
 
@@ -1196,7 +1327,7 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
         pause_at: Option<u64>,
         resume: Option<ResumeBase>,
         // The planner borrows per-worker state created inside the scope.
-    ) -> Vec<WorkerOut>
+    ) -> Result<Vec<WorkerOut>, ShardPanicked>
     where
         R: Send,
         R::Msg: Send,
@@ -1231,10 +1362,38 @@ impl<R: RoutingFunction + Clone, Rec: ShardRecorder> ShardedSimulator<R, Rec> {
                     })
                 })
                 .collect();
-            handles
+            // Join every worker before classifying: a panicking worker
+            // poisons the phase barrier (see `PoisonGuard`), which wakes
+            // all siblings into their own `SIBLING_PANIC` panics, so no
+            // join here can block forever. Blame the first shard whose
+            // payload is *not* the sibling echo — that worker unwound
+            // first and carries the actual failure.
+            let joined: Vec<_> = handles
                 .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
+                .map(std::thread::ScopedJoinHandle::join)
+                .collect();
+            let mut first_sibling = None;
+            let mut outs = Vec::with_capacity(joined.len());
+            for (shard, res) in joined.into_iter().enumerate() {
+                match res {
+                    Ok(out) => outs.push(out),
+                    Err(p) => {
+                        let payload = panic_payload(p.as_ref());
+                        let e = ShardPanicked { shard, payload };
+                        if e.payload == SIBLING_PANIC {
+                            if first_sibling.is_none() {
+                                first_sibling = Some(e);
+                            }
+                        } else {
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+            match first_sibling {
+                Some(e) => Err(e),
+                None => Ok(outs),
+            }
         })
     }
 
@@ -1384,6 +1543,9 @@ where
         for c in 0..self.layout.num_channels() {
             let start = self.layout.chan_buf_start[c] as usize;
             let len = usize::from(self.layout.chan_buf_len[c]);
+            // Cast audit: unreachable in practice — `NetLayout` already
+            // stores `chan_from`/`chan_to` as `u32`, so a layout with
+            // more than `u32::MAX` channels cannot be built.
             buf_chan[start..start + len].fill(u32::try_from(c).expect("channel id fits u32"));
         }
         buf_chan

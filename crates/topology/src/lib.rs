@@ -27,12 +27,14 @@ pub mod dot;
 pub mod graph;
 mod hypercube;
 mod mesh;
+mod random_regular;
 pub mod shuffle_exchange;
 mod torus;
 
 pub use ccc::CubeConnectedCycles;
 pub use hypercube::Hypercube;
 pub use mesh::{Mesh2D, MeshKD};
+pub use random_regular::RandomRegular;
 pub use shuffle_exchange::ShuffleExchange;
 pub use torus::Torus2D;
 

@@ -1,0 +1,212 @@
+//! Seeded random d-regular graphs (configuration model).
+//!
+//! The paper's § 2 conditions are topology-agnostic: the generic
+//! structured-buffer-pool router (`AdaptiveSbp`) only needs an
+//! undirected, connected network. A seeded random regular graph is the
+//! adversarial instance generator for that claim — no dimension
+//! structure, no symmetry, every draw a fresh wiring — which is exactly
+//! what the differential fuzzer feeds it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{graph, NodeId, Port, Topology};
+
+/// A connected simple d-regular graph on `n` nodes, drawn from the
+/// configuration (pairing) model with a fixed seed.
+///
+/// Construction pairs the `n * d` edge stubs uniformly at random and
+/// retries the draw until the result is simple (no self-loops, no
+/// parallel edges) and connected, so every instance really is d-regular
+/// and usable as a network. The same `(n, d, seed)` triple always
+/// yields the same graph.
+///
+/// Ports: port `p` of node `v` leads to `v`'s `p`-th neighbor in
+/// ascending node order; all links are bidirectional.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomRegular {
+    adj: Vec<Vec<NodeId>>,
+    degree: usize,
+    seed: u64,
+}
+
+impl RandomRegular {
+    /// Draw the graph for `(n, d, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= d < n <= 4096` and `n * d` is even (no
+    /// d-regular graph exists otherwise), or if no connected simple
+    /// draw is found within the retry budget (practically unreachable
+    /// for valid parameters; the budget only guards degenerate corners
+    /// like `n = d + 1`).
+    pub fn new(n: usize, d: usize, seed: u64) -> Self {
+        assert!((2..n).contains(&d), "degree must satisfy 2 <= d < n");
+        assert!(n <= 4096, "random-regular capped at 4096 nodes");
+        assert!((n * d).is_multiple_of(2), "n * d must be even");
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..1000 {
+            if let Some(adj) = draw(&mut rng, n, d) {
+                return Self {
+                    adj,
+                    degree: d,
+                    seed,
+                };
+            }
+        }
+        panic!("no connected simple {d}-regular graph on {n} nodes found (seed {seed})");
+    }
+
+    /// The uniform degree d.
+    #[inline]
+    pub fn uniform_degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The seed the instance was drawn with.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// One configuration-model draw; `None` if it is not simple + connected.
+fn draw(rng: &mut StdRng, n: usize, d: usize) -> Option<Vec<Vec<NodeId>>> {
+    // Stub list: node v appears d times; Fisher-Yates, then pair
+    // consecutive stubs.
+    let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    for i in (1..stubs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        stubs.swap(i, j);
+    }
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::with_capacity(d); n];
+    for pair in stubs.chunks_exact(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if a == b || adj[a].contains(&b) {
+            return None;
+        }
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    for row in &mut adj {
+        row.sort_unstable();
+    }
+    let t = Built {
+        adj: &adj,
+        degree: d,
+    };
+    graph::is_strongly_connected(&t).then_some(adj)
+}
+
+/// Borrowed view used to run the connectivity check before committing.
+struct Built<'a> {
+    adj: &'a [Vec<NodeId>],
+    degree: usize,
+}
+
+impl Topology for Built<'_> {
+    fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+    fn max_ports(&self) -> usize {
+        self.degree
+    }
+    fn neighbor(&self, node: NodeId, port: Port) -> Option<NodeId> {
+        self.adj[node].get(port).copied()
+    }
+    fn name(&self) -> String {
+        "random-regular(building)".into()
+    }
+    fn reverse_port(&self, node: NodeId, port: Port) -> Option<Port> {
+        let u = self.adj[node].get(port).copied()?;
+        self.adj[u].iter().position(|&w| w == node)
+    }
+    fn as_dyn(&self) -> &dyn Topology {
+        self
+    }
+}
+
+impl Topology for RandomRegular {
+    fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn max_ports(&self) -> usize {
+        self.degree
+    }
+
+    fn neighbor(&self, node: NodeId, port: Port) -> Option<NodeId> {
+        self.adj[node].get(port).copied()
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "random-regular(n={}, d={}, seed={})",
+            self.adj.len(),
+            self.degree,
+            self.seed
+        )
+    }
+
+    fn degree(&self, _node: NodeId) -> usize {
+        self.degree
+    }
+
+    fn reverse_port(&self, node: NodeId, port: Port) -> Option<Port> {
+        let u = self.neighbor(node, port)?;
+        // Neighbor lists are sorted and duplicate-free, so the position
+        // of `node` in `u`'s list is the unique return port.
+        self.adj[u].iter().position(|&w| w == node)
+    }
+
+    fn as_dyn(&self) -> &dyn Topology {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_graph() {
+        let a = RandomRegular::new(16, 3, 7);
+        let b = RandomRegular::new(16, 3, 7);
+        assert_eq!(a, b);
+        let c = RandomRegular::new(16, 3, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn regular_simple_connected() {
+        for seed in 0..8 {
+            let g = RandomRegular::new(12, 4, seed);
+            assert!(graph::is_strongly_connected(&g));
+            for v in 0..g.num_nodes() {
+                assert_eq!(g.degree(v), 4);
+                let mut ns: Vec<_> = (0..4).map(|p| g.neighbor(v, p).unwrap()).collect();
+                assert!(!ns.contains(&v), "self-loop at {v}");
+                ns.dedup();
+                assert_eq!(ns.len(), 4, "parallel edge at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_ports_invert() {
+        let g = RandomRegular::new(14, 3, 42);
+        for v in 0..g.num_nodes() {
+            for p in 0..3 {
+                let u = g.neighbor(v, p).unwrap();
+                let rp = g.reverse_port(v, p).unwrap();
+                assert_eq!(g.neighbor(u, rp), Some(v), "v={v} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n * d must be even")]
+    fn odd_stub_count_is_rejected() {
+        let _ = RandomRegular::new(7, 3, 0);
+    }
+}

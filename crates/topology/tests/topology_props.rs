@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use fadr_topology::{
-    graph, hamming_distance, CubeConnectedCycles, Hypercube, Mesh2D, MeshKD, ShuffleExchange,
-    Topology, Torus2D,
+    graph, hamming_distance, CubeConnectedCycles, Hypercube, Mesh2D, MeshKD, RandomRegular,
+    ShuffleExchange, Topology, Torus2D,
 };
 
 const CASES: usize = 128;
@@ -134,6 +134,7 @@ fn reverse_ports_invert() {
         Box::new(Mesh2D::new(8, 6)),
         Box::new(Torus2D::new(8, 6)),
         Box::new(CubeConnectedCycles::new(4)),
+        Box::new(RandomRegular::new(20, 4, 0xF0)),
     ];
     for t in &topos {
         for v in 0..t.num_nodes() {
@@ -141,6 +142,31 @@ fn reverse_ports_invert() {
                 if let (Some(u), Some(rp)) = (t.neighbor(v, p), t.reverse_port(v, p)) {
                     assert_eq!(t.neighbor(u, rp), Some(v), "{}", t.name());
                 }
+            }
+        }
+    }
+}
+
+/// Random regular graphs: every seeded draw is connected, d-regular,
+/// simple, and minimal ports behave (decrease distance by one).
+#[test]
+fn random_regular_draws_are_usable_networks() {
+    let mut rng = StdRng::seed_from_u64(0x70b4);
+    for case in 0..24u64 {
+        let n = 2 * rng.gen_range(4..12usize);
+        let d = rng.gen_range(2..4usize);
+        let g = RandomRegular::new(n, d, 0xAA00 + case);
+        assert!(graph::is_strongly_connected(&g), "{}", g.name());
+        for v in 0..n {
+            assert_eq!(g.degree(v), d, "{}", g.name());
+        }
+        let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        if a != b {
+            let dist = g.distance(a, b);
+            let ports = g.minimal_ports(a, b);
+            assert!(!ports.is_empty(), "{}", g.name());
+            for (_, u) in ports {
+                assert_eq!(g.distance(u, b) + 1, dist, "{}", g.name());
             }
         }
     }

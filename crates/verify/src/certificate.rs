@@ -71,7 +71,10 @@ impl Certificate {
         classifier: ClassifierMode,
         cg: &ClassGraph,
     ) -> Self {
-        let levels = cg.static_graph.levels();
+        let levels = cg
+            .static_graph
+            .levels()
+            .expect("certificates are only assembled from acyclic class graphs");
         let mut ranks: Vec<(QueueClass, u64)> = cg
             .classes
             .iter()

@@ -88,8 +88,9 @@ pub struct WormholeResult {
 /// static/dynamic), [`Recorder::on_block`] fires each cycle a header
 /// finds no free VC, and [`Recorder::on_deliver`] reports `hops = 0`
 /// (flit pipelining makes a per-worm hop count redundant with its link
-/// events). Queue-enter/leave and stutter events are not emitted — worms
-/// occupy VCs, not central queues.
+/// events). [`Recorder::on_stutter`] fires when a header reclasses in
+/// place (no VC acquired). Queue-enter/leave events are not emitted —
+/// worms occupy VCs, not central queues.
 pub struct WormholeSim<R: RoutingFunction, Rec: Recorder = NoRecorder> {
     rf: R,
     rec: Rec,
@@ -398,8 +399,14 @@ impl<R: RoutingFunction, Rec: Recorder> WormholeSim<R, Rec> {
                 }
                 continue;
             }
-            // Try transitions in emission order; take the first free VC.
+            // Try transitions in emission order; take the first
+            // *available* one. A link option is available when its VC is
+            // free; a stutter option (an in-place reclass — e.g. the
+            // self-loop shuffles of § 5's degenerate necklaces) holds no
+            // resource and is always available, mirroring the packet
+            // engine's first-available-option fill discipline.
             let mut chosen: Option<(u32, u8, R::Msg)> = None;
+            let mut stutter: Option<(u8, R::Msg)> = None;
             let msg = worm.msg.clone();
             let class = worm.class;
             let use_dynamic = self.cfg.use_dynamic_vcs;
@@ -407,22 +414,38 @@ impl<R: RoutingFunction, Rec: Recorder> WormholeSim<R, Rec> {
             let vc_lookup = |port: usize, bc: BufferClass| self.vc_of(node, port, bc);
             let vcs = &self.vcs;
             rf.for_each_transition(QueueId::central(node, class), &msg, &mut |t| {
-                if chosen.is_some() {
+                if chosen.is_some() || stutter.is_some() {
                     return;
                 }
-                if let (HopKind::Link(port), QueueKind::Central(c)) = (t.hop, t.to.kind) {
-                    let bc = match t.kind {
-                        LinkKind::Static => BufferClass::Static(c),
-                        LinkKind::Dynamic if use_dynamic => BufferClass::Dynamic,
-                        LinkKind::Dynamic => return,
-                    };
-                    let vc = vc_lookup(port, bc);
-                    if vcs[vc as usize].owner == NONE {
-                        chosen = Some((vc, c, t.msg.clone()));
+                match (t.hop, t.to.kind) {
+                    (HopKind::Link(port), QueueKind::Central(c)) => {
+                        let bc = match t.kind {
+                            LinkKind::Static => BufferClass::Static(c),
+                            LinkKind::Dynamic if use_dynamic => BufferClass::Dynamic,
+                            LinkKind::Dynamic => return,
+                        };
+                        let vc = vc_lookup(port, bc);
+                        if vcs[vc as usize].owner == NONE {
+                            chosen = Some((vc, c, t.msg.clone()));
+                        }
                     }
+                    (HopKind::Internal, QueueKind::Central(c)) => {
+                        stutter = Some((c, t.msg.clone()));
+                    }
+                    _ => {}
                 }
             });
-            if let Some((vc, c, next_msg)) = chosen {
+            if let Some((c, next_msg)) = stutter {
+                // Reclass in place: one stutter per cycle (the packet
+                // engine's cadence); the header re-routes next cycle
+                // with its updated state.
+                if Rec::ENABLED {
+                    self.rec
+                        .on_stutter(self.cycle, w as u64, node as u32, class, c);
+                }
+                self.worms[w].msg = next_msg;
+                self.worms[w].class = c;
+            } else if let Some((vc, c, next_msg)) = chosen {
                 if Rec::ENABLED {
                     self.rec.on_link(
                         self.cycle,

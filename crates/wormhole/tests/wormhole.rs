@@ -1,7 +1,10 @@
 //! Behavioural tests of the wormhole engine over the paper's routing
 //! functions.
 
-use fadr_core::{HypercubeFullyAdaptive, HypercubeStaticHang, MeshFullyAdaptive, TorusTwoPhase};
+use fadr_core::{
+    HypercubeFullyAdaptive, HypercubeStaticHang, MeshFullyAdaptive, ShuffleExchangeRouting,
+    TorusTwoPhase,
+};
 use fadr_topology::{hamming_distance, Topology};
 use fadr_workloads::{static_backlog, Pattern};
 use fadr_wormhole::{WormConfig, WormholeSim};
@@ -64,6 +67,34 @@ fn complement_wormhole_drains() {
     let mut sim = WormholeSim::new(HypercubeStaticHang::new(n), cfg(6));
     let res = sim.run_static(&backlog);
     assert!(res.drained, "static hang stalled at {}", res.cycles);
+}
+
+/// Shuffle-exchange worms drain: the degenerate necklaces (`0…0`, `1…1`)
+/// shuffle via *stutter* transitions — an in-place reclass that acquires
+/// no VC. A header whose next mandatory hop is a stutter must take it
+/// rather than wait for a link VC forever (found by fadr-fuzz: worms
+/// touching node 0 or `n-1` wedged under every VC discipline).
+#[test]
+fn shuffle_exchange_wormhole_drains() {
+    for dims in [2usize, 3] {
+        let size = 1usize << dims;
+        let mut rng = StdRng::seed_from_u64(9);
+        let backlog = static_backlog(&Pattern::Random, size, 2, &mut rng);
+        for dynamic_vcs in [false, true] {
+            let wc = WormConfig {
+                use_dynamic_vcs: dynamic_vcs,
+                ..cfg(4)
+            };
+            let mut sim = WormholeSim::new(ShuffleExchangeRouting::new(dims), wc);
+            let res = sim.run_static(&backlog);
+            assert!(
+                res.drained,
+                "SE({dims}) dynamic_vcs={dynamic_vcs} stalled at {}",
+                res.cycles
+            );
+            assert_eq!(res.delivered, res.total);
+        }
+    }
 }
 
 /// Random traffic with long worms and minimal flit buffers (depth 1) —
