@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! perf [--samples S] [--jobs J] [--shards S] [--partition P] [--out PATH] [--quick | --large]
+//! perf --compare self  [--samples S] [--lanes R]   # harness sanity: A = B must be within-noise
+//! perf --compare lanes [--samples S] [--lanes R]   # batched lanes vs R sequential runs
 //! ```
 //!
 //! Times Table 1 and Table 6 rows at n = 10–12 plus one dynamic row
@@ -38,6 +40,20 @@
 //! * `--faults PLAN.json` — inject a `fadr-faults/1` plan into the
 //!   table workloads and the instrumented re-runs (measures the
 //!   degraded-mode overhead; the `--large` scenarios ignore it).
+//! * `--compare self` — time the same workload twice, interleaved, and
+//!   demand a within-noise verdict; any directional verdict exits
+//!   nonzero. This is the fail-closed sanity check of the statistical
+//!   harness itself: a comparison method that can call identical code
+//!   "faster" would also launder noise into fake regressions.
+//! * `--compare lanes` — the lane engine's acceptance measurement:
+//!   `--lanes R` (default 32) replications of a hypercube(8) λ = 1
+//!   dynamic run, batched in one `fadr_sim::LaneSim` vs R standalone
+//!   sequential runs, interleaved. Asserts per-lane delivered counts
+//!   are bit-identical across engines and reports the aggregate
+//!   replication-throughput speedup (delivered packets per wall-clock
+//!   second) with an overlap-aware verdict. The speedup is recorded in
+//!   EXPERIMENTS.md, not asserted: wall-clock thresholds in CI are
+//!   flakes waiting to happen.
 
 #![forbid(unsafe_code)]
 
@@ -46,12 +62,97 @@ use std::time::{SystemTime, UNIX_EPOCH};
 
 use fadr_bench::exec;
 use fadr_bench::obs::{self, MetricsRow, ObsArgs};
-use fadr_bench::perf::{report_line, time, time_cold, to_json, Measurement};
+use fadr_bench::perf::{compare, compare_line, report_line, time, time_cold, to_json, Measurement};
 use fadr_bench::runner::{run_row, run_rows_recorded, run_table_jobs, spec, RunOptions};
 use fadr_core::{HypercubeFullyAdaptive, MeshFullyAdaptive};
+use fadr_metrics::Verdict;
 use fadr_qdg::RoutingFunction;
-use fadr_sim::{PartitionStrategy, ShardedSimulator, SimConfig, Simulator};
+use fadr_sim::{lane_seeds, LaneSim, PartitionStrategy, ShardedSimulator, SimConfig, Simulator};
 use fadr_workloads::Pattern;
+
+/// `--compare self`: run the identical workload on both sides of the
+/// interleaved harness. The only honest verdict is within-noise;
+/// anything directional means the harness itself manufactures signal,
+/// so the binary exits nonzero (CI runs this fail-closed).
+fn compare_self(samples: usize) -> ExitCode {
+    let workload = || run_row(spec(9), 8, RunOptions::default());
+    let r = compare("self_a", "self_b", samples, workload, workload);
+    println!("{}", compare_line(&r));
+    if r.verdict == Verdict::WithinNoise {
+        println!("# compare self: ok (identical workloads are indistinguishable)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "# compare self: FAILED — identical workloads judged {}; the harness is \
+             reading noise as signal",
+            r.verdict.label()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// `--compare lanes`: R replications of the hypercube(8) λ = 1 dynamic
+/// run, batched as one [`LaneSim`] vs R standalone sequential runs,
+/// interleaved. Delivered counts must be bit-identical per lane; the
+/// reported number is the aggregate replication throughput speedup.
+fn compare_lanes(samples: usize, lanes: usize) -> ExitCode {
+    const N: usize = 8;
+    const CYCLES: u64 = 300;
+    let cfg = SimConfig::default();
+    let seeds = lane_seeds(cfg.seed, lanes);
+    let size = 1usize << N;
+    let dest = move |s: usize, rng: &mut _| Pattern::Random.draw(s, size, rng);
+
+    // The lane engine is built once: its memoized routing table is a
+    // construction-time cost amortized over every replication batch,
+    // exactly as the sweep harness uses it.
+    let mut lane_sim = LaneSim::with_lane_seeds(HypercubeFullyAdaptive::new(N), cfg, seeds.clone());
+    println!(
+        "# compare lanes: hypercube({N}), lambda 1.0, {CYCLES} cycles, {lanes} lanes \
+         ({} memoized routing states)",
+        lane_sim.memo_entries()
+    );
+
+    let mut seq_delivered: Vec<u64> = Vec::new();
+    let mut lane_delivered: Vec<u64> = Vec::new();
+    let r = compare(
+        &format!("seq_x{lanes}"),
+        &format!("lanes_{lanes}"),
+        samples,
+        || {
+            seq_delivered = seeds
+                .iter()
+                .map(|&seed| {
+                    let mut sim =
+                        Simulator::new(HypercubeFullyAdaptive::new(N), SimConfig { seed, ..cfg });
+                    sim.run_dynamic(1.0, dest, CYCLES).delivered
+                })
+                .collect();
+        },
+        || {
+            lane_delivered = lane_sim
+                .run_dynamic(1.0, dest, CYCLES)
+                .iter()
+                .map(|res| res.delivered)
+                .collect();
+        },
+    );
+    assert_eq!(
+        seq_delivered, lane_delivered,
+        "per-lane delivered counts diverged between the engines"
+    );
+    let total: u64 = lane_delivered.iter().sum();
+    println!("{}", compare_line(&r));
+    println!(
+        "# compare lanes: {total} delivered per side (bit-identical per lane), \
+         aggregate {:.0} vs {:.0} packets/s, speedup {:.2}x ({})",
+        total as f64 / r.a_ci.mean,
+        total as f64 / r.b_ci.mean,
+        r.a_ci.mean / r.b_ci.mean,
+        r.verdict.label()
+    );
+    ExitCode::SUCCESS
+}
 
 /// One `--large` scenario: a dynamic λ = 1 run on the sequential engine
 /// vs `shards` shard threads. The horizon is sized so each run delivers
@@ -120,10 +221,26 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut quick = false;
     let mut large = false;
+    let mut lanes = 32usize;
+    let mut compare_mode: Option<String> = None;
     let mut obs_args = ObsArgs::default();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--lanes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(r) if r >= 1 => lanes = r,
+                _ => {
+                    eprintln!("--lanes needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--compare" => match it.next() {
+                Some(m) if m == "self" || m == "lanes" => compare_mode = Some(m),
+                _ => {
+                    eprintln!("--compare needs self|lanes");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--samples" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(s) if s >= 1 => samples = s,
                 _ => {
@@ -169,7 +286,7 @@ fn main() -> ExitCode {
                     Ok(false) => {
                         eprintln!("unknown argument {other}");
                         eprintln!(
-                            "usage: perf [--samples S] [--jobs J] [--shards S] [--out PATH] [--quick | --large] {}",
+                            "usage: perf [--samples S] [--jobs J] [--shards S] [--out PATH] [--quick | --large] [--lanes R] [--compare self|lanes] {}",
                             ObsArgs::USAGE
                         );
                         return ExitCode::FAILURE;
@@ -181,6 +298,17 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+
+    if let Some(mode) = compare_mode {
+        if obs_args.enabled() || obs_args.faults.is_some() {
+            eprintln!("--compare runs recorder-free; drop the observability/fault flags");
+            return ExitCode::FAILURE;
+        }
+        return match mode.as_str() {
+            "self" => compare_self(samples.max(2)),
+            _ => compare_lanes(samples.max(2), lanes),
+        };
     }
 
     let stamp = SystemTime::now()

@@ -2,9 +2,17 @@
 //! the paper's fixed operating points).
 //!
 //! ```text
-//! sweep lambda [--n N] [--cycles C] [--jobs J] [--shards S]    # offered load vs throughput/latency/I_r
-//! sweep capacity [--n N] [--table K] [--jobs J] [--shards S]   # central-queue capacity vs latency
+//! sweep lambda [--n N] [--cycles C] [--jobs J] [--shards S] [--lanes R]  # offered load vs throughput/latency/I_r
+//! sweep capacity [--n N] [--table K] [--jobs J] [--shards S]             # central-queue capacity vs latency
 //! ```
+//!
+//! `--lanes R` replicates every lambda point across `R` independent RNG
+//! lanes of one batched engine (`fadr_sim::LaneSim`) and emits
+//! mean ± 95% CI columns instead of single noisy samples (the CSV
+//! header changes, so downstream parsing is never silently wrong).
+//! Lanes batch clean recorder-free runs only: `--lanes > 1` rejects
+//! `--shards > 1`, recording flags, `--faults`, checkpoint/resume, and
+//! the capacity mode.
 //!
 //! `--partition P` picks the shard partition strategy
 //! (`auto|contiguous|hamming|bisection|bfs`, default `auto`); a `#`
@@ -31,7 +39,8 @@ use std::process::ExitCode;
 use fadr_bench::exec;
 use fadr_bench::obs::{self, MetricsRow, ObsArgs, RecordConfig};
 use fadr_bench::runner::{
-    dynamic_random_recorded, run_rows_recorded, spec, Algo, RunOptions, SnapshotPolicy,
+    dynamic_random_lanes, dynamic_random_recorded, run_rows_recorded, spec, Algo, LanePoint,
+    RunOptions, SnapshotPolicy,
 };
 use fadr_core::{EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang};
 use fadr_sim::{FaultPlan, PartitionStrategy, SimConfig};
@@ -143,6 +152,50 @@ fn lambda_sweep(
     metrics
 }
 
+/// The lane-batched λ sweep: every `(lambda, algo)` point runs `lanes`
+/// independent replications inside one [`fadr_sim::LaneSim`] (one
+/// shared memoized routing table, per-lane RNG streams split from the
+/// base seed) and reports mean ± 95% CI per column. Points still fan
+/// out over `--jobs`, and the CSV is printed in sweep order, so output
+/// is bit-identical for any `--jobs` value.
+fn lambda_sweep_lanes(n: usize, cycles: u64, jobs: usize, lanes: usize) {
+    const LAMBDAS: [f64; 11] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    let fmt_point = |lambda: f64, name: &str, p: &LanePoint| {
+        format!(
+            "{lambda},{name},{:.4},{:.4},{:.2},{:.2},{},{:.3},{:.3}",
+            p.throughput.mean,
+            p.throughput.half_width,
+            p.l_avg.mean,
+            p.l_avg.half_width,
+            p.l_max,
+            p.injection_rate.mean,
+            p.injection_rate.half_width
+        )
+    };
+    let points = exec::run_indexed(LAMBDAS.len() * ALGOS.len(), jobs, |i| {
+        let lambda = LAMBDAS[i / ALGOS.len()];
+        let (name, algo) = ALGOS[i % ALGOS.len()];
+        let cfg = SimConfig::default();
+        let point = match algo {
+            Algo::FullyAdaptive => {
+                dynamic_random_lanes(HypercubeFullyAdaptive::new(n), cfg, lambda, cycles, lanes)
+            }
+            Algo::StaticHang => {
+                dynamic_random_lanes(HypercubeStaticHang::new(n), cfg, lambda, cycles, lanes)
+            }
+            Algo::EcubeSbp => dynamic_random_lanes(EcubeSbp::new(n), cfg, lambda, cycles, lanes),
+        };
+        fmt_point(lambda, name, &point)
+    });
+    println!(
+        "lambda,algo,throughput_mean,throughput_ci95,l_avg_mean,l_avg_ci95,l_max,\
+         injection_rate_mean,injection_rate_ci95"
+    );
+    for line in points {
+        println!("{line}");
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn capacity_sweep(
     n: usize,
@@ -200,6 +253,7 @@ fn main() -> ExitCode {
     let mut table = 6usize;
     let mut jobs = exec::default_jobs();
     let mut shards = 1usize;
+    let mut lanes = 1usize;
     let mut partition = PartitionStrategy::Auto;
     let mut obs_args = ObsArgs::default();
     let rest: Vec<String> = args.collect();
@@ -220,6 +274,13 @@ fn main() -> ExitCode {
                 Some(Ok(s)) => shards = s,
                 _ => {
                     eprintln!("--shards needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--lanes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(r) if r >= 1 => lanes = r,
+                _ => {
+                    eprintln!("--lanes needs a positive integer");
                     return ExitCode::FAILURE;
                 }
             },
@@ -254,6 +315,18 @@ fn main() -> ExitCode {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }
+    if let Err(e) = obs_args.validate_lanes(lanes) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    if lanes > 1 && shards > 1 {
+        eprintln!("--lanes > 1 runs the sequential lane engine; drop --shards");
+        return ExitCode::FAILURE;
+    }
+    if lanes > 1 && mode == "capacity" {
+        eprintln!("the capacity sweep does not support --lanes (use the lambda sweep)");
+        return ExitCode::FAILURE;
+    }
     let rc = obs_args.record_config();
     let faults = match obs_args.load_fault_plan() {
         Ok(f) => f,
@@ -270,11 +343,15 @@ fn main() -> ExitCode {
         }
     };
     let metrics = match mode.as_str() {
+        "lambda" if lanes > 1 => {
+            lambda_sweep_lanes(n, cycles, jobs, lanes);
+            return ExitCode::SUCCESS;
+        }
         "lambda" => lambda_sweep(n, cycles, jobs, shards, partition, rc, faults, snap),
         "capacity" => capacity_sweep(n, table, jobs, shards, partition, rc, faults, snap),
         _ => {
             eprintln!(
-                "usage: sweep <lambda|capacity> [--n N] [--cycles C] [--table K] [--jobs J] [--shards S] [--partition P] {}",
+                "usage: sweep <lambda|capacity> [--n N] [--cycles C] [--table K] [--jobs J] [--shards S] [--lanes R] [--partition P] {}",
                 ObsArgs::USAGE
             );
             return ExitCode::FAILURE;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--jobs J] [--shards S] [--partition P]
-//!        [--csv] [--trace PATH] [--metrics-out PATH] [--watchdog K]
+//!        [--lanes R] [--csv] [--trace PATH] [--metrics-out PATH] [--watchdog K]
 //! ```
 //!
 //! * `--table K` — regenerate only table K (repeatable); default: all 12.
@@ -18,6 +18,11 @@
 //!   default 1 = sequential). Composes with `--jobs`: each of the `J`
 //!   concurrent runs uses `S` shard threads. Output is bit-identical
 //!   for any value of `S`.
+//! * `--lanes R` — run the `R` replications of each row batched in the
+//!   lane engine (`fadr_sim::LaneSim`) instead of as `R` standalone
+//!   simulations. Implies `--reps R`; output is bit-identical to
+//!   `--reps R` without `--lanes` (CI diffs the two). Incompatible with
+//!   `--shards`, `--faults`, checkpoints, and the recording sinks.
 //! * `--csv` — emit CSV instead of aligned text.
 //! * `--trace PATH` — write JSONL packet lifecycles (first 256 packets
 //!   per run).
@@ -36,7 +41,8 @@ use std::process::ExitCode;
 use fadr_bench::exec;
 use fadr_bench::obs::{self, MetricsRow, ObsArgs};
 use fadr_bench::runner::{
-    dims_for, run_table_dims_recorded, run_table_jobs, spec, Algo, RunOptions,
+    dims_for, render_table, run_rows_lanes, run_table_dims_recorded, run_table_jobs, spec, Algo,
+    RunOptions,
 };
 
 struct Args {
@@ -44,6 +50,7 @@ struct Args {
     full: bool,
     csv: bool,
     jobs: usize,
+    lanes: usize,
     opts: RunOptions,
     obs: ObsArgs,
 }
@@ -54,9 +61,11 @@ fn parse_args() -> Result<Args, String> {
         full: false,
         csv: false,
         jobs: exec::default_jobs(),
+        lanes: 1,
         opts: RunOptions::default(),
         obs: ObsArgs::default(),
     };
+    let mut reps_given = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut next = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -90,6 +99,15 @@ fn parse_args() -> Result<Args, String> {
                 args.opts.reps = next("--reps")?
                     .parse()
                     .map_err(|e| format!("--reps: {e}"))?;
+                reps_given = true;
+            }
+            "--lanes" => {
+                args.lanes = next("--lanes")?
+                    .parse()
+                    .map_err(|e| format!("--lanes: {e}"))?;
+                if args.lanes == 0 {
+                    return Err("--lanes must be at least 1".into());
+                }
             }
             "--algo" => {
                 let v = next("--algo")?;
@@ -109,7 +127,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--reps R] [--algo A] [--jobs J] [--shards S] [--partition P] [--csv] {}",
+                    "usage: tables [--table K]... [--full] [--cap N] [--cycles N] [--seed S] [--reps R] [--algo A] [--jobs J] [--shards S] [--partition P] [--lanes R] [--csv] {}",
                     ObsArgs::USAGE
                 ));
             }
@@ -129,6 +147,16 @@ fn parse_args() -> Result<Args, String> {
     args.obs.validate_shards(args.opts.shards)?;
     args.opts.faults = args.obs.load_fault_plan()?;
     args.opts.snapshot = args.obs.snapshot_policy()?;
+    if args.lanes > 1 {
+        if reps_given && args.opts.reps as usize != args.lanes {
+            return Err("--lanes R already runs R replications (as lanes); drop --reps".into());
+        }
+        if args.opts.shards > 1 {
+            return Err("--lanes > 1 runs the sequential lane engine; drop --shards".into());
+        }
+        args.obs.validate_lanes(args.lanes)?;
+        args.opts.reps = u32::try_from(args.lanes).map_err(|_| "--lanes is too large")?;
+    }
     Ok(args)
 }
 
@@ -151,7 +179,11 @@ fn main() -> ExitCode {
     let mut metrics: Vec<MetricsRow> = Vec::new();
     for &t in &args.tables {
         let start = std::time::Instant::now();
-        let table = if args.obs.enabled() {
+        let table = if args.lanes > 1 {
+            let dims = dims_for(spec(t), args.full);
+            let rows = run_rows_lanes(spec(t), &dims, args.opts, args.jobs);
+            render_table(t, &rows)
+        } else if args.obs.enabled() {
             let dims = dims_for(spec(t), args.full);
             let (table, recorded) =
                 run_table_dims_recorded(t, &dims, args.opts, args.jobs, args.obs.record_config());

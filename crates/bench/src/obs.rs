@@ -270,6 +270,32 @@ impl ObsArgs {
         }
         Ok(())
     }
+
+    /// Reject flag combinations the lane-batched path (`--lanes > 1`)
+    /// cannot honor: recording sinks, fault plans, and checkpoint/resume
+    /// all assume one standalone simulator per run, and the lane engine
+    /// batches clean recorder-free replications only.
+    ///
+    /// # Errors
+    ///
+    /// Names the first conflicting flag group.
+    pub fn validate_lanes(&self, lanes: usize) -> Result<(), String> {
+        if lanes <= 1 {
+            return Ok(());
+        }
+        if self.enabled() {
+            return Err("--lanes > 1 runs the recorder-free lane engine; drop \
+                 --trace/--metrics-out/--watchdog/--journal/--waitgraph"
+                .into());
+        }
+        if self.faults.is_some() {
+            return Err("--lanes > 1 does not support --faults".into());
+        }
+        if self.checkpoint_at.is_some() || self.resume_from.is_some() {
+            return Err("--lanes > 1 does not support checkpoint/resume".into());
+        }
+        Ok(())
+    }
 }
 
 /// One exported row of a metrics document: where it ran plus its merged

@@ -11,6 +11,8 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use fadr_metrics::{MeanCi, Verdict};
+
 /// One timed measurement: a label plus its per-sample wall-clock times.
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -79,6 +81,82 @@ pub fn time_cold<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Mea
     }
 }
 
+/// An interleaved A/B comparison with overlap-aware 95% intervals: the
+/// statistically honest replacement for comparing two lone samples.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Baseline measurement.
+    pub a: Measurement,
+    /// Candidate measurement.
+    pub b: Measurement,
+    /// 95% interval of the baseline's per-sample times.
+    pub a_ci: MeanCi,
+    /// 95% interval of the candidate's per-sample times.
+    pub b_ci: MeanCi,
+    /// Overlap-aware verdict for the candidate (lower is better); any
+    /// interval overlap yields [`Verdict::WithinNoise`].
+    pub verdict: Verdict,
+}
+
+/// Time `fa` (baseline) against `fb` (candidate) with one warm-up each
+/// and `samples` *interleaved* timed pairs (A, B, A, B, …), so slow
+/// drift in the host — thermal throttling, a neighbor container waking
+/// up — lands on both sides instead of biasing whichever ran second.
+///
+/// The verdict is overlap-aware: with fewer than two samples per side
+/// no difference can ever be claimed, so `samples >= 2` is required.
+pub fn compare<TA, TB>(
+    name_a: &str,
+    name_b: &str,
+    samples: usize,
+    mut fa: impl FnMut() -> TA,
+    mut fb: impl FnMut() -> TB,
+) -> CompareReport {
+    assert!(
+        samples >= 2,
+        "a verdict needs at least two samples per side"
+    );
+    std::hint::black_box(fa());
+    std::hint::black_box(fb());
+    let mut a_secs = Vec::with_capacity(samples);
+    let mut b_secs = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        std::hint::black_box(fa());
+        a_secs.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        std::hint::black_box(fb());
+        b_secs.push(start.elapsed().as_secs_f64());
+    }
+    let a_ci = MeanCi::from_samples(a_secs.iter().copied());
+    let b_ci = MeanCi::from_samples(b_secs.iter().copied());
+    CompareReport {
+        a: Measurement {
+            name: name_a.to_string(),
+            secs: a_secs,
+        },
+        b: Measurement {
+            name: name_b.to_string(),
+            secs: b_secs,
+        },
+        verdict: Verdict::of_lower_better(&b_ci, &a_ci),
+        a_ci,
+        b_ci,
+    }
+}
+
+/// Print a comparison in a compact, stable one-line format.
+pub fn compare_line(r: &CompareReport) -> String {
+    format!(
+        "{} [{} s] vs {} [{} s]: {}",
+        r.a.name,
+        r.a_ci,
+        r.b.name,
+        r.b_ci,
+        r.verdict.label()
+    )
+}
+
 /// Print a measurement in a compact, stable one-line format.
 pub fn report_line(m: &Measurement) -> String {
     format!(
@@ -144,6 +222,31 @@ mod tests {
         let m = time_cold("noop", 2, || calls += 1);
         assert_eq!(m.secs.len(), 2);
         assert_eq!(calls, 2, "no warm-up iteration");
+    }
+
+    #[test]
+    fn compare_interleaves_and_judges_self_within_noise() {
+        let mut a_calls = 0;
+        let mut b_calls = 0;
+        let r = compare("a", "b", 3, || a_calls += 1, || b_calls += 1);
+        assert_eq!(a_calls, 4, "warm-up plus three samples");
+        assert_eq!(b_calls, 4);
+        assert_eq!(r.a.secs.len(), 3);
+        assert_eq!(r.b.secs.len(), 3);
+        // Identical no-op workloads must never earn a directional
+        // verdict (the --compare self fail-closed check relies on it
+        // for real workloads; here both sides are literally the same).
+        assert!(compare_line(&r).contains(r.verdict.label()));
+    }
+
+    #[test]
+    fn compare_flags_a_real_difference() {
+        let slow = || std::thread::sleep(std::time::Duration::from_millis(25));
+        let fast = || {};
+        let r = compare("slow", "fast", 4, slow, fast);
+        assert_eq!(r.verdict, Verdict::Faster, "{}", compare_line(&r));
+        let r = compare("fast", "slow", 4, fast, slow);
+        assert_eq!(r.verdict, Verdict::Slower, "{}", compare_line(&r));
     }
 
     #[test]

@@ -5,12 +5,13 @@ use rand::SeedableRng;
 
 use fadr_core::{EcubeSbp, HypercubeFullyAdaptive, HypercubeStaticHang};
 use fadr_metrics::{
-    table::fmt2, Recorder, ShardRecorder, SinkSet, StallReport, Table, WatchdogSink,
+    table::fmt2, MeanCi, Recorder, RunningStats, ShardRecorder, SinkSet, StallReport, Table,
+    WatchdogSink,
 };
 use fadr_qdg::RoutingFunction;
 use fadr_sim::{
-    DynamicOutcome, DynamicResult, PartitionStrategy, ShardedSimulator, SimConfig, Simulator,
-    SnapshotMsg, StaticOutcome, StaticResult, StopReason,
+    DynamicOutcome, DynamicResult, LaneSim, PartitionStrategy, ShardedSimulator, SimConfig,
+    Simulator, SnapshotMsg, StaticOutcome, StaticResult, StopReason,
 };
 use fadr_workloads::{static_backlog, Pattern};
 
@@ -946,6 +947,166 @@ where
         let mut sinks = sim.into_recorder();
         sinks.flush();
         (res, sinks)
+    }
+}
+
+/// [`run_row`] on the batched lane engine: the row's `opts.reps`
+/// replications run as lanes of one [`LaneSim`] sharing a single
+/// precomputed routing table, instead of `reps` standalone simulators.
+///
+/// Lane `rep` uses exactly the seeds [`run_row`]'s replication `rep`
+/// would (engine streams from [`row_cfg`], pattern compile from
+/// `seed ^ 0x1e7e1`, static backlog from `seed ^ 0xbac1`), and the lane
+/// engine guarantees each lane is bit-identical to a standalone
+/// sequential run with that seed — so the reduced row is bit-identical
+/// to [`run_row`]'s (`tests/lane_identity.rs` enforces this).
+///
+/// # Panics
+///
+/// Panics if `opts` requests shards, faults, or checkpoints: the lane
+/// engine batches clean replications only (binaries reject those flag
+/// combinations up front; this is the backstop).
+pub fn run_row_lanes(spec: TableSpec, n: usize, opts: RunOptions) -> RowResult {
+    assert!(
+        opts.shards <= 1 && opts.faults.is_none() && opts.snapshot.is_none(),
+        "lane-batched rows support neither shards, faults, nor checkpoints"
+    );
+    match opts.algo {
+        Algo::FullyAdaptive => row_lanes_with(HypercubeFullyAdaptive::new(n), spec, n, opts),
+        Algo::StaticHang => row_lanes_with(HypercubeStaticHang::new(n), spec, n, opts),
+        Algo::EcubeSbp => row_lanes_with(EcubeSbp::new(n), spec, n, opts),
+    }
+}
+
+/// [`run_rows`] on the lane engine: rows fan out over `jobs` worker
+/// threads, and each row's replications run as lanes of one shared
+/// engine (replication-level parallelism is subsumed by the lanes).
+pub fn run_rows_lanes(
+    spec: TableSpec,
+    dims: &[usize],
+    opts: RunOptions,
+    jobs: usize,
+) -> Vec<RowResult> {
+    crate::exec::run_indexed(dims.len(), jobs, |i| run_row_lanes(spec, dims[i], opts))
+}
+
+fn row_lanes_with<R: RoutingFunction>(
+    rf: R,
+    spec: TableSpec,
+    n: usize,
+    opts: RunOptions,
+) -> RowResult {
+    let reps = opts.reps.max(1);
+    let seeds: Vec<u64> = (0..reps)
+        .map(|rep| row_cfg(spec, n, opts, u64::from(rep)).seed)
+        .collect();
+    let cfg = row_cfg(spec, n, opts, 0);
+    let size = 1usize << n;
+    let mut sim = LaneSim::with_lane_seeds(rf, cfg, seeds.clone());
+    let results: Vec<RowResult> = match spec.packets {
+        Some(per_node) => {
+            let k = match per_node {
+                PacketsPerNode::One => 1,
+                PacketsPerNode::LogN => n,
+            };
+            let backlogs: Vec<Vec<Vec<usize>>> = seeds
+                .iter()
+                .map(|&s| {
+                    let pattern = spec.pattern.compile(n, s ^ 0x1e7e1);
+                    let mut rng = StdRng::seed_from_u64(s ^ 0xbac1);
+                    static_backlog(&pattern, size, k, &mut rng)
+                })
+                .collect();
+            sim.run_static(&backlogs)
+                .iter()
+                .map(|res| {
+                    assert!(res.drained, "table {} n={n} failed to drain", spec.number);
+                    RowResult {
+                        n,
+                        l_avg: res.stats.mean(),
+                        l_max: res.stats.max(),
+                        injection_rate: None,
+                        aborted: matches!(res.stop, StopReason::Aborted | StopReason::Partitioned),
+                    }
+                })
+                .collect()
+        }
+        None => {
+            let patterns: Vec<Pattern> = seeds
+                .iter()
+                .map(|&s| spec.pattern.compile(n, s ^ 0x1e7e1))
+                .collect();
+            sim.run_dynamic_indexed(
+                1.0,
+                |lane, src, rng| patterns[lane].draw(src, size, rng),
+                opts.dynamic_cycles,
+            )
+            .iter()
+            .map(|res| RowResult {
+                n,
+                l_avg: res.stats.mean(),
+                l_max: res.stats.max(),
+                injection_rate: Some(res.injection_rate()),
+                aborted: matches!(res.stop, StopReason::Aborted | StopReason::Partitioned),
+            })
+            .collect()
+        }
+    };
+    reduce_reps(n, &results)
+}
+
+/// One lane-batched sweep point: per-lane aggregates folded into
+/// mean ± 95% CI views (the statistically honest replacement for the
+/// single-sample sweep columns).
+#[derive(Debug, Clone, Copy)]
+pub struct LanePoint {
+    /// Normalized throughput (delivered / (nodes × cycles)) across lanes.
+    pub throughput: MeanCi,
+    /// Mean latency across lanes.
+    pub l_avg: MeanCi,
+    /// Maximum latency over all lanes.
+    pub l_max: u64,
+    /// Effective injection rate across lanes.
+    pub injection_rate: MeanCi,
+    /// Total packets delivered, summed over lanes.
+    pub delivered: u64,
+}
+
+/// One dynamic uniform-random sweep point replicated across `lanes` RNG
+/// lanes of one batched engine (lane seeds derive from `cfg.seed` via
+/// [`fadr_sim::lane_seeds`]), reduced to [`LanePoint`] statistics.
+pub fn dynamic_random_lanes<R: RoutingFunction>(
+    rf: R,
+    cfg: SimConfig,
+    lambda: f64,
+    cycles: u64,
+    lanes: usize,
+) -> LanePoint {
+    let size = rf.topology().num_nodes();
+    let mut sim = LaneSim::new(rf, cfg, lanes);
+    let results = sim.run_dynamic(
+        lambda,
+        move |s, rng| Pattern::Random.draw(s, size, rng),
+        cycles,
+    );
+    let mut thr = RunningStats::new();
+    let mut l_avg = RunningStats::new();
+    let mut ir = RunningStats::new();
+    let mut l_max = 0u64;
+    let mut delivered = 0u64;
+    for res in &results {
+        thr.push(res.delivered as f64 / (size as f64 * cycles as f64));
+        l_avg.push(res.stats.mean());
+        ir.push(res.injection_rate());
+        l_max = l_max.max(res.stats.max());
+        delivered += res.delivered;
+    }
+    LanePoint {
+        throughput: thr.ci95(),
+        l_avg: l_avg.ci95(),
+        l_max,
+        injection_rate: ir.ci95(),
+        delivered,
     }
 }
 

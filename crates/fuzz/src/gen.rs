@@ -186,8 +186,17 @@ pub fn gen_case(master: u64, idx: u64) -> CaseSpec {
         _ => PartitionStrategy::Auto,
     };
 
+    // Drawn *after* the seed so every prefix of the draw stream — and
+    // therefore every pre-lanes corpus replay — is unchanged.
+    let seed = rng.next_u64();
+    let lanes = match rng.gen_range(0..3u8) {
+        0 => 1, // a third of the pool skips the lane differential
+        1 => 2,
+        _ => 4,
+    };
+
     CaseSpec {
-        seed: rng.next_u64(),
+        seed,
         scheme,
         mutation,
         queue_capacity,
@@ -195,5 +204,6 @@ pub fn gen_case(master: u64, idx: u64) -> CaseSpec {
         workload,
         shards,
         strategy,
+        lanes,
     }
 }

@@ -4,7 +4,10 @@
 //!    every requested shard count under the case's partition strategy),
 //!    and, in scope, the wormhole engine must agree: identical results,
 //!    identical partitioned-destination sets, identical journal
-//!    fingerprints, and complete wormhole delivery.
+//!    fingerprints, and complete wormhole delivery. When the case draws
+//!    `lanes > 1` (and has no faults), the lane-batched engine joins the
+//!    panel: lane `k` of one `LaneSim` must reproduce a standalone
+//!    sequential run with lane `k`'s seed, result-for-result.
 //! 2. **Oracle parity** — the certifier, the exhaustive checker, and
 //!    the lint battery must agree on accept/reject, and the class
 //!    graph's level assignment must exist exactly when it is acyclic.
@@ -21,7 +24,9 @@ use fadr_lint::{lint_scheme, LintConfig};
 use fadr_qdg::sym::Symmetry;
 use fadr_qdg::verify::verify_deadlock_free;
 use fadr_qdg::{explore, RoutingFunction};
-use fadr_sim::{FaultPlan, ShardedSimulator, SimConfig, Simulator, SinkSet, StopReason};
+use fadr_sim::{
+    lane_seeds, FaultPlan, LaneSim, ShardedSimulator, SimConfig, Simulator, SinkSet, StopReason,
+};
 use fadr_topology::NodeId;
 use fadr_verify::{certify, check_certificate, Certificate, ClassifierMode, Outcome};
 use fadr_workloads::{static_backlog, Pattern};
@@ -117,6 +122,7 @@ impl SchemeVisitor for CaseRunner<'_> {
         // feeding a known dead end to the simulator just wedges it.
         if spec.mutation == MutationSpec::None {
             differential(spec, &rf, cert.as_ref())?;
+            lane_differential(spec, &rf)?;
             verdicts(spec, &rf, cert.is_some())?;
         }
         Ok(())
@@ -421,6 +427,66 @@ where
                         format!(
                             "{}: journal fingerprint diverged at {shards} shards: {seq_journal:?} vs {shr_journal:?}",
                             rf.name()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lane-engine leg of the differential: every lane of one batched
+/// [`LaneSim`] must reproduce a standalone sequential run seeded with
+/// that lane's seed. Skipped when the case drew `lanes == 1` or carries
+/// faults (the lane engine is deliberately fault-free).
+fn lane_differential<R>(spec: &CaseSpec, rf: &R) -> Result<(), Failure>
+where
+    R: Symmetry + Clone + Send + 'static,
+    R::Msg: Send,
+{
+    if spec.lanes <= 1 || !spec.faults.events.is_empty() {
+        return Ok(());
+    }
+    let n = rf.topology().num_nodes();
+    let cfg = sim_config(spec);
+    let seeds = lane_seeds(cfg.seed, spec.lanes);
+    let mut lanes = LaneSim::with_lane_seeds(rf.clone(), cfg, seeds.clone());
+
+    match spec.workload {
+        WorkloadSpec::Static { .. } => {
+            let backlog = backlog_for(spec, n);
+            let backlogs = vec![backlog.clone(); spec.lanes];
+            let lane_res = lanes.run_static(&backlogs);
+            for (k, (&seed, lr)) in seeds.iter().zip(&lane_res).enumerate() {
+                let mut seq = Simulator::new(rf.clone(), SimConfig { seed, ..cfg });
+                let sr = seq.run_static(&backlog);
+                if *lr != sr {
+                    return fail(
+                        PropertyId::Differential,
+                        format!(
+                            "{}: lane {k}/{} static result diverged from its sequential twin: lane {lr:?} vs seq {sr:?}",
+                            rf.name(),
+                            spec.lanes
+                        ),
+                    );
+                }
+            }
+        }
+        WorkloadSpec::Dynamic { lambda_pct, cycles } => {
+            let lambda = f64::from(lambda_pct) / 100.0;
+            let lane_res =
+                lanes.run_dynamic(lambda, |s, rng| Pattern::Random.draw(s, n, rng), cycles);
+            for (k, (&seed, lr)) in seeds.iter().zip(&lane_res).enumerate() {
+                let mut seq = Simulator::new(rf.clone(), SimConfig { seed, ..cfg });
+                let sr = seq.run_dynamic(lambda, |s, rng| Pattern::Random.draw(s, n, rng), cycles);
+                if *lr != sr {
+                    return fail(
+                        PropertyId::Differential,
+                        format!(
+                            "{}: lane {k}/{} dynamic result diverged from its sequential twin: lane {lr:?} vs seq {sr:?}",
+                            rf.name(),
+                            spec.lanes
                         ),
                     );
                 }

@@ -118,7 +118,18 @@ fn candidates(spec: &CaseSpec) -> Vec<CaseSpec> {
         out.push(c);
     }
 
-    // Fewer shard counts, then the default strategy.
+    // Fewer lanes (1 drops the lane-engine leg entirely), fewer shard
+    // counts, then the default strategy.
+    if spec.lanes > 1 {
+        let mut c = spec.clone();
+        c.lanes = 1;
+        out.push(c);
+    }
+    if spec.lanes > 2 {
+        let mut c = spec.clone();
+        c.lanes = 2;
+        out.push(c);
+    }
     if spec.shards != [2] {
         let mut c = spec.clone();
         c.shards = vec![2];

@@ -2,7 +2,8 @@
 //!
 //! A [`CaseSpec`] pins everything a case needs to replay bit-identically:
 //! scheme, optional sabotage mutation, queue capacity, fault plan,
-//! workload, shard counts, and partition strategy. Specs round-trip
+//! workload, shard counts, partition strategy, and the lane count for
+//! the lane-engine differential. Specs round-trip
 //! through the one-line `fadr-fuzz/1` JSON schema (hand-rolled, like
 //! `fadr-faults/1` — the build has no serde), which is what the
 //! committed regression corpus stores.
@@ -194,6 +195,9 @@ pub struct CaseSpec {
     pub shards: Vec<usize>,
     /// Partition strategy for the sharded runs.
     pub strategy: PartitionStrategy,
+    /// Lane count for the lane-engine differential (1 = skip it; corpus
+    /// entries predating the axis parse as 1).
+    pub lanes: usize,
 }
 
 impl CaseSpec {
@@ -280,8 +284,9 @@ impl CaseSpec {
         }
         let _ = write!(
             out,
-            "], \"strategy\": \"{}\", \"faults\": {}}}",
+            "], \"strategy\": \"{}\", \"lanes\": {}, \"faults\": {}}}",
             self.strategy.name(),
+            self.lanes,
             self.faults.to_json()
         );
         out
@@ -307,6 +312,7 @@ impl CaseSpec {
         let mut workload = None;
         let mut shards = Vec::new();
         let mut strategy = PartitionStrategy::Auto;
+        let mut lanes = 1usize;
         p.expect(b'{')?;
         loop {
             p.skip_ws();
@@ -346,6 +352,7 @@ impl CaseSpec {
                     let s = p.string()?;
                     strategy = PartitionStrategy::from_str(&s)?;
                 }
+                "lanes" => lanes = p.u64()? as usize,
                 "faults" => {
                     let obj = p.balanced_object()?;
                     faults = FaultPlan::parse(&obj)?;
@@ -376,6 +383,7 @@ impl CaseSpec {
             workload,
             shards,
             strategy,
+            lanes,
         })
     }
 }

@@ -47,6 +47,7 @@ fn big_spec() -> CaseSpec {
         workload: WorkloadSpec::Static { per_node: 3 },
         shards: vec![2, 3],
         strategy: PartitionStrategy::Bisection,
+        lanes: 4,
     }
 }
 
@@ -83,6 +84,7 @@ fn shrinks_to_minimal_witness() {
     assert_eq!(min.workload, WorkloadSpec::Static { per_node: 1 });
     assert_eq!(min.shards, vec![2]);
     assert_eq!(min.strategy, PartitionStrategy::Auto);
+    assert_eq!(min.lanes, 1, "incidental lane leg kept: {min:?}");
 }
 
 /// A candidate failing a *different* property is never accepted: the
@@ -106,6 +108,7 @@ fn always_failing_oracle_terminates_minimal() {
     assert!(min.faults.events.is_empty());
     assert_eq!(min.workload, WorkloadSpec::Static { per_node: 1 });
     assert_eq!(min.shards, vec![2]);
+    assert_eq!(min.lanes, 1);
 }
 
 /// Topology moves keep the spec well-formed: fault events that name

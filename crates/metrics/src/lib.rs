@@ -13,12 +13,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ci;
 pub mod partition;
 pub mod record;
 pub mod stats;
 pub mod table;
 pub mod timeseries;
 
+pub use ci::{t_quantile_975, MeanCi, RunningStats, Verdict};
 pub use partition::PartitionStats;
 pub use record::{
     Control, CounterSink, JournalEvent, JournalSink, LatencySink, NoRecorder, Recorder,

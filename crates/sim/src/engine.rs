@@ -1272,15 +1272,7 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
     /// The central class targeted by the injection queue's single
     /// (internal, static) transition for `msg` at `node`.
     fn entry_class(&self, node: usize, msg: &R::Msg) -> u8 {
-        let mut entry: Option<u8> = None;
-        self.rf
-            .for_each_transition(QueueId::inject(node), msg, &mut |t| {
-                debug_assert_eq!(t.hop, HopKind::Internal);
-                if let QueueKind::Central(c) = t.to.kind {
-                    entry = Some(c);
-                }
-            });
-        entry.expect("injection transition exists")
+        entry_class_of(&self.rf, node, msg)
     }
 
     /// Enqueue packet `p` into central queue `class` at `node`. With
@@ -1362,36 +1354,14 @@ impl<R: RoutingFunction, Rec: Recorder> Simulator<R, Rec> {
         // Borrow the message in place: `rf`, `store`, and `layout` are
         // disjoint fields and all borrowed immutably here, so the hot
         // path needs no `msg.clone()`.
-        let msg = &self.store.msg[p as usize];
-        let layout = &self.layout;
-        self.rf
-            .for_each_transition(QueueId::central(node, class), msg, &mut |t| match t.hop {
-                HopKind::Link(port) => {
-                    let (bc, to_class) = match (t.kind, t.to.kind) {
-                        (LinkKind::Static, QueueKind::Central(c)) => (BufferClass::Static(c), c),
-                        (LinkKind::Dynamic, QueueKind::Central(c)) => (BufferClass::Dynamic, c),
-                        _ => unreachable!("link hops target central queues"),
-                    };
-                    opts.push(MoveOpt {
-                        buf: layout.buffer(node, port, bc),
-                        to_class,
-                        next: t.msg,
-                        escape: false,
-                    });
-                }
-                HopKind::Internal => match t.to.kind {
-                    QueueKind::Central(c) => {
-                        debug_assert_eq!(t.to.node, node, "internal stutter stays at the node");
-                        opts.push(MoveOpt {
-                            buf: NONE,
-                            to_class: c,
-                            next: t.msg,
-                            escape: false,
-                        });
-                    }
-                    _ => unreachable!("queued packets are never at their destination"),
-                },
-            });
+        push_move_options(
+            &self.rf,
+            &self.layout,
+            node,
+            class,
+            &self.store.msg[p as usize],
+            &mut opts,
+        );
         if self.faults.is_some() {
             self.opt_scratch = opts;
             self.finalize_options(p, node);
@@ -2472,6 +2442,64 @@ pub(crate) fn rotating_start(cycle: u64, node: usize, n_out: usize) -> usize {
     }
     let salt = (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
     (cycle.wrapping_add(salt) % n_out as u64) as usize
+}
+
+/// The routing-table core shared by the sequential and lane engines:
+/// enumerate the moves available to a packet carrying `msg` while
+/// resident in central queue `class` of `node`, resolving each
+/// transition to a concrete output buffer (or `NONE` for an in-place
+/// stutter). A pure function of `(rf, layout, node, class, msg)` — the
+/// property that lets [`crate::LaneSim`] memoize its results in a table
+/// shared across all lanes.
+pub(crate) fn push_move_options<R: RoutingFunction>(
+    rf: &R,
+    layout: &Layout,
+    node: usize,
+    class: u8,
+    msg: &R::Msg,
+    opts: &mut Vec<MoveOpt<R::Msg>>,
+) {
+    rf.for_each_transition(QueueId::central(node, class), msg, &mut |t| match t.hop {
+        HopKind::Link(port) => {
+            let (bc, to_class) = match (t.kind, t.to.kind) {
+                (LinkKind::Static, QueueKind::Central(c)) => (BufferClass::Static(c), c),
+                (LinkKind::Dynamic, QueueKind::Central(c)) => (BufferClass::Dynamic, c),
+                _ => unreachable!("link hops target central queues"),
+            };
+            opts.push(MoveOpt {
+                buf: layout.buffer(node, port, bc),
+                to_class,
+                next: t.msg,
+                escape: false,
+            });
+        }
+        HopKind::Internal => match t.to.kind {
+            QueueKind::Central(c) => {
+                debug_assert_eq!(t.to.node, node, "internal stutter stays at the node");
+                opts.push(MoveOpt {
+                    buf: NONE,
+                    to_class: c,
+                    next: t.msg,
+                    escape: false,
+                });
+            }
+            _ => unreachable!("queued packets are never at their destination"),
+        },
+    });
+}
+
+/// The central class targeted by the injection queue's single
+/// (internal, static) transition for `msg` at `node` — pure in
+/// `(rf, node, msg)`, so the lane engine memoizes it per node/message.
+pub(crate) fn entry_class_of<R: RoutingFunction>(rf: &R, node: usize, msg: &R::Msg) -> u8 {
+    let mut entry: Option<u8> = None;
+    rf.for_each_transition(QueueId::inject(node), msg, &mut |t| {
+        debug_assert_eq!(t.hop, HopKind::Internal);
+        if let QueueKind::Central(c) = t.to.kind {
+            entry = Some(c);
+        }
+    });
+    entry.expect("injection transition exists")
 }
 
 /// Deterministic per-node RNG stream for dynamic injection: node `v`'s

@@ -52,6 +52,7 @@
 
 mod engine;
 pub mod fault;
+mod lanes;
 mod layout;
 pub mod node_design;
 mod partition;
@@ -69,6 +70,7 @@ pub use fadr_metrics::{
 };
 pub use fadr_qdg::SnapshotMsg;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use lanes::{lane_seed, lane_seeds, LaneSim};
 pub use layout::Layout;
 pub use partition::{Partition, PartitionError, PartitionStrategy};
 pub use sharded::{ShardPanicked, ShardedSimulator};
